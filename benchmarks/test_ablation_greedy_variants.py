@@ -1,0 +1,65 @@
+"""Ablations on the greedy solver: selection variant and the polish step.
+
+* knapsack (exchange-move) vs cardinality (Nemhauser) plot picking — the
+  paper mentions both (Section 6.2's "variant of the algorithm").
+* polish on/off — the Finalize step of Algorithm 1 (deduplicate and
+  refill); DESIGN.md calls this out as ablation-worthy.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.greedy import GreedySolver
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.datasets.workload import WorkloadGenerator
+from repro.experiments.harness import ExperimentTable
+from repro.nlq.candidates import CandidateGenerator
+from repro.stats import mean_ci
+
+
+def run_variant_comparison(database, num_queries=8, seed=0,
+                           ) -> ExperimentTable:
+    workload = WorkloadGenerator(database.table("nyc311"), seed=seed)
+    generator = CandidateGenerator(database, "nyc311")
+    geometry = ScreenGeometry(width_pixels=1125, num_rows=2)
+    configurations = {
+        "knapsack+polish": GreedySolver(variant="knapsack"),
+        "knapsack-no-polish": GreedySolver(variant="knapsack",
+                                           apply_polish=False),
+        "cardinality+polish": GreedySolver(variant="cardinality"),
+    }
+    table = ExperimentTable(
+        title="Ablation: greedy variants and the polish step",
+        columns=("configuration", "avg_cost", "avg_ms", "avg_bars"))
+    costs = {name: [] for name in configurations}
+    times = {name: [] for name in configurations}
+    bars = {name: [] for name in configurations}
+    for _ in range(num_queries):
+        target = workload.random_query(max_predicates=3)
+        candidates = tuple(generator.candidates(target, 20))
+        problem = MultiplotSelectionProblem(candidates, geometry=geometry)
+        for name, solver in configurations.items():
+            solution = solver.solve(problem)
+            costs[name].append(solution.expected_cost)
+            times[name].append(solution.elapsed_seconds * 1000)
+            bars[name].append(solution.multiplot.num_bars)
+    for name in configurations:
+        table.add_row(name, mean_ci(costs[name]).mean,
+                      mean_ci(times[name]).mean,
+                      mean_ci(bars[name]).mean)
+    return table
+
+
+def test_ablation_greedy_variants(benchmark, results_dir, nyc_bench_db):
+    table = benchmark.pedantic(
+        lambda: run_variant_comparison(nyc_bench_db),
+        rounds=1, iterations=1)
+    emit(table, results_dir, "ablation_greedy")
+
+    rows = {row[0]: row for row in table.rows}
+    # Polish can only help: duplicates are replaced by fresh coverage.
+    assert rows["knapsack+polish"][1] <= \
+        rows["knapsack-no-polish"][1] + 1e-6
+    # The exchange-knapsack variant dominates the fixed-width cardinality
+    # variant on average (it exploits width headroom).
+    assert rows["knapsack+polish"][1] <= \
+        rows["cardinality+polish"][1] + 1e-6

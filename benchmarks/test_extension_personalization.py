@@ -1,0 +1,59 @@
+"""Extension experiment: personalisation over session turns.
+
+A user who repeatedly confirms the same (initially low-ranked)
+interpretation should see its probability — and its chance of being
+highlighted — grow turn over turn, shrinking the expected disambiguation
+time for *that* user.  Quantifies the value of the query-log prior on top
+of the paper's phonetic-only distribution.
+"""
+
+from benchmarks.conftest import emit
+from repro import Database, Muve, ScreenGeometry, VisualizationPlanner
+from repro.datasets import make_nyc311_table
+from repro.experiments.harness import ExperimentTable
+from repro.session import MuveSession
+from repro.sqldb.query import AggregateQuery
+
+QUESTION = "average resolution hours for borough Brooklyn"
+
+
+def run_personalization(turns: int = 6, seed: int = 0) -> ExperimentTable:
+    db = Database(seed=seed)
+    db.register_table(make_nyc311_table(num_rows=10_000, seed=7))
+    muve = Muve(db, "nyc311", seed=seed + 1,
+                geometry=ScreenGeometry(width_pixels=1400, num_rows=1),
+                planner=VisualizationPlanner(strategy="greedy"))
+    session = MuveSession(muve, prior_strength=0.5)
+    meant = AggregateQuery.build("nyc311", "avg", "resolution_hours",
+                                 {"borough": "Bronx"})
+
+    table = ExperimentTable(
+        title="Personalisation: intended interpretation across turns",
+        columns=("turn", "probability", "highlighted",
+                 "expected_cost_ms"))
+    for turn in range(1, turns + 1):
+        response = session.ask(QUESTION)
+        probability = next(
+            (c.probability for c in response.candidates
+             if c.query == meant), 0.0)
+        table.add_row(turn, probability,
+                      response.multiplot.highlights(meant),
+                      response.planning.expected_cost)
+        if response.multiplot.shows(meant):
+            session.confirm(meant)
+    return table
+
+
+def test_extension_personalization(benchmark, results_dir):
+    table = benchmark.pedantic(lambda: run_personalization(),
+                               rounds=1, iterations=1)
+    emit(table, results_dir, "extension_personalization")
+
+    probabilities = table.column("probability")
+    # The confirmed interpretation's probability grows monotonically
+    # (modulo tiny numerical wiggle) and substantially overall.
+    assert probabilities[-1] > 2 * probabilities[0]
+    for earlier, later in zip(probabilities, probabilities[1:]):
+        assert later >= earlier - 1e-9
+    # It is highlighted by the final turn.
+    assert table.column("highlighted")[-1] is True

@@ -1,0 +1,19 @@
+"""Figure 12: disambiguation time with MUVE vs the dropdown baseline."""
+
+from benchmarks.conftest import emit
+from repro.experiments.studies import figure12_muve_vs_baseline
+
+
+def test_fig12_user_comparison(benchmark, results_dir, multi_bench_db):
+    table = benchmark.pedantic(
+        lambda: figure12_muve_vs_baseline(
+            multi_bench_db, ["ads", "dob"], users=10,
+            queries_per_user=10, seed=0),
+        rounds=1, iterations=1)
+    emit(table, results_dir, "fig12")
+
+    # Paper: visually identifying the result in the multiplot beats
+    # resolving ambiguities through dropdowns, on both datasets.
+    for row in table.rows:
+        dataset, muve_ms, _, baseline_ms, _ = row
+        assert muve_ms < baseline_ms, dataset

@@ -1,0 +1,47 @@
+"""Figure 13: latency/clarity ratings per processing method."""
+
+from benchmarks.conftest import emit
+from repro.datasets import make_flights_table, make_nyc311_table
+from repro.experiments.studies import figure13_method_ratings
+from repro.sqldb.database import Database
+
+
+def test_fig13_method_ratings(benchmark, results_dir):
+    # Page-I/O simulation puts the large dataset in the paper's regime
+    # (processing latency users actually notice).
+    db = Database(seed=0, io_millis_per_page=0.02)
+    db.register_table(make_nyc311_table(num_rows=5_000, seed=7,
+                                        name="nyc311"))
+    db.register_table(make_flights_table(num_rows=200_000, seed=3,
+                                         name="flights"))
+    table = benchmark.pedantic(
+        lambda: figure13_method_ratings(
+            db, {"nyc311": "small (311)", "flights": "large (flights)"},
+            raters=10, seed=0),
+        rounds=1, iterations=1)
+    emit(table, results_dir, "fig13")
+
+    def rating(dataset, method, column):
+        for row in table.rows:
+            if row[0] == dataset and row[1] == method:
+                return row[column]
+        raise AssertionError((dataset, method))
+
+    # Large data: approximation's latency rating is at least the default
+    # method's (paper: statistically significantly better).
+    assert rating("large (flights)", "app-5%", 2) >= \
+        rating("large (flights)", "default", 2) - 0.2
+    # ILP-Inc has the lowest average clarity across datasets (sequence of
+    # changing plots).  Per-dataset ordering can flip run to run because
+    # the number of incremental steps depends on solver timing, so the
+    # assertion targets the cross-dataset mean — the paper's actual claim
+    # ("ILP-Inc has the lowest average").
+    datasets = ("small (311)", "large (flights)")
+    methods = sorted({row[1] for row in table.rows})
+
+    def mean_clarity(method):
+        return sum(rating(d, method, 4) for d in datasets) / len(datasets)
+
+    ilp_inc_mean = mean_clarity("ilp-inc")
+    for method in methods:
+        assert ilp_inc_mean <= mean_clarity(method) + 1e-9

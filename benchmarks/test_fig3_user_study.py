@@ -1,0 +1,28 @@
+"""Figure 3: average user perception time per visualization feature."""
+
+from benchmarks.conftest import emit
+from repro.experiments.studies import figure3_perception_time
+
+
+def test_fig3_user_study(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        lambda: figure3_perception_time(workers_per_task=20, seed=0),
+        rounds=1, iterations=1)
+    for key, table in tables.items():
+        emit(table, results_dir, f"fig3_{key}")
+
+    # Paper shape: time grows with #red bars and #plots...
+    red = tables["red_bars"]
+    red_means = red.column("mean_ms")
+    assert red_means[-1] > red_means[0]
+    plots = tables["num_plots"]
+    plot_means = plots.column("mean_ms")
+    assert plot_means[-1] > plot_means[0]
+
+    # ...but not systematically with bar or plot position: the spread of
+    # per-level means stays small relative to their average.
+    for key in ("bar_position", "plot_position"):
+        means = tables[key].column("mean_ms")
+        spread = max(means) - min(means)
+        average = sum(means) / len(means)
+        assert spread < 0.75 * average

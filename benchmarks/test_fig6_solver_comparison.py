@@ -1,0 +1,41 @@
+"""Figure 6: greedy vs ILP solver performance on 311 request data."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.solvers import figure6_solver_sweep
+
+
+@pytest.mark.parametrize("parameter", ["candidates", "rows", "pixels"])
+def test_fig6_solver_comparison(benchmark, results_dir, nyc_bench_db,
+                                parameter):
+    table = benchmark.pedantic(
+        lambda: figure6_solver_sweep(nyc_bench_db, "nyc311",
+                                     parameter=parameter,
+                                     num_queries=8, timeout=1.0, seed=0),
+        rounds=1, iterations=1)
+    emit(table, results_dir, f"fig6_{parameter}")
+
+    greedy_ms = table.column("greedy_ms")
+    ilp_ms = table.column("ilp_ms")
+    timeout_ratios = table.column("ilp_timeout_ratio")
+    deltas = table.column("cost_delta")
+
+    # Greedy is faster than the ILP on every level of every sweep.
+    for g, i in zip(greedy_ms, ilp_ms):
+        assert g < i
+
+    if parameter == "rows":
+        # Timeout ratio grows sharply with the number of rows; by three
+        # rows most instances hit the 1 s budget (paper: nearly 100%).
+        assert timeout_ratios[0] <= timeout_ratios[-1]
+        assert timeout_ratios[-1] >= 0.5
+    if parameter == "candidates":
+        # The ILP scales comparatively well in candidate count: it still
+        # solves a majority of the smallest instances within budget.
+        assert timeout_ratios[0] <= 0.5
+    # Where the ILP rarely times out, its solutions are no worse than
+    # greedy's (positive delta = greedy cost minus ILP cost).
+    for ratio, delta in zip(timeout_ratios, deltas):
+        if ratio == 0.0:
+            assert delta >= -1e-6

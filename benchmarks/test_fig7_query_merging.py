@@ -1,0 +1,23 @@
+"""Figure 7: impact of query merging on execution costs (DOB data)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.processing import figure7_query_merging
+
+
+def test_fig7_query_merging(benchmark, results_dir, dob_bench_db):
+    table = benchmark.pedantic(
+        lambda: figure7_query_merging(dob_bench_db, "dob",
+                                      num_queries=10, num_candidates=50,
+                                      seed=0),
+        rounds=1, iterations=1)
+    emit(table, results_dir, "fig7")
+
+    rows = {row[0]: row for row in table.rows}
+    merged_wall, separate_wall = rows["merged"][1], rows["separate"][1]
+    merged_cost, separate_cost = rows["merged"][3], rows["separate"][3]
+    # Merging must reduce both measured time and estimated cost — and
+    # substantially so (the paper reports a large factor on 50
+    # phonetically similar candidates).
+    assert merged_wall < separate_wall
+    assert merged_cost < separate_cost
+    assert separate_wall / merged_wall > 2.0

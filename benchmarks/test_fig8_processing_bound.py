@@ -1,0 +1,28 @@
+"""Figure 8: disambiguation vs processing cost under a processing bound."""
+
+from benchmarks.conftest import emit
+from repro.experiments.processing import figure8_processing_bound
+
+
+def test_fig8_processing_bound(benchmark, results_dir, nyc_bench_db):
+    table = benchmark.pedantic(
+        lambda: figure8_processing_bound(nyc_bench_db, "nyc311",
+                                         num_queries=6,
+                                         budget_factors=(0.25, 0.5, 1.0),
+                                         pixels=900, seed=0),
+        rounds=1, iterations=1)
+    emit(table, results_dir, "fig8")
+
+    rows = {row[0]: row for row in table.rows}
+    unbounded = rows["ILP(D-Cost)"]
+    tight = rows.get("ILP(P-Cost x0.25)")
+    assert tight is not None, "tight-budget configuration failed to solve"
+    # Tightening the processing bound reduces execution cost...
+    assert tight[2] <= unbounded[2] + 1e-9
+    # ...at the price of higher disambiguation cost (paper Figure 8).
+    assert tight[1] >= unbounded[1] - 1e-6
+    # The x1.0 budget (no effective restriction) stays close to the
+    # unbounded disambiguation optimum.
+    loose = rows.get("ILP(P-Cost x1)")
+    if loose is not None:
+        assert loose[1] <= tight[1] + 1e-6

@@ -1,0 +1,22 @@
+"""Table 1: Pearson correlation analysis of the four features."""
+
+from benchmarks.conftest import emit
+from repro.experiments.studies import table1_correlations
+
+
+def test_table1_correlation(benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: table1_correlations(workers_per_task=20, seed=0),
+        rounds=1, iterations=1)
+    emit(table, results_dir, "table1")
+
+    rows = {row[0]: row for row in table.rows}
+    # Paper: red bars (p=0.0005) and #plots (p=0.00005) significant...
+    assert rows["red bars"][3] is True
+    assert rows["num plots"][3] is True
+    # ...bar position (p=0.72) and plot position (p=0.6) are not.
+    assert rows["bar position"][1] < 0.1   # R^2 near zero
+    assert rows["plot position"][1] < 0.1
+    # The significant features also explain more variance.
+    assert rows["num plots"][1] > rows["bar position"][1]
+    assert rows["red bars"][1] > rows["plot position"][1]

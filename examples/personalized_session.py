@@ -1,0 +1,67 @@
+"""Scenario: a session that learns which interpretations a user means.
+
+Run with::
+
+    python examples/personalized_session.py
+
+MUVE's candidate probabilities come from phonetic similarity alone; a
+returning user, however, tends to ask about the same things.  A
+:class:`MuveSession` logs every confirmed result (the bar the user
+clicked) and re-weights future candidate distributions accordingly — so
+after a few confirmations, an analyst who always means the *Bronx* stops
+seeing Brooklyn ranked first for the same muffled recording.
+"""
+
+from repro import (
+    Database,
+    Muve,
+    MuveSession,
+    ScreenGeometry,
+    VisualizationPlanner,
+)
+from repro.datasets import make_nyc311_table
+from repro.sqldb.query import AggregateQuery
+
+QUESTION = "average resolution hours for borough Brooklyn"
+
+
+def rank_of(response, query) -> int:
+    for rank, candidate in enumerate(response.candidates, start=1):
+        if candidate.query == query:
+            return rank
+    return -1
+
+
+def main() -> None:
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=20_000, seed=7))
+    muve = Muve(db, "nyc311", seed=1,
+                geometry=ScreenGeometry(width_pixels=1400, num_rows=1),
+                planner=VisualizationPlanner(strategy="greedy"))
+    session = MuveSession(muve, prior_strength=0.5)
+
+    # The analyst actually studies the Bronx; the recogniser keeps
+    # producing "Brooklyn".
+    meant = AggregateQuery.build("nyc311", "avg", "resolution_hours",
+                                 {"borough": "Bronx"})
+
+    for turn in range(1, 5):
+        response = session.ask(QUESTION)
+        rank = rank_of(response, meant)
+        probability = next(
+            (c.probability for c in response.candidates
+             if c.query == meant), 0.0)
+        highlighted = response.multiplot.highlights(meant)
+        print(f"turn {turn}: Bronx interpretation rank={rank} "
+              f"p={probability:.3f} "
+              f"{'HIGHLIGHTED' if highlighted else 'shown' if response.multiplot.shows(meant) else 'missing'}")
+        # The user clicks the Bronx bar every time.
+        if response.multiplot.shows(meant):
+            session.confirm(meant)
+
+    print("\nfinal multiplot after personalisation:")
+    print(session.ask(QUESTION).to_text())
+
+
+if __name__ == "__main__":
+    main()

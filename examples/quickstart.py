@@ -1,0 +1,50 @@
+"""Quickstart: ask MUVE a question, get a multiplot.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a synthetic NYC-311 table, asks a typed natural-language question,
+and prints the resulting multiplot: results for the most likely
+interpretations of the question, with the likeliest ones marked.
+"""
+
+from repro import Database, Muve
+from repro.datasets import make_nyc311_table
+
+
+def main() -> None:
+    # 1. A database with one table (the paper's 311 service requests).
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=20_000, seed=7))
+
+    # 2. The MUVE system over that table.
+    muve = Muve(db, "nyc311", seed=1)
+
+    # 3. Ask. The text is translated to a seed SQL query, expanded into a
+    #    probability distribution over phonetically similar queries, and
+    #    answered with an optimally selected multiplot.
+    question = ("what is the average resolution hours for borough "
+                "Brooklyn and complaint type Noise")
+    response = muve.ask(question)
+
+    print(f"question    : {question}")
+    print(f"seed query  : {response.seed_query.to_sql()}")
+    print(f"candidates  : {len(response.candidates)} interpretations, "
+          f"top probability "
+          f"{response.candidates[0].probability:.2f}")
+    print(f"planner     : {response.planning.solver_name} "
+          f"(expected disambiguation "
+          f"{response.planning.expected_cost:.0f} ms, planned in "
+          f"{response.planning.elapsed_seconds * 1000:.0f} ms)")
+    print()
+    print(response.to_text())
+
+    # 4. The same multiplot as a standalone SVG file.
+    with open("multiplot.svg", "w", encoding="utf-8") as handle:
+        handle.write(response.to_svg())
+    print("wrote multiplot.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Scenario: trend queries as line-plot multiplots (future-work extension).
+
+Run with::
+
+    python examples/timeseries_trends.py
+
+Section 11 of the paper sketches extending MUVE to queries with multiple
+result rows, plotted as lines.  This example asks for a *trend* ("average
+arrival delay by month for Delta"); ambiguity about the carrier and the
+measure becomes overlaid lines and sibling plots instead of bars, selected
+by the same disambiguation-time model.
+"""
+
+from repro import Database, ScreenGeometry
+from repro.datasets import make_flights_table
+from repro.sqldb.query import AggregateQuery
+from repro.timeseries import (
+    SeriesPlanner,
+    SeriesQuery,
+    execute_series_multiplot,
+    render_series_svg,
+    render_series_text,
+    series_candidates,
+)
+
+
+def main() -> None:
+    db = Database(seed=0)
+    db.register_table(make_flights_table(num_rows=60_000, seed=3))
+
+    # The trend the user asked for: AVG(arr_delay) by month, for Delta.
+    base = AggregateQuery.build("flights", "avg", "arr_delay",
+                                {"carrier": "Delta"})
+    seed = SeriesQuery(base, x_column="month")
+    print(f"seed trend query: {seed.to_sql()}")
+
+    # Phonetically similar interpretations of the carrier / the measure.
+    candidates = series_candidates(db, seed, max_candidates=10)
+    print(f"{len(candidates)} interpretations; top 4:")
+    for candidate in candidates[:4]:
+        print(f"  {candidate.probability:6.3f}  "
+              f"{candidate.query.to_sql()}")
+
+    planner = SeriesPlanner(
+        geometry=ScreenGeometry(width_pixels=2400, num_rows=2))
+    solution = planner.plan(db, seed, candidates)
+    print(f"\nselected {solution.multiplot.num_plots} plots / "
+          f"{solution.multiplot.num_bars} lines "
+          f"(expected disambiguation {solution.expected_cost:.0f} ms)\n")
+
+    filled = execute_series_multiplot(db, solution.multiplot)
+    print(render_series_text(filled,
+                             headline="AVG(arr_delay) BY month"))
+
+    with open("trend_multiplot.svg", "w", encoding="utf-8") as handle:
+        handle.write(render_series_svg(
+            filled, headline="AVG(arr_delay) BY month"))
+    print("wrote trend_multiplot.svg")
+
+
+if __name__ == "__main__":
+    main()

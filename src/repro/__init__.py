@@ -1,0 +1,48 @@
+"""MUVE reproduction: robust voice querying with optimal multiplots.
+
+Reimplementation of "Robust Voice Querying with MUVE: Optimally Visualizing
+Results of Phonetically Similar Queries" (Wei, Trummer, Anderson; PVLDB
+2021 / SIGMOD 2021 demo), including every substrate the paper depends on:
+an in-memory SQL engine with a cost model, phonetic codecs and similarity
+search, a text-to-SQL front end, the ILP and greedy multiplot solvers,
+query merging and progressive presentation, and simulated user studies.
+
+Quickstart::
+
+    from repro import Muve, Database
+    from repro.datasets import make_nyc311_table
+
+    db = Database()
+    db.register_table(make_nyc311_table(20_000))
+    muve = Muve(db, "nyc311")
+    response = muve.ask("average resolution hours for borough Brooklyn")
+    print(response.to_text())
+"""
+
+from repro.core.cost_model import UserCostModel
+from repro.core.model import Multiplot, Plot, ScreenGeometry
+from repro.core.planner import VisualizationPlanner
+from repro.core.problem import MultiplotSelectionProblem
+from repro.muve import Muve, MuveResponse
+from repro.session import MuveSession
+from repro.nlq.candidates import CandidateQuery
+from repro.sqldb.database import Database
+from repro.sqldb.query import AggregateQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateQuery",
+    "CandidateQuery",
+    "Database",
+    "Multiplot",
+    "MultiplotSelectionProblem",
+    "Muve",
+    "MuveResponse",
+    "MuveSession",
+    "Plot",
+    "ScreenGeometry",
+    "UserCostModel",
+    "VisualizationPlanner",
+    "__version__",
+]

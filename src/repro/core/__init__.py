@@ -1,0 +1,29 @@
+"""MUVE's core contribution: multiplot selection.
+
+Given candidate queries with probabilities, a row budget and a screen
+width, pick plots, bar assignments and highlighting that minimise expected
+user disambiguation time (Definition 5 of the paper).  Submodules:
+
+* :mod:`repro.core.model` — plots, multiplots, screen geometry.
+* :mod:`repro.core.cost_model` — the Section 4 user time model.
+* :mod:`repro.core.problem` — problem instances and feasibility checks.
+* :mod:`repro.core.ilp` — the integer-programming solver (Section 5).
+* :mod:`repro.core.greedy` — the greedy solver (Section 6).
+* :mod:`repro.core.planner` — the façade choosing and running a solver.
+"""
+
+from repro.core.cost_model import UserCostModel
+from repro.core.model import Bar, Multiplot, Plot, ScreenGeometry
+from repro.core.planner import PlannerResult, VisualizationPlanner
+from repro.core.problem import MultiplotSelectionProblem
+
+__all__ = [
+    "Bar",
+    "Multiplot",
+    "MultiplotSelectionProblem",
+    "Plot",
+    "PlannerResult",
+    "ScreenGeometry",
+    "UserCostModel",
+    "VisualizationPlanner",
+]

@@ -1,0 +1,13 @@
+"""The greedy multiplot solver (Section 6 of the paper).
+
+Pipeline (Algorithm 1): generate uncolored plot candidates per query
+template (Algorithm 2), expand each into prefix-highlighted colored
+versions (Algorithm 3, justified by Theorem 2), pick a subset of plot/row
+items by submodular maximization under per-row knapsack constraints
+(Algorithm 4, Theorem 3), then polish by removing redundant results and
+refilling gaps.
+"""
+
+from repro.core.greedy.solver import GreedySolution, GreedySolver
+
+__all__ = ["GreedySolution", "GreedySolver"]

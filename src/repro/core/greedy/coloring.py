@@ -1,0 +1,47 @@
+"""Algorithm 3: colored plot versions.
+
+Theorem 2 shows that some optimal multiplot highlights, within each plot,
+exactly the *k* most likely queries for some *k*.  So instead of trying all
+``2^bars`` highlight patterns we only generate the ``bars + 1`` probability
+prefixes per uncolored plot.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy.plot_candidates import UncoloredPlot
+from repro.core.model import Bar, Plot
+
+
+def color_plot(uncolored: UncoloredPlot, num_highlighted: int) -> Plot:
+    """The plot highlighting the ``num_highlighted`` most likely queries."""
+    if not 0 <= num_highlighted <= len(uncolored.members):
+        raise ValueError(
+            f"cannot highlight {num_highlighted} of "
+            f"{len(uncolored.members)} bars")
+    bars = tuple(
+        Bar(
+            query=member.query,
+            probability=member.probability,
+            label=uncolored.template.x_label(member.query),
+            highlighted=index < num_highlighted,
+        )
+        for index, member in enumerate(uncolored.members)
+    )
+    return Plot(template=uncolored.template, bars=bars)
+
+
+def add_colors(uncolored_plots: list[UncoloredPlot],
+               max_highlighted: int | None = None) -> list[Plot]:
+    """All prefix-highlighted versions of all candidate plots.
+
+    For each uncolored plot with ``n`` bars this emits versions with
+    ``0..n`` highlights (optionally capped by ``max_highlighted``).
+    """
+    colored: list[Plot] = []
+    for uncolored in uncolored_plots:
+        limit = len(uncolored.members)
+        if max_highlighted is not None:
+            limit = min(limit, max_highlighted)
+        for k in range(0, limit + 1):
+            colored.append(color_plot(uncolored, k))
+    return colored

@@ -1,0 +1,54 @@
+"""Algorithm 2: generate uncolored plot candidates.
+
+Queries are grouped by template; for each template we emit one candidate
+plot per *probability prefix* of its query group (the most likely query,
+the two most likely, ...), up to the largest prefix that could ever fit on
+the screen.  Preferring more likely queries under space pressure is the
+paper's stated heuristic ("we prefer adding more likely queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.nlq.candidates import CandidateQuery
+from repro.nlq.templates import QueryTemplate
+
+
+@dataclass(frozen=True)
+class UncoloredPlot:
+    """A candidate plot before highlighting decisions: a template plus the
+    probability-ordered queries it shows."""
+
+    template: QueryTemplate
+    members: tuple[CandidateQuery, ...]
+
+    @property
+    def probability_mass(self) -> float:
+        return sum(member.probability for member in self.members)
+
+
+def plot_candidates(problem: MultiplotSelectionProblem,
+                    max_plots_per_template: int | None = None,
+                    ) -> list[UncoloredPlot]:
+    """All prefix plots for all templates of *problem*.
+
+    ``max_plots_per_template`` optionally caps the number of prefixes per
+    template (an extra knob beyond the paper, useful to bound work for very
+    wide screens).
+    """
+    geometry: ScreenGeometry = problem.geometry
+    candidates: list[UncoloredPlot] = []
+    for template, members in problem.queries_by_template().items():
+        capacity = geometry.max_bars(template)
+        if capacity <= 0:
+            continue  # the title alone exceeds the screen width
+        limit = min(len(members), capacity)
+        if max_plots_per_template is not None:
+            limit = min(limit, max_plots_per_template)
+        for prefix in range(1, limit + 1):
+            candidates.append(
+                UncoloredPlot(template, tuple(members[:prefix])))
+    return candidates

@@ -1,0 +1,80 @@
+"""The final cleanup step of Algorithm 1 ("Finalize").
+
+Removes results that appear in multiple plots, keeping the occurrence that
+contributes most (a highlighted bar beats an unhighlighted one; ties go to
+the earlier plot in row-major order), then refills each vacated slot with
+the most likely candidate query that matches the plot's template and is not
+yet displayed anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Bar, Multiplot, Plot
+from repro.core.problem import MultiplotSelectionProblem
+from repro.sqldb.query import AggregateQuery
+
+
+def polish(problem: MultiplotSelectionProblem,
+           multiplot: Multiplot) -> Multiplot:
+    """Deduplicate results across plots and refill the gaps."""
+    keep = _choose_occurrences(multiplot)
+    displayed: set[AggregateQuery] = set(keep)
+
+    groups = problem.queries_by_template()
+    new_rows: list[tuple[Plot, ...]] = []
+    for row in multiplot.rows:
+        new_row: list[Plot] = []
+        for plot_index, plot in enumerate(row):
+            kept_bars = [bar for bar in plot.bars
+                         if keep.get(bar.query) == _position(multiplot,
+                                                             plot)]
+            removed = plot.num_bars - len(kept_bars)
+            if removed:
+                kept_bars.extend(
+                    _refill(problem, plot, kept_bars, removed, displayed,
+                            groups))
+            if kept_bars:
+                new_row.append(Plot(plot.template, tuple(kept_bars)))
+        new_rows.append(tuple(new_row))
+    return Multiplot(tuple(new_rows))
+
+
+def _position(multiplot: Multiplot, plot: Plot) -> int:
+    """Row-major index of *plot* within *multiplot*."""
+    for index, candidate in enumerate(multiplot.plots()):
+        if candidate is plot:
+            return index
+    raise ValueError("plot not part of multiplot")
+
+
+def _choose_occurrences(multiplot: Multiplot) -> dict[AggregateQuery, int]:
+    """Best plot position (row-major) for each displayed query."""
+    best: dict[AggregateQuery, tuple[int, int]] = {}
+    for index, plot in enumerate(multiplot.plots()):
+        for bar in plot.bars:
+            # Rank: highlighted occurrences win, then earlier plots.
+            rank = (0 if bar.highlighted else 1, index)
+            if bar.query not in best or rank < best[bar.query]:
+                best[bar.query] = rank
+    return {query: rank[1] for query, rank in best.items()}
+
+
+def _refill(problem: MultiplotSelectionProblem, plot: Plot,
+            kept_bars: list[Bar], slots: int,
+            displayed: set[AggregateQuery], groups) -> list[Bar]:
+    """Up to *slots* new bars for *plot* from undisplayed candidates."""
+    members = groups.get(plot.template, [])
+    additions: list[Bar] = []
+    for member in members:
+        if len(additions) == slots:
+            break
+        if member.query in displayed:
+            continue
+        additions.append(Bar(
+            query=member.query,
+            probability=member.probability,
+            label=plot.template.x_label(member.query),
+            highlighted=False,
+        ))
+        displayed.add(member.query)
+    return additions

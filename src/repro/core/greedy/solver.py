@@ -1,0 +1,65 @@
+"""Algorithm 1: the greedy multiplot solver façade."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.greedy.coloring import add_colors
+from repro.core.greedy.pick_plots import pick_plots
+from repro.core.greedy.plot_candidates import plot_candidates
+from repro.core.greedy.polish import polish
+from repro.core.model import Multiplot
+from repro.core.problem import MultiplotSelectionProblem
+
+
+@dataclass(frozen=True)
+class GreedySolution:
+    """Output of the greedy solver with timing and cost metadata."""
+
+    multiplot: Multiplot
+    expected_cost: float
+    elapsed_seconds: float
+    num_plot_candidates: int
+    num_colored_candidates: int
+
+
+class GreedySolver:
+    """Runs the four-phase greedy pipeline of Section 6.2.
+
+    Parameters
+    ----------
+    variant:
+        ``"knapsack"`` (multi-dimensional knapsack greedy, the default) or
+        ``"cardinality"`` (fixed-width Nemhauser variant).
+    epsilon:
+        Density-threshold decay for the knapsack greedy; smaller values
+        trade running time for solution quality (Theorem 8's epsilon).
+    max_highlighted:
+        Optional cap on highlights per plot (None considers all prefixes).
+    """
+
+    def __init__(self, variant: str = "knapsack", epsilon: float = 0.1,
+                 max_highlighted: int | None = None,
+                 apply_polish: bool = True) -> None:
+        self.variant = variant
+        self.epsilon = epsilon
+        self.max_highlighted = max_highlighted
+        self.apply_polish = apply_polish
+
+    def solve(self, problem: MultiplotSelectionProblem) -> GreedySolution:
+        start = time.perf_counter()
+        uncolored = plot_candidates(problem)
+        colored = add_colors(uncolored, self.max_highlighted)
+        multiplot = pick_plots(problem, colored, variant=self.variant,
+                               epsilon=self.epsilon)
+        if self.apply_polish:
+            multiplot = polish(problem, multiplot)
+        elapsed = time.perf_counter() - start
+        return GreedySolution(
+            multiplot=multiplot,
+            expected_cost=problem.evaluate(multiplot),
+            elapsed_seconds=elapsed,
+            num_plot_candidates=len(uncolored),
+            num_colored_candidates=len(colored),
+        )

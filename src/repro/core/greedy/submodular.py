@@ -1,0 +1,128 @@
+"""Greedy maximization of monotone submodular functions.
+
+Two selection routines back Algorithm 4:
+
+* :func:`maximize_cardinality` — the classical Nemhauser/Wolsey greedy for
+  a cardinality constraint (the paper's fixed-plot-width variant), with the
+  (1 - 1/e) guarantee.
+* :func:`maximize_knapsack` — greedy for multi-dimensional knapsack
+  constraints in the spirit of Yu, Xu and Cui (GlobalSIP 2016): marginal
+  gain *per unit weight* drives selection, candidate thresholds are swept
+  geometrically with parameter ``epsilon``, and the best single item is
+  kept as a fallback (necessary for any constant-factor guarantee under
+  knapsack constraints).
+
+Both are generic over an item type: the caller provides the gain oracle
+(evaluated on *sets* of items, so marginal gains are exact) and weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Sequence, TypeVar
+
+Item = TypeVar("Item", bound=Hashable)
+
+GainFunction = Callable[[tuple], float]
+"""Maps a tuple of selected items to the objective value (cost savings)."""
+
+
+def maximize_cardinality(items: Sequence[Item], gain: GainFunction,
+                         limit: int) -> list[Item]:
+    """Nemhauser greedy: repeatedly add the item with the largest positive
+    marginal gain until *limit* items are selected or no item helps."""
+    if limit <= 0:
+        return []
+    selected: list[Item] = []
+    remaining = list(items)
+    current_value = gain(())
+    while remaining and len(selected) < limit:
+        best_index = -1
+        best_delta = 0.0
+        for index, item in enumerate(remaining):
+            delta = gain(tuple(selected) + (item,)) - current_value
+            if delta > best_delta:
+                best_delta = delta
+                best_index = index
+        if best_index < 0:
+            break
+        selected.append(remaining.pop(best_index))
+        current_value += best_delta
+    return selected
+
+
+def maximize_knapsack(items: Sequence[Item], gain: GainFunction,
+                      weights: Callable[[Item], Sequence[float]],
+                      budgets: Sequence[float],
+                      epsilon: float = 0.1) -> list[Item]:
+    """Density-threshold greedy under multi-dimensional knapsack budgets.
+
+    Passes run over geometrically decreasing density thresholds (factor
+    ``1 + epsilon`` apart, as in Yu et al.); within a pass any feasible
+    item whose marginal-gain density meets the threshold is taken.  The
+    result is compared against the best single feasible item and the better
+    of the two is returned.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    budgets = list(budgets)
+    feasible_items = [item for item in items
+                      if _fits(weights(item), [0.0] * len(budgets), budgets)]
+    if not feasible_items:
+        return []
+
+    base_value = gain(())
+
+    # Establish the threshold range from the best single-item density.
+    densities = []
+    best_single: Item | None = None
+    best_single_gain = -math.inf
+    for item in feasible_items:
+        item_gain = gain((item,)) - base_value
+        if item_gain > best_single_gain:
+            best_single_gain = item_gain
+            best_single = item
+        total_weight = max(sum(weights(item)), 1e-12)
+        if item_gain > 0:
+            densities.append(item_gain / total_weight)
+    if not densities:
+        return []
+    max_density = max(densities)
+    min_density = max(max_density * epsilon / max(len(feasible_items), 1),
+                      1e-12)
+
+    selected: list[Item] = []
+    used = [0.0] * len(budgets)
+    current_value = base_value
+    threshold = max_density
+    while threshold >= min_density:
+        progress = False
+        for item in feasible_items:
+            if item in selected:
+                continue
+            item_weights = weights(item)
+            if not _fits(item_weights, used, budgets):
+                continue
+            delta = gain(tuple(selected) + (item,)) - current_value
+            if delta <= 0:
+                continue
+            density = delta / max(sum(item_weights), 1e-12)
+            if density >= threshold:
+                selected.append(item)
+                used = [u + w for u, w in zip(used, item_weights)]
+                current_value += delta
+                progress = True
+        if not progress:
+            threshold /= (1.0 + epsilon)
+
+    greedy_gain = current_value - base_value
+    if best_single is not None and best_single_gain > greedy_gain:
+        return [best_single]
+    return selected
+
+
+def _fits(item_weights: Sequence[float], used: Sequence[float],
+          budgets: Sequence[float]) -> bool:
+    epsilon = 1e-9
+    return all(u + w <= b + epsilon
+               for u, w, b in zip(used, item_weights, budgets))

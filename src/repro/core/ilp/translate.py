@@ -1,0 +1,474 @@
+"""Multiplot selection as an integer linear program (Section 5).
+
+Variables (binary unless noted):
+
+* ``p[i][r]`` — template *i*'s plot is shown in row *r*.
+* ``q[k][i][r]`` / ``h[k][i][r]`` — candidate *k*'s result is shown /
+  highlighted in plot *i*, row *r* (introduced only for compatible pairs).
+* ``s[i][r]`` — plot *i* in row *r* contains at least one highlighted bar.
+* ``q_k`` / ``h_k`` / ``d_k`` (continuous, forced binary by equalities) —
+  candidate *k* is displayed / highlighted / displayed-but-unhighlighted.
+
+Constraints: ``q <= p``, ``h <= q``, each query shown at most once, row
+width ``sum_i W_i p[i][r] + sum_(k,i) q[k][i][r] <= W``, and the
+``s``-consistency constraints of Section 5.3.
+
+Two deviations from the paper's *exposition*, both sanctioned by its
+footnote 3 ("we use slightly different auxiliary variables ... compared to
+our actual implementation"):
+
+1. **Dominated-template pruning.**  The cost model never looks at which
+   template a plot uses, only at bar/plot counts; so if template B can show
+   a superset of template A's queries at no greater base width, any plot of
+   A can be replaced by a plot of B.  Pruning dominated templates shrinks
+   the model without changing the optimum.
+2. **Aggregate products.**  Instead of ``O(n_q^2)`` pairwise binary
+   products we introduce the continuous aggregates ``B_R = sum h_k``,
+   ``B_D = sum d_k``, ``P_R = sum s``, ``P_D = sum (p - s)`` and linearise
+   the ``O(n_q)`` products ``x_k * aggregate`` with big-M bounds (M =
+   screen capacity).  Objective values are identical at integral points.
+
+The processing-cost extension of Section 8.1 adds group variables ``g``
+with coverage constraints ``q_k <= sum_(g in G(k)) g`` and either a budget
+constraint or a weighted objective term over group costs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.ilp.bnb import solve_with_bnb
+from repro.core.ilp.highs import solve_with_highs
+from repro.core.ilp.modeling import LinExpr, Model, SolveResult, Variable
+from repro.core.model import Bar, Multiplot, Plot
+from repro.core.problem import MultiplotSelectionProblem
+from repro.errors import SolverError
+from repro.nlq.templates import QueryTemplate
+
+_BACKENDS = {
+    "highs": solve_with_highs,
+    "bnb": solve_with_bnb,
+}
+
+
+@dataclass(frozen=True)
+class ProcessingGroup:
+    """A set of candidates answerable by one (possibly merged) execution."""
+
+    cost: float
+    candidate_indices: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise SolverError("processing group cost must be non-negative")
+        if not self.candidate_indices:
+            raise SolverError("processing group covers no candidates")
+
+
+@dataclass(frozen=True)
+class IlpSolution:
+    """Solver output with optimality/timeout metadata."""
+
+    multiplot: Multiplot
+    expected_cost: float
+    objective: float
+    optimal: bool
+    timed_out: bool
+    elapsed_seconds: float
+    num_variables: int
+    num_constraints: int
+    selected_groups: tuple[int, ...] = field(default=())
+    processing_cost: float = 0.0
+
+
+class IlpSolver:
+    """Builds and solves the Section 5 ILP.
+
+    Parameters
+    ----------
+    backend:
+        ``"highs"`` (scipy MILP) or ``"bnb"`` (pure-Python branch & bound).
+    timeout_seconds:
+        Wall-clock limit; on expiry the incumbent is returned with
+        ``timed_out=True`` (matching the paper's behaviour under the one-
+        second interactive budget).  ``None`` disables the limit.
+    processing_weight:
+        Weight of total processing-group cost added to the objective (the
+        Figure 9 "ILP" method uses a small positive weight to prefer cheap
+        multiplots among near-ties; zero ignores processing cost).
+    prune_templates:
+        Disable only for fidelity experiments; pruning preserves optima.
+    """
+
+    def __init__(self, backend: str = "highs",
+                 timeout_seconds: float | None = 1.0,
+                 processing_weight: float = 0.0,
+                 prune_templates: bool = True) -> None:
+        if backend not in _BACKENDS:
+            raise SolverError(
+                f"unknown backend {backend!r}; choose from "
+                f"{sorted(_BACKENDS)}")
+        self.backend = backend
+        self.timeout_seconds = timeout_seconds
+        self.processing_weight = processing_weight
+        self.prune_templates = prune_templates
+
+    def solve(self, problem: MultiplotSelectionProblem,
+              processing_groups: list[ProcessingGroup] | None = None,
+              timeout_seconds: float | None = None) -> IlpSolution:
+        """Solve *problem*, optionally with processing-cost machinery."""
+        build_start = time.perf_counter()
+        formulation = _Formulation(problem, processing_groups,
+                                   self.processing_weight,
+                                   self.prune_templates)
+        compiled = formulation.model.compile()
+        timeout = (timeout_seconds if timeout_seconds is not None
+                   else self.timeout_seconds)
+        if timeout is not None:
+            # Model construction counts against the interactive budget.
+            timeout = max(1e-3, timeout - (time.perf_counter() - build_start))
+        result = _BACKENDS[self.backend](compiled, timeout)
+        multiplot = formulation.extract_multiplot(result)
+        selected_groups = formulation.extract_groups(result)
+        processing_cost = sum(
+            formulation.groups[g].cost for g in selected_groups)
+        return IlpSolution(
+            multiplot=multiplot,
+            expected_cost=problem.evaluate(multiplot),
+            objective=result.objective,
+            optimal=result.optimal,
+            timed_out=result.timed_out,
+            elapsed_seconds=time.perf_counter() - build_start,
+            num_variables=formulation.model.num_variables,
+            num_constraints=formulation.model.num_constraints,
+            selected_groups=selected_groups,
+            processing_cost=processing_cost,
+        )
+
+
+def prune_dominated_templates(
+        problem: MultiplotSelectionProblem,
+) -> list[tuple[QueryTemplate, list[int]]]:
+    """Templates with their member candidate indices, dominated ones removed.
+
+    Template B dominates A when B's member set is a superset of A's and
+    B's base width does not exceed A's: every plot over A can be rebuilt
+    over B at equal cost-model value within equal space.
+    """
+    geometry = problem.geometry
+    candidate_index = {c.query: i for i, c in enumerate(problem.candidates)}
+    entries: list[tuple[QueryTemplate, frozenset[int], float]] = []
+    for template, members in problem.queries_by_template().items():
+        if geometry.max_bars(template) <= 0:
+            continue
+        indices = frozenset(candidate_index[m.query] for m in members)
+        entries.append((template, indices,
+                        geometry.plot_base_units(template)))
+    # Deterministic order: larger member sets and narrower widths first.
+    entries.sort(key=lambda e: (-len(e[1]), e[2], e[0].title()))
+    kept: list[tuple[QueryTemplate, frozenset[int], float]] = []
+    for template, members, width in entries:
+        dominated = any(members <= k_members and k_width <= width
+                        for _, k_members, k_width in kept)
+        if not dominated:
+            kept.append((template, members, width))
+    ordered_members = []
+    probabilities = [c.probability for c in problem.candidates]
+    for template, members, _ in kept:
+        ordered = sorted(members,
+                         key=lambda k: (-probabilities[k], k))
+        ordered_members.append((template, ordered))
+    return ordered_members
+
+
+class _Formulation:
+    """The variables/constraints/objective for one problem instance."""
+
+    def __init__(self, problem: MultiplotSelectionProblem,
+                 processing_groups: list[ProcessingGroup] | None,
+                 processing_weight: float,
+                 prune_templates: bool) -> None:
+        self.problem = problem
+        self.groups = list(processing_groups or [])
+        self.model = Model("multiplot-selection")
+        self.templates: list[QueryTemplate] = []
+        self.members: list[list[int]] = []
+        self.capacities: list[int] = []
+        self.p_vars: dict[tuple[int, int], Variable] = {}
+        self.s_vars: dict[tuple[int, int], Variable] = {}
+        self.q_vars: dict[tuple[int, int, int], Variable] = {}
+        self.h_vars: dict[tuple[int, int, int], Variable] = {}
+        self.q_any: list[Variable] = []
+        self.h_any: list[Variable] = []
+        self.d_any: list[Variable] = []
+        self.g_vars: list[Variable] = []
+        self._build(processing_weight, prune_templates)
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self, processing_weight: float,
+               prune_templates: bool) -> None:
+        problem = self.problem
+        model = self.model
+        geometry = problem.geometry
+        candidates = problem.candidates
+        num_rows = geometry.num_rows
+
+        if prune_templates:
+            template_members = prune_dominated_templates(problem)
+        else:
+            candidate_index = {c.query: i for i, c in enumerate(candidates)}
+            template_members = []
+            for template, members in problem.queries_by_template().items():
+                if geometry.max_bars(template) <= 0:
+                    continue
+                template_members.append(
+                    (template,
+                     [candidate_index[m.query] for m in members]))
+
+        for template, members in template_members:
+            self.templates.append(template)
+            self.members.append(members)
+            self.capacities.append(geometry.max_bars(template))
+
+        # Plot and bar-assignment variables.
+        for i in range(len(self.templates)):
+            for r in range(num_rows):
+                self.p_vars[i, r] = model.binary(f"p[{i},{r}]")
+                self.s_vars[i, r] = model.binary(f"s[{i},{r}]")
+                for k in self.members[i]:
+                    self.q_vars[k, i, r] = model.binary(f"q[{k},{i},{r}]")
+                    self.h_vars[k, i, r] = model.binary(f"h[{k},{i},{r}]")
+
+        # q <= p, h <= q.
+        for (k, i, r), q_var in self.q_vars.items():
+            model.add_le(LinExpr({q_var.index: 1.0,
+                                  self.p_vars[i, r].index: -1.0}))
+            h_var = self.h_vars[k, i, r]
+            model.add_le(LinExpr({h_var.index: 1.0, q_var.index: -1.0}))
+
+        # Placement lists per candidate.
+        placements: list[list[tuple[int, int]]] = [
+            [] for _ in range(len(candidates))]
+        for (k, i, r) in self.q_vars:
+            placements[k].append((i, r))
+
+        # Each query shown at most once; q_k/h_k/d_k aggregates (exact
+        # equalities so reading costs cannot be understated).
+        for k in range(len(candidates)):
+            q_k = model.continuous(f"qAny[{k}]")
+            h_k = model.continuous(f"hAny[{k}]")
+            d_k = model.continuous(f"dAny[{k}]")
+            self.q_any.append(q_k)
+            self.h_any.append(h_k)
+            self.d_any.append(d_k)
+            sum_q = LinExpr({q_k.index: -1.0})
+            sum_h = LinExpr({h_k.index: -1.0})
+            for (i, r) in placements[k]:
+                sum_q.add_term(self.q_vars[k, i, r], 1.0)
+                sum_h.add_term(self.h_vars[k, i, r], 1.0)
+            model.add_eq(sum_q)
+            model.add_eq(sum_h)
+            model.add_le(LinExpr({q_k.index: 1.0}, constant=-1.0))
+            model.add_eq(LinExpr({d_k.index: -1.0, q_k.index: 1.0,
+                                  h_k.index: -1.0}))
+
+        # s-consistency: s <= p, s <= sum h, n_i * s >= sum h.
+        highlight_by_slot: dict[tuple[int, int], list[Variable]] = {}
+        for (k, i, r), h_var in self.h_vars.items():
+            highlight_by_slot.setdefault((i, r), []).append(h_var)
+        for (i, r), s_var in self.s_vars.items():
+            model.add_le(LinExpr({s_var.index: 1.0,
+                                  self.p_vars[i, r].index: -1.0}))
+            slot_vars = highlight_by_slot.get((i, r), [])
+            if not slot_vars:
+                model.add_le(LinExpr({s_var.index: 1.0}))
+                continue
+            upper = LinExpr({s_var.index: 1.0})
+            lower = LinExpr({s_var.index: float(self.capacities[i])})
+            for h_var in slot_vars:
+                upper.add_term(h_var, -1.0)
+                lower.add_term(h_var, -1.0)
+            model.add_le(upper)   # s <= sum h
+            model.add_ge(lower)   # n_i * s >= sum h
+
+        # Row width constraints.
+        width = geometry.width_units
+        row_exprs: list[LinExpr] = []
+        for r in range(num_rows):
+            row_width = LinExpr(constant=-width)
+            for i, template in enumerate(self.templates):
+                row_width.add_term(self.p_vars[i, r],
+                                   geometry.plot_base_units(template))
+            for (k, i, rr), q_var in self.q_vars.items():
+                if rr == r:
+                    row_width.add_term(q_var, 1.0)
+            model.add_le(row_width, name=f"width[{r}]")
+            row_exprs.append(row_width)
+
+        # Symmetry breaking: rows are interchangeable, so order them by
+        # decreasing load (bar count) to prune mirrored branches.
+        for r in range(num_rows - 1):
+            ordering = LinExpr()
+            for (k, i, rr), q_var in self.q_vars.items():
+                if rr == r:
+                    ordering.add_term(q_var, -1.0)
+                elif rr == r + 1:
+                    ordering.add_term(q_var, 1.0)
+            model.add_le(ordering, name=f"row-order[{r}]")
+
+        self._build_objective()
+        self._build_processing(processing_weight)
+
+    def _screen_capacity(self) -> tuple[float, float]:
+        """Upper bounds (M) on total bars and total plots on the screen."""
+        geometry = self.problem.geometry
+        if not self.templates:
+            return 0.0, 0.0
+        min_base = min(geometry.plot_base_units(t) for t in self.templates)
+        per_row_bars = max(0.0, geometry.width_units - min_base)
+        max_bars = min(float(len(self.problem.candidates)),
+                       per_row_bars * geometry.num_rows)
+        per_row_plots = max(1.0, geometry.width_units // (min_base + 1.0))
+        max_plots = min(float(len(self.templates)) * geometry.num_rows,
+                        per_row_plots * geometry.num_rows)
+        return max_bars, max_plots
+
+    def _build_objective(self) -> None:
+        problem = self.problem
+        model = self.model
+        cost_model = problem.cost_model
+        candidates = problem.candidates
+        c_b = cost_model.bar_cost
+        c_p = cost_model.plot_cost
+        d_m = cost_model.miss_cost
+        max_bars, max_plots = self._screen_capacity()
+
+        # Aggregate totals: B_R (red bars), B_D (plain displayed bars),
+        # P_R (plots with red), P_D (plots without red).
+        b_red = model.continuous("B_R", upper=max(max_bars, 1.0))
+        b_plain = model.continuous("B_D", upper=max(max_bars, 1.0))
+        p_red = model.continuous("P_R", upper=max(max_plots, 1.0))
+        p_plain = model.continuous("P_D", upper=max(max_plots, 1.0))
+        expr_b_red = LinExpr({b_red.index: -1.0})
+        expr_b_plain = LinExpr({b_plain.index: -1.0})
+        for k in range(len(candidates)):
+            expr_b_red.add_term(self.h_any[k], 1.0)
+            expr_b_plain.add_term(self.d_any[k], 1.0)
+        model.add_eq(expr_b_red)
+        model.add_eq(expr_b_plain)
+        expr_p_red = LinExpr({p_red.index: -1.0})
+        expr_p_plain = LinExpr({p_plain.index: -1.0})
+        for (i, r), s_var in self.s_vars.items():
+            expr_p_red.add_term(s_var, 1.0)
+            expr_p_plain.add_term(s_var, -1.0)
+            expr_p_plain.add_term(self.p_vars[i, r], 1.0)
+        model.add_eq(expr_p_red)
+        model.add_eq(expr_p_plain)
+
+        def gated(indicator: Variable, aggregate: Variable,
+                  big_m: float, name: str) -> Variable:
+            """z = indicator * aggregate via big-M lower bounds.
+
+            Only lower bounds are needed: every use has a non-negative
+            objective coefficient, so minimisation pushes z down onto them.
+            """
+            z = model.continuous(name, upper=max(big_m, 1.0))
+            # z >= aggregate - M * (1 - indicator)
+            model.add_ge(LinExpr({
+                z.index: 1.0,
+                aggregate.index: -1.0,
+                indicator.index: -big_m,
+            }, constant=big_m), name=name)
+            return z
+
+        objective = LinExpr()
+        residual = max(0.0, 1.0 - sum(c.probability for c in candidates))
+        objective.add_constant(residual * d_m)
+
+        for k, candidate in enumerate(candidates):
+            r_k = candidate.probability
+            if r_k <= 0.0:
+                continue
+            h_k = self.h_any[k]
+            d_k = self.d_any[k]
+            objective.add_constant(r_k * d_m)
+            objective.add_term(self.q_any[k], -r_k * d_m)
+            # Highlighted case: D_R = B_R * c_B/2 + P_R * c_P/2.
+            objective.add_term(
+                gated(h_k, b_red, max_bars, f"hBR[{k}]"), r_k * c_b / 2.0)
+            objective.add_term(
+                gated(h_k, p_red, max_plots, f"hPR[{k}]"), r_k * c_p / 2.0)
+            # Displayed-unhighlighted: 2*D_R + B_D*c_B/2 + P_D*c_P/2.
+            objective.add_term(
+                gated(d_k, b_red, max_bars, f"dBR[{k}]"), r_k * c_b)
+            objective.add_term(
+                gated(d_k, p_red, max_plots, f"dPR[{k}]"), r_k * c_p)
+            objective.add_term(
+                gated(d_k, b_plain, max_bars, f"dBD[{k}]"),
+                r_k * c_b / 2.0)
+            objective.add_term(
+                gated(d_k, p_plain, max_plots, f"dPD[{k}]"),
+                r_k * c_p / 2.0)
+        self._objective = objective
+        model.minimize(objective)
+
+    def _build_processing(self, processing_weight: float) -> None:
+        if not self.groups:
+            return
+        model = self.model
+        problem = self.problem
+        covering: dict[int, list[Variable]] = {}
+        for g_index, group in enumerate(self.groups):
+            g_var = model.binary(f"g[{g_index}]")
+            self.g_vars.append(g_var)
+            for k in group.candidate_indices:
+                covering.setdefault(k, []).append(g_var)
+        for k, q_k in enumerate(self.q_any):
+            expr = LinExpr({q_k.index: 1.0})
+            for g_var in covering.get(k, []):
+                expr.add_term(g_var, -1.0)
+            model.add_le(expr, name=f"coverage[{k}]")
+        if problem.processing_budget is not None:
+            budget = LinExpr(constant=-problem.processing_budget)
+            for g_var, group in zip(self.g_vars, self.groups):
+                budget.add_term(g_var, group.cost)
+            model.add_le(budget, name="processing-budget")
+        if processing_weight > 0.0:
+            for g_var, group in zip(self.g_vars, self.groups):
+                self._objective.add_term(g_var,
+                                         processing_weight * group.cost)
+            model.minimize(self._objective)
+
+    # -- extraction -------------------------------------------------------
+
+    def extract_multiplot(self, result: SolveResult) -> Multiplot:
+        problem = self.problem
+        num_rows = problem.geometry.num_rows
+        candidates = problem.candidates
+        rows: list[list[Plot]] = [[] for _ in range(num_rows)]
+        for (i, r), p_var in self.p_vars.items():
+            if not result.is_one(p_var):
+                continue
+            bars: list[Bar] = []
+            for k in self.members[i]:
+                q_var = self.q_vars[k, i, r]
+                if not result.is_one(q_var):
+                    continue
+                candidate = candidates[k]
+                bars.append(Bar(
+                    query=candidate.query,
+                    probability=candidate.probability,
+                    label=self.templates[i].x_label(candidate.query),
+                    highlighted=result.is_one(self.h_vars[k, i, r]),
+                ))
+            if not bars:
+                continue  # an empty selected plot carries no information
+            bars.sort(key=lambda bar: (-bar.probability, bar.label))
+            rows[r].append(Plot(self.templates[i], tuple(bars)))
+        return Multiplot(tuple(tuple(row) for row in rows))
+
+    def extract_groups(self, result: SolveResult) -> tuple[int, ...]:
+        return tuple(index for index, g_var in enumerate(self.g_vars)
+                     if result.is_one(g_var))

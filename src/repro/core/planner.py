@@ -1,0 +1,99 @@
+"""The visualization planner façade.
+
+Chooses between the ILP and greedy solvers (or races them under the
+interactive budget) and normalises their outputs into one result type —
+this is the "Visualization Planner" box of Figure 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.greedy import GreedySolver
+from repro.core.ilp import IlpSolver, ProcessingGroup
+from repro.core.model import Multiplot
+from repro.core.problem import MultiplotSelectionProblem
+from repro.errors import PlanningError, SolverError
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    """A planned multiplot plus solver metadata."""
+
+    multiplot: Multiplot
+    expected_cost: float
+    solver_name: str
+    elapsed_seconds: float
+    optimal: bool
+    timed_out: bool
+
+
+class VisualizationPlanner:
+    """Plans multiplots with a configurable strategy.
+
+    ``strategy`` is one of:
+
+    * ``"greedy"`` — Section 6 greedy only (never times out).
+    * ``"ilp"`` — Section 5 ILP only, honouring ``timeout_seconds``.
+    * ``"best"`` — run both and keep the lower-cost multiplot (falling
+      back to greedy when the ILP fails outright).
+    """
+
+    def __init__(self, strategy: str = "best",
+                 timeout_seconds: float = 1.0,
+                 ilp_backend: str = "highs",
+                 greedy_epsilon: float = 0.1,
+                 processing_weight: float = 0.0) -> None:
+        if strategy not in ("greedy", "ilp", "best"):
+            raise PlanningError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.timeout_seconds = timeout_seconds
+        self._greedy = GreedySolver(epsilon=greedy_epsilon)
+        self._ilp = IlpSolver(backend=ilp_backend,
+                              timeout_seconds=timeout_seconds,
+                              processing_weight=processing_weight)
+
+    def plan(self, problem: MultiplotSelectionProblem,
+             processing_groups: list[ProcessingGroup] | None = None,
+             ) -> PlannerResult:
+        """Plan a multiplot for *problem*."""
+        if self.strategy == "greedy":
+            return self._plan_greedy(problem)
+        if self.strategy == "ilp":
+            return self._plan_ilp(problem, processing_groups)
+        greedy_result = self._plan_greedy(problem)
+        try:
+            ilp_result = self._plan_ilp(problem, processing_groups)
+        except SolverError:
+            return greedy_result
+        if ilp_result.expected_cost <= greedy_result.expected_cost:
+            return ilp_result
+        return greedy_result
+
+    def _plan_greedy(self, problem: MultiplotSelectionProblem,
+                     ) -> PlannerResult:
+        solution = self._greedy.solve(problem)
+        return PlannerResult(
+            multiplot=solution.multiplot,
+            expected_cost=solution.expected_cost,
+            solver_name="greedy",
+            elapsed_seconds=solution.elapsed_seconds,
+            optimal=False,
+            timed_out=False,
+        )
+
+    def _plan_ilp(self, problem: MultiplotSelectionProblem,
+                  processing_groups: list[ProcessingGroup] | None,
+                  ) -> PlannerResult:
+        start = time.perf_counter()
+        solution = self._ilp.solve(problem,
+                                   processing_groups=processing_groups)
+        return PlannerResult(
+            multiplot=solution.multiplot,
+            expected_cost=solution.expected_cost,
+            solver_name=f"ilp-{self._ilp.backend}",
+            elapsed_seconds=time.perf_counter() - start,
+            optimal=solution.optimal,
+            timed_out=solution.timed_out,
+        )

@@ -1,0 +1,99 @@
+"""Multiplot selection problem instances (Definition 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import UserCostModel
+from repro.core.model import Multiplot, ScreenGeometry
+from repro.errors import PlanningError
+from repro.nlq.candidates import CandidateQuery
+from repro.nlq.templates import QueryTemplate, templates_of
+
+
+@dataclass(frozen=True)
+class MultiplotSelectionProblem:
+    """Everything a solver needs: candidates, geometry, cost model.
+
+    Optionally, per-candidate processing costs and a processing budget can
+    be attached to activate the processing-cost-aware extension of
+    Section 8.1 (used by the ILP solver and the Figure 8 experiment).
+    Processing costs are keyed by candidate index.
+    """
+
+    candidates: tuple[CandidateQuery, ...]
+    geometry: ScreenGeometry = field(default_factory=ScreenGeometry)
+    cost_model: UserCostModel = field(default_factory=UserCostModel)
+    processing_costs: tuple[float, ...] | None = None
+    processing_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise PlanningError("problem needs at least one candidate query")
+        total = sum(c.probability for c in self.candidates)
+        if total > 1.0 + 1e-6:
+            raise PlanningError(
+                f"candidate probabilities sum to {total:.4f} > 1")
+        queries = {c.query for c in self.candidates}
+        if len(queries) != len(self.candidates):
+            raise PlanningError("duplicate candidate queries in problem")
+        if self.processing_costs is not None:
+            if len(self.processing_costs) != len(self.candidates):
+                raise PlanningError(
+                    "processing_costs must align with candidates")
+            if any(cost < 0 for cost in self.processing_costs):
+                raise PlanningError("processing costs must be non-negative")
+        if self.processing_budget is not None:
+            if self.processing_costs is None:
+                raise PlanningError(
+                    "processing_budget requires processing_costs")
+            if self.processing_budget < 0:
+                raise PlanningError("processing budget must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def templates(self) -> list[QueryTemplate]:
+        """All templates instantiated by at least one candidate, in a
+        deterministic order (these are the candidate plots' shapes)."""
+        ordered: list[QueryTemplate] = []
+        seen: set[QueryTemplate] = set()
+        for candidate in self.candidates:
+            for template in templates_of(candidate.query):
+                if template not in seen:
+                    seen.add(template)
+                    ordered.append(template)
+        return ordered
+
+    def queries_by_template(self) -> dict[QueryTemplate,
+                                          list[CandidateQuery]]:
+        """Template -> candidates instantiating it, most probable first.
+
+        This is the grouping step of Algorithm 2.
+        """
+        groups: dict[QueryTemplate, list[CandidateQuery]] = {}
+        for candidate in self.candidates:
+            for template in templates_of(candidate.query):
+                groups.setdefault(template, []).append(candidate)
+        for members in groups.values():
+            members.sort(key=lambda c: (-c.probability, c.query.to_sql()))
+        return groups
+
+    def evaluate(self, multiplot: Multiplot) -> float:
+        """Expected disambiguation cost of *multiplot* for this instance."""
+        return self.cost_model.expected_cost(multiplot, self.candidates)
+
+    def is_feasible(self, multiplot: Multiplot) -> bool:
+        """Dimension constraints plus no-duplicate-results check."""
+        if not self.geometry.fits(multiplot):
+            return False
+        if multiplot.duplicate_queries():
+            return False
+        known = {c.query for c in self.candidates}
+        return all(bar.query in known
+                   for plot in multiplot.plots() for bar in plot.bars)
+
+    def probability_of(self, query) -> float:
+        for candidate in self.candidates:
+            if candidate.query == query:
+                return candidate.probability
+        return 0.0

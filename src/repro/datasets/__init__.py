@@ -1,0 +1,31 @@
+"""Synthetic datasets shaped like the paper's four evaluation datasets.
+
+The paper evaluates on (1) advertisement contacts from an industry partner,
+(2) NYC Department of Buildings job filings, (3) NYC 311 service requests
+and (4) the ASA flight-delay data (10 GB).  None of those exact files ship
+with this repository (the first is proprietary; the others are large
+downloads), so :mod:`repro.datasets.generators` produces seeded synthetic
+tables with the same *shape*: several categorical text columns with
+Zipf-distributed, phonetically confusable values, plus numeric measure
+columns.  Experiment outcomes depend on that shape — which strings can be
+confused, how selective predicates are, how row count scales — not on the
+concrete records.
+"""
+
+from repro.datasets.generators import (
+    DATASET_GENERATORS,
+    make_ads_table,
+    make_dob_table,
+    make_flights_table,
+    make_nyc311_table,
+)
+from repro.datasets.workload import WorkloadGenerator
+
+__all__ = [
+    "DATASET_GENERATORS",
+    "WorkloadGenerator",
+    "make_ads_table",
+    "make_dob_table",
+    "make_flights_table",
+    "make_nyc311_table",
+]

@@ -1,0 +1,196 @@
+"""Seeded generators for the four evaluation tables.
+
+Each generator returns a :class:`~repro.sqldb.table.Table`.  Categorical
+columns draw from fixed vocabularies containing phonetically confusable
+entries (e.g. "Brooklyn"/"Bronx", "Queens"/"Kings") with Zipf-like skew;
+numeric columns draw from simple parametric distributions.  All randomness
+flows from the caller's seed so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+
+def _zipf_choice(rng: np.random.Generator, values: Sequence[str],
+                 size: int, skew: float = 1.1) -> np.ndarray:
+    """Draw *size* values with Zipf-like rank frequencies (rank^-skew)."""
+    ranks = np.arange(1, len(values) + 1, dtype=float)
+    weights = ranks ** -skew
+    weights /= weights.sum()
+    indices = rng.choice(len(values), size=size, p=weights)
+    out = np.empty(size, dtype=object)
+    for i, idx in enumerate(indices):
+        out[i] = values[idx]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vocabularies. Deliberately include phonetically close pairs, which is what
+# makes the candidate generator produce plausible confusions.
+# ---------------------------------------------------------------------------
+
+_BOROUGHS = ("Brooklyn", "Bronx", "Manhattan", "Queens", "Staten Island")
+
+_COMPLAINTS = (
+    "Noise", "Nose Bleeding Hydrant", "Heating", "Heating Gas", "Water Leak",
+    "Water Lake", "Street Condition", "Street Light Condition",
+    "Blocked Driveway", "Blocked Bike Lane", "Illegal Parking",
+    "Illegal Posting", "Rodent", "Graffiti", "Sewer", "Sower Backup",
+    "Dirty Conditions", "Derelict Vehicle", "Taxi Complaint",
+    "Noise Residential",
+)
+
+_AGENCIES = ("NYPD", "HPD", "DOT", "DEP", "DSNY", "DOB", "DPR", "DOHMH")
+
+_STATUSES = ("Closed", "Open", "Pending", "Assigned", "In Progress")
+
+_JOB_TYPES = ("Alteration", "Alternation", "New Building", "Demolition",
+              "Plumbing", "Planning", "Sign", "Subdivision", "Scaffold",
+              "Electrical")
+
+_PERMIT_STATUSES = ("Issued", "In Process", "Re-Issued", "Revoked",
+                    "Initial", "Renewed")
+
+_CHANNELS = ("Email", "Phone", "Social", "Search", "Display", "Affiliate",
+             "Radio", "Video")
+
+_REGIONS = ("Northeast", "Northwest", "Southeast", "Southwest", "Midwest",
+            "Mountain", "Pacific", "Plains")
+
+_INDUSTRIES = ("Retail", "Real Estate", "Finance", "Fitness", "Healthcare",
+               "Hardware", "Software", "Education", "Energy", "Insurance")
+
+_CARRIERS = ("Delta", "Delter Air", "United", "Unified Express", "American",
+             "Americana", "Southwest", "SkyWest", "JetBlue", "Alaska",
+             "Allegiant", "Frontier", "Spirit", "Hawaiian")
+
+_AIRPORTS = ("Atlanta", "Austin", "Boston", "Buffalo", "Charlotte",
+             "Chicago", "Dallas", "Denver", "Detroit", "Houston",
+             "Las Vegas", "Los Angeles", "Memphis", "Miami", "Nashville",
+             "Newark", "New York", "Oakland", "Orlando", "Phoenix",
+             "Pittsburgh", "Portland", "Sacramento", "San Diego",
+             "San Francisco", "San Jose", "Seattle", "Tampa")
+
+_MONTHS = ("January", "February", "March", "April", "May", "June", "July",
+           "August", "September", "October", "November", "December")
+
+
+def make_nyc311_table(num_rows: int = 20_000, seed: int = 0,
+                      name: str = "nyc311") -> Table:
+    """NYC 311 service requests: complaint/agency/borough/status + measures."""
+    rng = np.random.default_rng(seed)
+    schema = TableSchema(name, (
+        ColumnSchema("complaint_type", DataType.TEXT),
+        ColumnSchema("agency", DataType.TEXT),
+        ColumnSchema("borough", DataType.TEXT),
+        ColumnSchema("status", DataType.TEXT),
+        ColumnSchema("resolution_hours", DataType.FLOAT),
+        ColumnSchema("num_calls", DataType.INT),
+    ))
+    columns = {
+        "complaint_type": _zipf_choice(rng, _COMPLAINTS, num_rows),
+        "agency": _zipf_choice(rng, _AGENCIES, num_rows),
+        "borough": _zipf_choice(rng, _BOROUGHS, num_rows, skew=0.8),
+        "status": _zipf_choice(rng, _STATUSES, num_rows, skew=1.4),
+        "resolution_hours": rng.lognormal(mean=3.0, sigma=1.0,
+                                          size=num_rows),
+        "num_calls": rng.poisson(lam=2.0, size=num_rows) + 1,
+    }
+    return Table(schema, columns)
+
+
+def make_dob_table(num_rows: int = 30_000, seed: int = 1,
+                   name: str = "dob") -> Table:
+    """DOB job application filings: job/permit/borough + cost measures."""
+    rng = np.random.default_rng(seed)
+    schema = TableSchema(name, (
+        ColumnSchema("borough", DataType.TEXT),
+        ColumnSchema("job_type", DataType.TEXT),
+        ColumnSchema("permit_status", DataType.TEXT),
+        ColumnSchema("existing_stories", DataType.INT),
+        ColumnSchema("proposed_stories", DataType.INT),
+        ColumnSchema("initial_cost", DataType.FLOAT),
+    ))
+    existing = rng.integers(1, 40, size=num_rows)
+    columns = {
+        "borough": _zipf_choice(rng, _BOROUGHS, num_rows, skew=0.7),
+        "job_type": _zipf_choice(rng, _JOB_TYPES, num_rows),
+        "permit_status": _zipf_choice(rng, _PERMIT_STATUSES, num_rows),
+        "existing_stories": existing,
+        "proposed_stories": existing + rng.integers(0, 5, size=num_rows),
+        "initial_cost": rng.lognormal(mean=10.5, sigma=1.5, size=num_rows),
+    }
+    return Table(schema, columns)
+
+
+def make_ads_table(num_rows: int = 10_000, seed: int = 2,
+                   name: str = "ads") -> Table:
+    """Advertisement contacts (industry-partner stand-in)."""
+    rng = np.random.default_rng(seed)
+    schema = TableSchema(name, (
+        ColumnSchema("channel", DataType.TEXT),
+        ColumnSchema("region", DataType.TEXT),
+        ColumnSchema("industry", DataType.TEXT),
+        ColumnSchema("status", DataType.TEXT),
+        ColumnSchema("budget", DataType.FLOAT),
+        ColumnSchema("clicks", DataType.INT),
+        ColumnSchema("impressions", DataType.INT),
+    ))
+    clicks = rng.poisson(lam=120.0, size=num_rows)
+    columns = {
+        "channel": _zipf_choice(rng, _CHANNELS, num_rows),
+        "region": _zipf_choice(rng, _REGIONS, num_rows, skew=0.6),
+        "industry": _zipf_choice(rng, _INDUSTRIES, num_rows),
+        "status": _zipf_choice(rng, _STATUSES, num_rows, skew=1.3),
+        "budget": rng.lognormal(mean=7.0, sigma=1.0, size=num_rows),
+        "clicks": clicks,
+        "impressions": clicks * rng.integers(20, 200, size=num_rows),
+    }
+    return Table(schema, columns)
+
+
+def make_flights_table(num_rows: int = 100_000, seed: int = 3,
+                       name: str = "flights") -> Table:
+    """Flight delays (ASA Data Expo stand-in) — the 'large' dataset.
+
+    The paper's copy is 10 GB; we default to 100k rows and let the scaling
+    experiments (Figures 9-11) grow/shrink ``num_rows`` to sweep data size.
+    """
+    rng = np.random.default_rng(seed)
+    schema = TableSchema(name, (
+        ColumnSchema("carrier", DataType.TEXT),
+        ColumnSchema("origin", DataType.TEXT),
+        ColumnSchema("dest", DataType.TEXT),
+        ColumnSchema("month", DataType.TEXT),
+        ColumnSchema("dep_delay", DataType.FLOAT),
+        ColumnSchema("arr_delay", DataType.FLOAT),
+        ColumnSchema("distance", DataType.FLOAT),
+        ColumnSchema("cancelled", DataType.INT),
+    ))
+    dep_delay = rng.gumbel(loc=5.0, scale=20.0, size=num_rows)
+    columns = {
+        "carrier": _zipf_choice(rng, _CARRIERS, num_rows),
+        "origin": _zipf_choice(rng, _AIRPORTS, num_rows, skew=0.9),
+        "dest": _zipf_choice(rng, _AIRPORTS, num_rows, skew=0.9),
+        "month": _zipf_choice(rng, _MONTHS, num_rows, skew=0.2),
+        "dep_delay": dep_delay,
+        "arr_delay": dep_delay + rng.normal(0.0, 15.0, size=num_rows),
+        "distance": rng.lognormal(mean=6.5, sigma=0.6, size=num_rows),
+        "cancelled": (rng.random(num_rows) < 0.02).astype(np.int64),
+    }
+    return Table(schema, columns)
+
+
+DATASET_GENERATORS: dict[str, Callable[..., Table]] = {
+    "nyc311": make_nyc311_table,
+    "dob": make_dob_table,
+    "ads": make_ads_table,
+    "flights": make_flights_table,
+}

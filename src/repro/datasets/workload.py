@@ -1,0 +1,91 @@
+"""Random aggregation-query workloads, as in Section 9 of the paper.
+
+Section 9.2: "we generate 100 aggregation queries, randomly generating up to
+five equality predicates by randomly picking columns and constants"; Section
+9.4: "randomly selecting one aggregation column and one equality predicate
+(i.e., a random column and a random value with uniform distribution)".
+:class:`WorkloadGenerator` reproduces both shapes against any table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sqldb.expressions import AggregateCall, AggregateFunction
+from repro.sqldb.query import AggregateQuery, Predicate
+from repro.sqldb.table import Table
+
+_AGG_FUNCS = (AggregateFunction.COUNT, AggregateFunction.SUM,
+              AggregateFunction.AVG, AggregateFunction.MIN,
+              AggregateFunction.MAX)
+
+
+class WorkloadGenerator:
+    """Draws random aggregation queries over one table.
+
+    Predicate columns are the table's text columns (equality on categorical
+    values, matching the paper's user-study setup); aggregation columns are
+    the numeric columns.  Values are drawn uniformly from each column's
+    distinct values.
+    """
+
+    def __init__(self, table: Table, seed: int = 0) -> None:
+        self._table = table
+        self._rng = np.random.default_rng(seed)
+        self._text_columns = [c.name for c in table.schema.text_columns()]
+        self._numeric_columns = [c.name
+                                 for c in table.schema.numeric_columns()]
+        if not self._text_columns:
+            raise ValueError(
+                f"table {table.schema.name!r} has no text columns for "
+                "equality predicates")
+        if not self._numeric_columns:
+            raise ValueError(
+                f"table {table.schema.name!r} has no numeric columns to "
+                "aggregate")
+        self._distinct_values = {
+            name: np.unique(table.column(name)).tolist()
+            for name in self._text_columns
+        }
+
+    def random_query(self, max_predicates: int = 5,
+                     exact_predicates: int | None = None) -> AggregateQuery:
+        """One random query.
+
+        ``exact_predicates`` pins the predicate count (Section 9.4 uses 1);
+        otherwise the count is uniform in ``1..max_predicates`` but never
+        more than the number of distinct text columns.
+        """
+        rng = self._rng
+        func = _AGG_FUNCS[rng.integers(len(_AGG_FUNCS))]
+        if func == AggregateFunction.COUNT:
+            column: str | None = None
+        else:
+            column = self._numeric_columns[
+                rng.integers(len(self._numeric_columns))]
+        limit = len(self._text_columns)
+        if exact_predicates is not None:
+            if exact_predicates > limit:
+                raise ValueError(
+                    f"cannot place {exact_predicates} predicates on "
+                    f"{limit} text columns")
+            n_predicates = exact_predicates
+        else:
+            n_predicates = int(rng.integers(1, min(max_predicates, limit) + 1))
+        chosen = rng.choice(limit, size=n_predicates, replace=False)
+        predicates = []
+        for index in chosen:
+            name = self._text_columns[int(index)]
+            values = self._distinct_values[name]
+            predicates.append(
+                Predicate(name, values[int(rng.integers(len(values)))]))
+        return AggregateQuery(self._table.schema.name,
+                              AggregateCall(func, column),
+                              tuple(predicates))
+
+    def random_queries(self, count: int, max_predicates: int = 5,
+                       exact_predicates: int | None = None,
+                       ) -> list[AggregateQuery]:
+        """A batch of independent random queries."""
+        return [self.random_query(max_predicates, exact_predicates)
+                for _ in range(count)]

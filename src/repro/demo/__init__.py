@@ -1,0 +1,17 @@
+"""The browser demo — what the SIGMOD demonstration shows.
+
+A dependency-free HTTP server (standard-library ``http.server``) exposing
+the MUVE pipeline to a browser: type or "speak" a question, get back the
+multiplot as inline SVG with the candidate-interpretation distribution
+alongside (the layout of the paper's Figure 2).
+
+::
+
+    from repro.demo import MuveDemoServer
+    server = MuveDemoServer(muve)
+    server.start()           # serves on http://127.0.0.1:<port>/
+"""
+
+from repro.demo.server import MuveDemoServer
+
+__all__ = ["MuveDemoServer"]

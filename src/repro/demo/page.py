@@ -1,0 +1,90 @@
+"""The demo's single HTML page (inline CSS/JS, no external assets)."""
+
+PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>MUVE — robust voice querying</title>
+<style>
+  body { font-family: sans-serif; margin: 2rem auto; max-width: 1200px;
+         color: #222; }
+  h1 { font-size: 1.4rem; }
+  .ask { display: flex; gap: 0.5rem; margin-bottom: 0.75rem; }
+  .ask input[type=text] { flex: 1; padding: 0.5rem; font-size: 1rem; }
+  .ask button { padding: 0.5rem 1.2rem; font-size: 1rem; cursor: pointer; }
+  .options { margin-bottom: 1rem; color: #555; font-size: 0.9rem; }
+  .meta { background: #f6f6f6; border: 1px solid #ddd; padding: 0.6rem;
+          font-family: monospace; font-size: 0.85rem;
+          white-space: pre-wrap; }
+  #plot { border: 1px solid #ddd; margin-top: 1rem; overflow-x: auto; }
+  #candidates { font-family: monospace; font-size: 0.8rem;
+                margin-top: 1rem; }
+  #candidates div { padding: 1px 0; }
+  .bar { display: inline-block; background: #4878a8; height: 0.7em;
+         margin-right: 0.4em; vertical-align: middle; }
+  .error { color: #b00; }
+</style>
+</head>
+<body>
+<h1>MUVE — multiplots for voice queries</h1>
+<div class="ask">
+  <input id="question" type="text"
+         placeholder="e.g. average resolution hours for borough Brooklyn"
+         autofocus>
+  <button id="go">Ask</button>
+</div>
+<div class="options">
+  <label><input type="checkbox" id="voice"> simulate speech noise</label>
+  &nbsp;&nbsp;
+  <label><input type="checkbox" id="trend">
+    trend question ("... by &lt;column&gt;")</label>
+</div>
+<div id="meta" class="meta">Ask something about the loaded table.</div>
+<div id="plot"></div>
+<div id="candidates"></div>
+<script>
+async function ask() {
+  const question = document.getElementById('question').value;
+  const voice = document.getElementById('voice').checked;
+  const trend = document.getElementById('trend').checked;
+  const meta = document.getElementById('meta');
+  meta.textContent = 'thinking…';
+  meta.classList.remove('error');
+  try {
+    const response = await fetch('/api/ask', {
+      method: 'POST',
+      headers: {'Content-Type': 'application/json'},
+      body: JSON.stringify({question, voice, trend}),
+    });
+    const data = await response.json();
+    if (!response.ok) { throw new Error(data.error || 'request failed'); }
+    meta.textContent =
+      (data.transcript !== question ? 'heard: ' + data.transcript + '\\n'
+                                    : '')
+      + 'interpreted: ' + data.seed_sql
+      + (data.planner ? '\\nplanner: ' + data.planner : '');
+    document.getElementById('plot').innerHTML = data.svg;
+    const list = document.getElementById('candidates');
+    list.innerHTML = '<b>interpretation distribution</b>';
+    for (const c of data.candidates) {
+      const row = document.createElement('div');
+      const bar = document.createElement('span');
+      bar.className = 'bar';
+      bar.style.width = (c.probability * 220) + 'px';
+      row.appendChild(bar);
+      row.appendChild(document.createTextNode(
+        c.probability.toFixed(3) + '  ' + c.sql));
+      list.appendChild(row);
+    }
+  } catch (err) {
+    meta.textContent = String(err);
+    meta.classList.add('error');
+  }
+}
+document.getElementById('go').addEventListener('click', ask);
+document.getElementById('question').addEventListener('keydown',
+  (event) => { if (event.key === 'Enter') ask(); });
+</script>
+</body>
+</html>
+"""

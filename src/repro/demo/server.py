@@ -1,0 +1,160 @@
+"""The demo HTTP server (standard library only).
+
+Endpoints:
+
+* ``GET /`` — the single-page UI.
+* ``GET /api/schema`` — table name and columns (for autocomplete/help).
+* ``POST /api/ask`` — body ``{"question": str, "voice": bool,
+  "trend": bool}``; returns transcript, seed SQL, planner info, the
+  candidate distribution, the rendered SVG and the terminal rendering.
+
+The server runs on a background thread (``ThreadingHTTPServer``); MUVE
+calls are serialised with a lock since the pipeline is not thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.demo.page import PAGE
+from repro.errors import ReproError
+from repro.muve import Muve
+
+
+class MuveDemoServer:
+    """Serves one :class:`Muve` instance to a browser."""
+
+    def __init__(self, muve: Muve, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.muve = muve
+        self._lock = threading.Lock()
+        handler = _make_handler(self)
+        self._http = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/"
+
+    def start(self) -> None:
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._http.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:  # pragma: no cover - interactive
+        self._http.serve_forever()
+
+    def shutdown(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def handle_ask(self, payload: dict) -> dict:
+        question = str(payload.get("question", "")).strip()
+        if not question:
+            raise ReproError("empty question")
+        voice = bool(payload.get("voice", False))
+        trend = bool(payload.get("trend", False))
+        with self._lock:
+            if trend:
+                response = self.muve.ask_trend(question)
+                return {
+                    "transcript": response.transcript,
+                    "seed_sql": (f"{response.seed_query.to_sql()} "
+                                 f"BY {response.x_column}"),
+                    "planner": "series planner (cardinality greedy)",
+                    "candidates": [
+                        {"sql": c.query.to_sql(),
+                         "probability": c.probability}
+                        for c in response.candidates],
+                    "svg": response.to_svg(),
+                    "text": response.to_text(),
+                }
+            if voice:
+                response = self.muve.ask_voice(question)
+            else:
+                response = self.muve.ask(question)
+        planning = response.planning
+        return {
+            "transcript": response.transcript,
+            "seed_sql": response.seed_query.to_sql(),
+            "planner": (f"{planning.solver_name}, expected "
+                        f"{planning.expected_cost:.0f} ms, planned in "
+                        f"{planning.elapsed_seconds * 1000:.0f} ms"),
+            "candidates": [
+                {"sql": c.query.to_sql(), "probability": c.probability}
+                for c in response.candidates],
+            "svg": response.to_svg(),
+            "text": response.to_text(),
+        }
+
+    def handle_schema(self) -> dict:
+        table = self.muve.database.table(self.muve.table_name)
+        return {
+            "table": self.muve.table_name,
+            "rows": table.num_rows,
+            "columns": [
+                {"name": column.name, "type": column.dtype.value}
+                for column in table.schema.columns],
+        }
+
+
+def _make_handler(server: MuveDemoServer):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args) -> None:  # silence request logging
+            pass
+
+        def _send(self, status: int, body: bytes,
+                  content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            self._send(status, json.dumps(payload).encode("utf-8"),
+                       "application/json; charset=utf-8")
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path in ("/", "/index.html"):
+                self._send(200, PAGE.encode("utf-8"),
+                           "text/html; charset=utf-8")
+            elif self.path == "/api/schema":
+                self._send_json(200, server.handle_schema())
+            else:
+                self._send_json(404, {"error": "not found"})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            if self.path != "/api/ask":
+                self._send_json(404, {"error": "not found"})
+                return
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._send_json(400, {"error": "invalid JSON body"})
+                return
+            try:
+                self._send_json(200, server.handle_ask(payload))
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+
+    return Handler

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the MUVE reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+library failures without trapping unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the ``repro.sqldb`` engine."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CatalogError(SqlError):
+    """A referenced table or column does not exist, or a definition clashes."""
+
+
+class TypeMismatchError(SqlError):
+    """An expression combines operand types that are not compatible."""
+
+
+class ExecutionError(SqlError):
+    """A query failed while being evaluated."""
+
+
+class PlanningError(ReproError):
+    """Visualization planning failed (infeasible instance, bad dimensions)."""
+
+
+class SolverError(ReproError):
+    """A MILP backend failed to produce a usable solution."""
+
+
+class SolverTimeout(SolverError):
+    """The solver hit its deadline.
+
+    The best incumbent found so far, if any, is attached so callers can
+    still display a (possibly suboptimal) multiplot, mirroring the paper's
+    behaviour under ILP timeouts.
+    """
+
+    def __init__(self, message: str, incumbent: object | None = None) -> None:
+        super().__init__(message)
+        self.incumbent = incumbent
+
+
+class CandidateGenerationError(ReproError):
+    """Text-to-multi-SQL could not derive candidate queries."""
+
+
+class VisualizationError(ReproError):
+    """A multiplot could not be rendered."""

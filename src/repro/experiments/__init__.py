@@ -1,0 +1,20 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module implements one group of experiments from Section 9 as plain
+functions returning structured records, so the same logic drives the
+benchmark suite (``benchmarks/``), the examples, and ad-hoc exploration:
+
+* :mod:`repro.experiments.studies` — Figure 3 / Table 1 (user model),
+  Figure 12 (MUVE vs dropdown baseline), Figure 13 (method ratings).
+* :mod:`repro.experiments.solvers` — Figure 6 (greedy vs ILP sweeps).
+* :mod:`repro.experiments.processing` — Figure 7 (query merging),
+  Figure 8 (processing-cost-bounded ILP).
+* :mod:`repro.experiments.scaling` — Figures 9-11 (presentation methods
+  vs data size: interactivity ratio, approximation error, F/T-time).
+* :mod:`repro.experiments.harness` — result records and table printing.
+"""
+
+from repro.experiments.harness import ExperimentTable
+from repro.experiments.runner import run_all_experiments
+
+__all__ = ["ExperimentTable", "run_all_experiments"]

@@ -1,0 +1,96 @@
+"""End-to-end robustness: recovery rate vs speech noise (extension).
+
+Beyond the paper's evaluation: how often does the *intended* query's
+result end up on screen, as a function of the speech channel's word error
+rate?  This exercises the complete pipeline (noisy transcription ->
+text-to-SQL -> candidates -> planning) and quantifies the headline claim
+that multiplots absorb recognition noise.  The comparison point is a
+"single result" system that only ever displays the top-1 interpretation
+(what a standard voice interface does).
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import GreedySolver
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.datasets.workload import WorkloadGenerator
+from repro.errors import ReproError
+from repro.experiments.harness import ExperimentTable
+from repro.nlq.candidates import CandidateGenerator
+from repro.nlq.speech import SpeechSimulator, build_default_vocabulary
+from repro.nlq.text_to_sql import TextToSql
+from repro.sqldb.database import Database
+from repro.sqldb.query import AggregateQuery
+
+
+def _speak(query: AggregateQuery) -> str:
+    """A natural-language utterance for a workload query."""
+    func_words = {
+        "count": "count of rows",
+        "sum": "total",
+        "avg": "average",
+        "min": "minimum",
+        "max": "maximum",
+    }
+    parts = [func_words[query.aggregate.func.value]]
+    if query.aggregate.column is not None:
+        parts.append(query.aggregate.column.replace("_", " "))
+    if query.predicates:
+        parts.append("for")
+        clauses = []
+        for predicate in query.predicates:
+            clauses.append(f"{predicate.column.replace('_', ' ')} "
+                           f"{predicate.value}")
+        parts.append(" and ".join(clauses))
+    return " ".join(parts)
+
+
+def recovery_vs_wer(database: Database, table_name: str = "nyc311",
+                    error_rates: tuple[float, ...] = (
+                        0.0, 0.1, 0.2, 0.3),
+                    num_queries: int = 15,
+                    num_candidates: int = 20,
+                    seed: int = 0) -> ExperimentTable:
+    """Recovery rate of the intended query, multiplot vs top-1 display."""
+    workload = WorkloadGenerator(database.table(table_name),
+                                 seed=seed + 1)
+    generator = CandidateGenerator(database, table_name)
+    translator = TextToSql(database, table_name)
+    vocabulary = build_default_vocabulary(database.vocabulary(table_name))
+    geometry = ScreenGeometry(width_pixels=1400, num_rows=2)
+    solver = GreedySolver()
+
+    table = ExperimentTable(
+        title="Recovery of the intended query vs word error rate",
+        columns=("word_error_rate", "multiplot_recovery",
+                 "top1_recovery", "n"))
+    targets = [workload.random_query(exact_predicates=1)
+               for _ in range(num_queries)]
+    for wer in error_rates:
+        speech = SpeechSimulator(vocabulary, word_error_rate=wer,
+                                 seed=seed)
+        multiplot_hits = 0
+        top1_hits = 0
+        total = 0
+        for target in targets:
+            utterance = _speak(target)
+            transcript = speech.transcribe(utterance)
+            try:
+                seed_query = translator.translate(transcript)
+                candidates = tuple(generator.candidates(seed_query,
+                                                        num_candidates))
+                problem = MultiplotSelectionProblem(candidates,
+                                                    geometry=geometry)
+                multiplot = solver.solve(problem).multiplot
+            except ReproError:
+                total += 1
+                continue
+            total += 1
+            if seed_query == target:
+                top1_hits += 1
+            if multiplot.shows(target):
+                multiplot_hits += 1
+        table.add_row(wer, multiplot_hits / total, top1_hits / total,
+                      total)
+    return table

@@ -1,0 +1,122 @@
+"""One-call regeneration of every experiment (the non-pytest path).
+
+``pytest benchmarks/ --benchmark-only`` is the canonical way to reproduce
+the paper's tables and figures (it also asserts their qualitative shape);
+:func:`run_all_experiments` offers the same regeneration as a library
+call — for notebooks, scripts, or environments without pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets import (
+    make_ads_table,
+    make_dob_table,
+    make_nyc311_table,
+)
+from repro.experiments.harness import ExperimentTable
+from repro.experiments.processing import (
+    figure7_query_merging,
+    figure8_processing_bound,
+)
+from repro.experiments.scaling import (
+    figure9_interactivity,
+    figure10_initial_error,
+    figure11_ftime_ttime,
+    run_scaling_experiment,
+)
+from repro.experiments.solvers import figure6_solver_sweep
+from repro.experiments.studies import (
+    figure3_perception_time,
+    figure12_muve_vs_baseline,
+    figure13_method_ratings,
+    table1_correlations,
+)
+from repro.sqldb.database import Database
+
+
+def run_all_experiments(output_dir: str | None = None,
+                        scale: float = 1.0,
+                        seed: int = 0,
+                        progress: Callable[[str], None] | None = None,
+                        ) -> dict[str, ExperimentTable]:
+    """Regenerate every table/figure; returns them keyed by name.
+
+    ``scale`` multiplies workload sizes (0.25 gives a quick smoke pass,
+    1.0 matches the benchmark suite).  With ``output_dir`` set, each
+    table is also written there as text.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def emit(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    def scaled(value: int, minimum: int = 2) -> int:
+        return max(minimum, int(round(value * scale)))
+
+    results: dict[str, ExperimentTable] = {}
+
+    emit("figure 3 / table 1: user study")
+    for key, table in figure3_perception_time(
+            workers_per_task=scaled(20, 4), seed=seed).items():
+        results[f"fig3_{key}"] = table
+    results["table1"] = table1_correlations(
+        workers_per_task=scaled(20, 4), seed=seed)
+
+    emit("figure 6: solver comparison")
+    nyc = Database(seed=seed)
+    nyc.register_table(make_nyc311_table(num_rows=scaled(20_000, 2000),
+                                         seed=7))
+    for parameter in ("candidates", "rows", "pixels"):
+        results[f"fig6_{parameter}"] = figure6_solver_sweep(
+            nyc, "nyc311", parameter=parameter,
+            num_queries=scaled(8, 2), seed=seed)
+
+    emit("figure 7: query merging")
+    dob = Database(seed=seed, io_millis_per_page=0.02)
+    dob.register_table(make_dob_table(num_rows=scaled(50_000, 5000),
+                                      seed=11))
+    results["fig7"] = figure7_query_merging(
+        dob, "dob", num_queries=scaled(10, 2),
+        num_candidates=50, seed=seed)
+
+    emit("figure 8: processing-cost bound")
+    results["fig8"] = figure8_processing_bound(
+        nyc, "nyc311", num_queries=scaled(6, 2), seed=seed)
+
+    emit("figures 9-11: scaling")
+    runs = run_scaling_experiment(
+        fractions=(0.01, 0.1, 0.5, 1.0),
+        full_rows=scaled(200_000, 20_000),
+        num_queries=scaled(4, 2), seed=seed)
+    results["fig9"] = figure9_interactivity(runs)
+    results["fig10"] = figure10_initial_error(runs)
+    results["fig11"] = figure11_ftime_ttime(runs)
+
+    emit("figures 12-13: user studies")
+    multi = Database(seed=seed)
+    multi.register_table(make_ads_table(num_rows=scaled(10_000, 1000),
+                                        seed=2))
+    multi.register_table(make_dob_table(num_rows=scaled(10_000, 1000),
+                                        seed=3))
+    results["fig12"] = figure12_muve_vs_baseline(
+        multi, ["ads", "dob"], users=scaled(10, 2),
+        queries_per_user=scaled(10, 2), seed=seed)
+    rating_db = Database(seed=seed, io_millis_per_page=0.02)
+    rating_db.register_table(make_nyc311_table(
+        num_rows=scaled(5000, 1000), seed=7))
+    from repro.datasets import make_flights_table
+    rating_db.register_table(make_flights_table(
+        num_rows=scaled(200_000, 20_000), seed=3))
+    results["fig13"] = figure13_method_ratings(
+        rating_db, {"nyc311": "small (311)",
+                    "flights": "large (flights)"},
+        raters=scaled(10, 3), seed=seed)
+
+    if output_dir is not None:
+        for name, table in results.items():
+            table.save(output_dir, name)
+    return results

@@ -1,0 +1,229 @@
+"""Figures 9-11: presentation methods vs data size.
+
+One shared runner executes every (data size, method, query) combination
+once, recording:
+
+* **F-Time** — seconds until the correct query's result first becomes
+  visible, at least approximately (planning time included);
+* **T-Time** — seconds until the final visualization is complete;
+* **initial relative error** — for approximate methods, the mean relative
+  deviation of the first visualization's bar values from the final ones.
+
+Three table builders then derive Figure 9 (ratio of runs whose F-Time
+exceeds an interactivity threshold), Figure 10 (initial error), and
+Figure 11 (F-Time vs T-Time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.greedy import GreedySolver
+from repro.core.ilp import IlpSolver
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.datasets.generators import make_flights_table
+from repro.datasets.workload import WorkloadGenerator
+from repro.errors import SolverError
+from repro.execution.engine import MuveExecutor, VisualizationUpdate
+from repro.execution.progressive import (
+    ApproximateProcessing,
+    DefaultProcessing,
+    IncrementalPlotting,
+)
+from repro.experiments.harness import ExperimentTable
+from repro.nlq.candidates import CandidateGenerator
+from repro.sqldb.database import Database
+from repro.sqldb.query import AggregateQuery
+from repro.stats import mean_ci
+
+METHOD_NAMES = ("greedy", "ilp", "ilp-inc", "inc-plot", "app-1%",
+                "app-5%", "app-d")
+
+
+@dataclass(frozen=True)
+class MethodRun:
+    """One (data size, method, query) measurement."""
+
+    method: str
+    data_fraction: float
+    f_time: float
+    t_time: float
+    initial_relative_error: float | None
+    correct_shown: bool
+
+
+def _updates_error(updates: list[VisualizationUpdate]) -> float | None:
+    """Mean relative error of the first update's values vs the final's."""
+    if len(updates) < 2:
+        return None
+    first, last = updates[0], updates[-1]
+    errors = []
+    for plot in last.multiplot.plots():
+        for bar in plot.bars:
+            exact = bar.value
+            approx = first.value_of(bar.query)
+            if exact is None or approx is None or exact == 0:
+                continue
+            errors.append(abs(approx - exact) / abs(exact))
+    if not errors:
+        return None
+    return sum(errors) / len(errors)
+
+
+def _f_and_t_time(updates: list[VisualizationUpdate],
+                  planning_seconds: float,
+                  correct: AggregateQuery) -> tuple[float, float, bool]:
+    t_time = planning_seconds + (updates[-1].elapsed_seconds
+                                 if updates else 0.0)
+    for update in updates:
+        if update.shows_result_for(correct):
+            return planning_seconds + update.elapsed_seconds, t_time, True
+    return t_time, t_time, False
+
+
+def run_method(database: Database, method: str,
+               problem: MultiplotSelectionProblem,
+               correct: AggregateQuery,
+               data_fraction: float,
+               ilp_timeout: float = 1.0) -> MethodRun:
+    """Execute one method end to end (planning plus processing)."""
+    executor = MuveExecutor(database)
+
+    if method == "ilp-inc":
+        updates = executor.run_incremental_ilp(
+            problem, total_budget=ilp_timeout,
+            initial_timeout=0.0625, growth_factor=2.0)
+        # run_incremental_ilp folds optimisation time into update times.
+        f_time, t_time, shown = _f_and_t_time(updates, 0.0, correct)
+        error = _updates_error(updates)
+        return MethodRun(method, data_fraction, f_time, t_time, error,
+                         shown)
+
+    start = time.perf_counter()
+    if method == "ilp":
+        try:
+            multiplot = IlpSolver(
+                timeout_seconds=ilp_timeout).solve(problem).multiplot
+        except SolverError:
+            multiplot = GreedySolver().solve(problem).multiplot
+    else:
+        multiplot = GreedySolver().solve(problem).multiplot
+    planning_seconds = time.perf_counter() - start
+
+    strategies = {
+        "greedy": lambda: DefaultProcessing(),
+        "ilp": lambda: DefaultProcessing(),
+        "inc-plot": lambda: IncrementalPlotting(),
+        "app-1%": lambda: ApproximateProcessing(fraction=0.01),
+        "app-5%": lambda: ApproximateProcessing(fraction=0.05),
+        "app-d": lambda: ApproximateProcessing(fraction=None,
+                                               target_seconds=0.05),
+    }
+    if method not in strategies:
+        raise ValueError(f"unknown method {method!r}")
+    updates = executor.run(multiplot, strategies[method]())
+    f_time, t_time, shown = _f_and_t_time(updates, planning_seconds,
+                                          correct)
+    return MethodRun(method, data_fraction, f_time, t_time,
+                     _updates_error(updates), shown)
+
+
+def run_scaling_experiment(fractions: tuple[float, ...] = (
+                               0.01, 0.1, 0.5, 1.0),
+                           full_rows: int = 200_000,
+                           num_queries: int = 5,
+                           num_candidates: int = 20,
+                           methods: tuple[str, ...] = METHOD_NAMES,
+                           ilp_timeout: float = 1.0,
+                           io_millis_per_page: float = 0.02,
+                           seed: int = 0) -> list[MethodRun]:
+    """All runs behind Figures 9-11, on scaled flight-delay samples.
+
+    ``io_millis_per_page`` simulates the paper's disk-resident 10 GB
+    setting, where scan time grows with data size and approximate
+    processing pays off by reading fewer pages.
+    """
+    runs: list[MethodRun] = []
+    for fraction in fractions:
+        rows = max(1000, int(full_rows * fraction))
+        database = Database(seed=seed,
+                            io_millis_per_page=io_millis_per_page)
+        database.register_table(
+            make_flights_table(num_rows=rows, seed=3, name="flights"))
+        workload = WorkloadGenerator(database.table("flights"),
+                                     seed=seed + 1)
+        generator = CandidateGenerator(database, "flights")
+        for _ in range(num_queries):
+            target = workload.random_query(exact_predicates=1)
+            candidates = tuple(generator.candidates(target,
+                                                    num_candidates))
+            problem = MultiplotSelectionProblem(
+                candidates,
+                geometry=ScreenGeometry(width_pixels=1125, num_rows=1))
+            for method in methods:
+                runs.append(run_method(database, method, problem, target,
+                                       fraction, ilp_timeout))
+    return runs
+
+
+def figure9_interactivity(runs: list[MethodRun],
+                          thresholds: tuple[float, ...] = (
+                              0.1, 0.25, 0.5)) -> ExperimentTable:
+    """Figure 9: ratio of runs whose F-Time exceeds each threshold."""
+    table = ExperimentTable(
+        title="Figure 9: ratio of non-interactive runs (F-Time > theta)",
+        columns=("data_fraction", "method")
+        + tuple(f"theta={t:g}s" for t in thresholds))
+    fractions = sorted({run.data_fraction for run in runs})
+    methods = sorted({run.method for run in runs},
+                     key=METHOD_NAMES.index)
+    for fraction in fractions:
+        for method in methods:
+            sample = [r for r in runs
+                      if r.data_fraction == fraction
+                      and r.method == method]
+            ratios = tuple(
+                sum(1 for r in sample if r.f_time > theta) / len(sample)
+                for theta in thresholds)
+            table.add_row(fraction, method, *ratios)
+    return table
+
+
+def figure10_initial_error(runs: list[MethodRun]) -> ExperimentTable:
+    """Figure 10: relative error of the first approximate multiplot."""
+    table = ExperimentTable(
+        title="Figure 10: initial relative error of approximate methods",
+        columns=("data_fraction", "method", "relative_error"))
+    fractions = sorted({run.data_fraction for run in runs})
+    for fraction in fractions:
+        for method in ("app-1%", "app-5%", "app-d"):
+            errors = [r.initial_relative_error for r in runs
+                      if r.data_fraction == fraction
+                      and r.method == method
+                      and r.initial_relative_error is not None]
+            if errors:
+                table.add_row(fraction, method, mean_ci(errors).mean)
+    return table
+
+
+def figure11_ftime_ttime(runs: list[MethodRun]) -> ExperimentTable:
+    """Figure 11: F-Time vs T-Time per method and data size."""
+    table = ExperimentTable(
+        title="Figure 11: time to first correct result vs total time",
+        columns=("data_fraction", "method", "f_time_ms", "t_time_ms"))
+    fractions = sorted({run.data_fraction for run in runs})
+    methods = sorted({run.method for run in runs},
+                     key=METHOD_NAMES.index)
+    for fraction in fractions:
+        for method in methods:
+            sample = [r for r in runs
+                      if r.data_fraction == fraction
+                      and r.method == method]
+            table.add_row(fraction, method,
+                          mean_ci([r.f_time * 1000
+                                   for r in sample]).mean,
+                          mean_ci([r.t_time * 1000
+                                   for r in sample]).mean)
+    return table

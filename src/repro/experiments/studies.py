@@ -1,0 +1,163 @@
+"""User-study experiments: Figure 3, Table 1, Figure 12, Figure 13."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.greedy import GreedySolver
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.datasets.workload import WorkloadGenerator
+from repro.execution.engine import MuveExecutor
+from repro.execution.progressive import (
+    ApproximateProcessing,
+    DefaultProcessing,
+    IncrementalPlotting,
+)
+from repro.experiments.harness import ExperimentTable
+from repro.nlq.candidates import CandidateGenerator
+from repro.sqldb.database import Database
+from repro.stats import mean_ci
+from repro.users.baseline import DropdownBaselineUser, DropdownTask
+from repro.users.model import ReaderParameters
+from repro.users.ratings import SimulatedRater
+from repro.users.simulator import SimulatedUser
+from repro.users.study import UserStudy, calibrate_cost_model
+
+
+def figure3_perception_time(workers_per_task: int = 20,
+                            seed: int = 0) -> dict[str, ExperimentTable]:
+    """Figure 3: average perception time per visualization feature."""
+    study = UserStudy(ReaderParameters(), workers_per_task=workers_per_task,
+                      seed=seed)
+    sweeps = study.run_all()
+    tables: dict[str, ExperimentTable] = {}
+    for key, sweep in sweeps.items():
+        table = ExperimentTable(
+            title=f"Figure 3 ({sweep.feature}): avg time vs level",
+            columns=(sweep.feature, "mean_ms", "ci95_ms", "n"))
+        for level in sweep.levels():
+            stats = sweep.mean_time(level)
+            table.add_row(level, stats.mean, stats.half_width, stats.n)
+        tables[key] = table
+    return tables
+
+
+def table1_correlations(workers_per_task: int = 20,
+                        seed: int = 0) -> ExperimentTable:
+    """Table 1: Pearson correlation analysis of the four features."""
+    study = UserStudy(ReaderParameters(), workers_per_task=workers_per_task,
+                      seed=seed)
+    sweeps = study.run_all()
+    table = ExperimentTable(
+        title="Table 1: Pearson correlation (feature vs time)",
+        columns=("feature", "r_squared", "p_value", "significant@0.05"))
+    order = ["bar_position", "plot_position", "red_bars", "num_plots"]
+    for key in order:
+        result = sweeps[key].correlation()
+        table.add_row(sweeps[key].feature, result.r_squared,
+                      result.p_value, result.p_value < 0.05)
+    model = calibrate_cost_model(sweeps)
+    table.add_note(f"calibrated c_B={model.bar_cost:.0f} ms, "
+                   f"c_P={model.plot_cost:.0f} ms")
+    return table
+
+
+def figure12_muve_vs_baseline(database: Database, table_names: list[str],
+                              users: int = 10, queries_per_user: int = 10,
+                              seed: int = 0) -> ExperimentTable:
+    """Figure 12: disambiguation time, MUVE multiplot vs dropdown baseline.
+
+    For each specified query, the MUVE side plans a multiplot over the
+    candidate distribution and a simulated reader finds the correct bar;
+    the baseline side resolves every ambiguous element through a dropdown
+    of the phonetically likely alternatives, then reads the single result.
+    """
+    table = ExperimentTable(
+        title="Figure 12: avg disambiguation time, MUVE vs baseline",
+        columns=("dataset", "muve_ms", "muve_ci", "baseline_ms",
+                 "baseline_ci"))
+    rng = np.random.default_rng(seed)
+    for table_name in table_names:
+        workload = WorkloadGenerator(database.table(table_name),
+                                     seed=seed + 1)
+        generator = CandidateGenerator(database, table_name)
+        muve_times: list[float] = []
+        baseline_times: list[float] = []
+        for user_index in range(users):
+            reader = SimulatedUser(ReaderParameters(),
+                                   seed=seed + 100 * user_index)
+            baseline = DropdownBaselineUser(ReaderParameters(),
+                                            seed=seed + 100 * user_index)
+            for _ in range(queries_per_user):
+                target = workload.random_query(exact_predicates=1)
+                candidates = generator.candidates(target, 12)
+                problem = MultiplotSelectionProblem(
+                    tuple(candidates),
+                    geometry=ScreenGeometry(width_pixels=1500, num_rows=2))
+                multiplot = GreedySolver().solve(problem).multiplot
+                outcome = reader.disambiguate(multiplot, target)
+                muve_times.append(outcome.milliseconds)
+                # Baseline: one dropdown per replaceable element; the
+                # correct entry's rank follows the candidate ranking.
+                tasks = []
+                for element in target.elements():
+                    position = int(rng.integers(0, 3))
+                    tasks.append(DropdownTask(num_options=12,
+                                              correct_position=position))
+                baseline_times.append(baseline.disambiguate(tasks))
+        muve_stats = mean_ci(muve_times)
+        baseline_stats = mean_ci(baseline_times)
+        table.add_row(table_name, muve_stats.mean, muve_stats.half_width,
+                      baseline_stats.mean, baseline_stats.half_width)
+    return table
+
+
+def figure13_method_ratings(database: Database,
+                            dataset_labels: dict[str, str],
+                            raters: int = 10,
+                            seed: int = 0) -> ExperimentTable:
+    """Figure 13: latency/clarity ratings per processing method.
+
+    ``dataset_labels`` maps table names to display labels (the paper uses
+    one small and one large dataset).
+    """
+    table = ExperimentTable(
+        title="Figure 13: avg user rating (1-10) per method",
+        columns=("dataset", "method", "latency", "latency_ci",
+                 "clarity", "clarity_ci"))
+    methods = {
+        "default": lambda: DefaultProcessing(),
+        "inc-plot": lambda: IncrementalPlotting(),
+        "app-5%": lambda: ApproximateProcessing(fraction=0.05),
+        "app-d": lambda: ApproximateProcessing(fraction=None,
+                                               target_seconds=0.3),
+    }
+    for table_name, label in dataset_labels.items():
+        workload = WorkloadGenerator(database.table(table_name),
+                                     seed=seed + 2)
+        generator = CandidateGenerator(database, table_name)
+        target = workload.random_query(exact_predicates=1)
+        candidates = generator.candidates(target, 20)
+        problem = MultiplotSelectionProblem(
+            tuple(candidates),
+            geometry=ScreenGeometry(width_pixels=1500, num_rows=2))
+        multiplot = GreedySolver().solve(problem).multiplot
+        executor = MuveExecutor(database)
+        method_updates = {"ilp-inc": executor.run_incremental_ilp(
+            problem, total_budget=1.0)}
+        for name, factory in methods.items():
+            method_updates[name] = executor.run(multiplot, factory())
+        for name, updates in method_updates.items():
+            latency_scores = []
+            clarity_scores = []
+            for rater_index in range(raters):
+                rater = SimulatedRater(seed=seed + 31 * rater_index)
+                latency_scores.append(rater.rate_latency(updates))
+                clarity_scores.append(rater.rate_clarity(updates))
+            latency_stats = mean_ci(latency_scores)
+            clarity_stats = mean_ci(clarity_scores)
+            table.add_row(label, name, latency_stats.mean,
+                          latency_stats.half_width, clarity_stats.mean,
+                          clarity_stats.half_width)
+    return table

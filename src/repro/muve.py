@@ -1,0 +1,215 @@
+"""The MUVE system façade: voice/text in, answered multiplot out.
+
+Wires the full Figure 1 pipeline: (simulated) speech recognition ->
+text-to-SQL -> text-to-multi-SQL candidate generation -> visualization
+planning -> (merged / progressive) query execution -> rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import Multiplot, ScreenGeometry
+from repro.core.planner import PlannerResult, VisualizationPlanner
+from repro.core.problem import MultiplotSelectionProblem
+from repro.execution.engine import MuveExecutor, VisualizationUpdate
+from repro.execution.progressive import ProcessingStrategy
+from repro.nlq.candidates import CandidateGenerator, CandidateQuery
+from repro.nlq.speech import SpeechSimulator, build_default_vocabulary
+from repro.nlq.text_to_sql import TextToSql
+from repro.sqldb.database import Database
+from repro.sqldb.query import AggregateQuery
+from repro.viz.svg import render_svg
+from repro.viz.text import render_text
+
+
+@dataclass(frozen=True)
+class TrendResponse:
+    """MUVE's answer to a trend question (the line-plot extension)."""
+
+    utterance: str
+    transcript: str
+    seed_query: AggregateQuery
+    x_column: str
+    candidates: tuple[CandidateQuery, ...]
+    multiplot: object  # SeriesMultiplot (duck-typed like Multiplot)
+    expected_cost: float
+
+    def to_text(self) -> str:
+        from repro.timeseries.render import render_series_text
+        return render_series_text(
+            self.multiplot,
+            headline=f"{self.seed_query.aggregate.to_sql()} BY "
+                     f"{self.x_column}")
+
+    def to_svg(self) -> str:
+        from repro.timeseries.render import render_series_svg
+        return render_series_svg(
+            self.multiplot,
+            headline=f"{self.seed_query.aggregate.to_sql()} BY "
+                     f"{self.x_column}")
+
+
+@dataclass(frozen=True)
+class MuveResponse:
+    """Everything MUVE produced for one query."""
+
+    utterance: str
+    transcript: str
+    seed_query: AggregateQuery
+    candidates: tuple[CandidateQuery, ...]
+    planning: PlannerResult
+    updates: tuple[VisualizationUpdate, ...]
+    headline: str
+    geometry: ScreenGeometry = field(default_factory=ScreenGeometry)
+
+    @property
+    def multiplot(self) -> Multiplot:
+        """The final multiplot with query results filled in."""
+        return self.updates[-1].multiplot
+
+    def to_text(self) -> str:
+        return render_text(self.multiplot, headline=self.headline)
+
+    def to_svg(self) -> str:
+        return render_svg(self.multiplot, self.geometry,
+                          headline=self.headline)
+
+
+class Muve:
+    """Voice querying over one table of a database.
+
+    Parameters
+    ----------
+    database / table_name:
+        The data being queried.
+    geometry:
+        Output screen constraints for the visualization planner.
+    planner:
+        A configured :class:`VisualizationPlanner`; defaults to the "best"
+        strategy (greedy, upgraded by ILP when it wins within budget).
+    max_candidates:
+        Size of the candidate distribution ("typically, we set k to 20").
+    word_error_rate / seed:
+        Noise level of the simulated speech channel and its RNG seed.
+    """
+
+    def __init__(self, database: Database, table_name: str,
+                 geometry: ScreenGeometry | None = None,
+                 planner: VisualizationPlanner | None = None,
+                 max_candidates: int = 20,
+                 word_error_rate: float = 0.15,
+                 processing_aware: bool = False,
+                 seed: int = 0) -> None:
+        self.database = database
+        self.table_name = database.table(table_name).schema.name
+        self.geometry = geometry or ScreenGeometry()
+        self.planner = planner or VisualizationPlanner(strategy="best")
+        self.max_candidates = max_candidates
+        #: When set, the ILP planner receives processing groups derived
+        #: from the merge planner, activating the Section 8.1 extension
+        #: (requires a planner with ``processing_weight`` > 0 or a problem
+        #: with a processing budget to have an effect).
+        self.processing_aware = processing_aware
+        self._text_to_sql = TextToSql(database, table_name)
+        self._candidate_generator = CandidateGenerator(database, table_name)
+        vocabulary = build_default_vocabulary(
+            database.vocabulary(table_name))
+        self._speech = SpeechSimulator(vocabulary,
+                                       word_error_rate=word_error_rate,
+                                       seed=seed)
+        self._executor = MuveExecutor(database)
+
+    # ------------------------------------------------------------------
+
+    def ask_voice(self, utterance: str,
+                  strategy: ProcessingStrategy | None = None,
+                  ) -> MuveResponse:
+        """Answer a spoken query: noisy transcription, then :meth:`ask`."""
+        transcript = self._speech.transcribe(utterance)
+        return self.ask(transcript, strategy=strategy,
+                        utterance=utterance)
+
+    def ask(self, text: str,
+            strategy: ProcessingStrategy | None = None,
+            utterance: str | None = None) -> MuveResponse:
+        """Answer a typed (or already transcribed) query."""
+        seed_query = self._text_to_sql.translate(text)
+        candidates = tuple(self._candidate_generator.candidates(
+            seed_query, self.max_candidates))
+        problem = MultiplotSelectionProblem(candidates,
+                                            geometry=self.geometry)
+        processing_groups = None
+        if self.processing_aware:
+            from repro.execution.merging import (
+                candidate_processing_groups,
+            )
+            processing_groups = candidate_processing_groups(
+                self.database, candidates)
+        planning = self.planner.plan(problem,
+                                     processing_groups=processing_groups)
+        updates = tuple(self._executor.run(planning.multiplot,
+                                           strategy=strategy))
+        return MuveResponse(
+            utterance=utterance if utterance is not None else text,
+            transcript=text,
+            seed_query=seed_query,
+            candidates=candidates,
+            planning=planning,
+            updates=updates,
+            headline=self._headline(planning.multiplot),
+            geometry=self.geometry,
+        )
+
+    def ask_trend(self, text: str,
+                  utterance: str | None = None) -> TrendResponse:
+        """Answer a trend question ("average arr delay by month ...")
+        with a line-plot multiplot (the Section 11 extension)."""
+        from repro.timeseries import (
+            SeriesPlanner,
+            SeriesQuery,
+            execute_series_multiplot,
+            series_candidates,
+        )
+        base, x_column = self._text_to_sql.translate_trend(text)
+        seed = SeriesQuery(base, x_column)
+        candidates = series_candidates(
+            self.database, seed, max_candidates=min(self.max_candidates,
+                                                    12),
+            generator=self._candidate_generator)
+        planner = SeriesPlanner(geometry=self.geometry)
+        solution = planner.plan(self.database, seed, candidates)
+        filled = execute_series_multiplot(self.database,
+                                          solution.multiplot)
+        return TrendResponse(
+            utterance=utterance if utterance is not None else text,
+            transcript=text,
+            seed_query=base,
+            x_column=x_column,
+            candidates=tuple(candidates),
+            multiplot=filled,
+            expected_cost=solution.expected_cost,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _headline(self, multiplot: Multiplot) -> str:
+        """The common-elements line above the plots (Figure 2b): the
+        predicates and aggregate shared by every displayed query."""
+        queries = list(multiplot.displayed_queries())
+        if not queries:
+            return f"No interpretations found on {self.table_name}"
+        shared_aggregate = {q.aggregate for q in queries}
+        shared_predicates = set(queries[0].predicates)
+        for query in queries[1:]:
+            shared_predicates &= set(query.predicates)
+        parts = []
+        if len(shared_aggregate) == 1:
+            parts.append(next(iter(shared_aggregate)).to_sql())
+        parts.append(f"FROM {self.table_name}")
+        if shared_predicates:
+            ordered = sorted(shared_predicates,
+                             key=lambda p: p.sort_key())
+            parts.append("WHERE " + " AND ".join(p.to_sql()
+                                                 for p in ordered))
+        return " ".join(parts)

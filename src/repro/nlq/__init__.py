@@ -1,0 +1,33 @@
+"""Voice-input substrate: speech noise, text-to-SQL, and text-to-multi-SQL.
+
+The paper's pipeline is: Web Speech API transcribes voice to text; SQLova
+maps text to the single most likely SQL query; MUVE then expands that seed
+query into a *probability distribution over candidate queries* by replacing
+schema elements and constants with phonetically similar alternatives.  This
+package supplies each stage:
+
+* :class:`SpeechSimulator` — a phonetically plausible noisy channel standing
+  in for real speech recognition.
+* :class:`TextToSql` — a deterministic keyword-pattern translator standing
+  in for SQLova (covers the supported query class: one aggregate plus
+  equality predicates on one table).
+* :class:`CandidateGenerator` — the text-to-multi-SQL step, faithful to
+  Section 3: Double Metaphone + Jaro-Winkler similarity, k most similar
+  alternatives per element, product probabilities over replacements.
+* :mod:`repro.nlq.templates` — query templates ``T(q)`` (Algorithm 2): the
+  grouping structure that decides which queries can share a plot.
+"""
+
+from repro.nlq.candidates import CandidateGenerator, CandidateQuery
+from repro.nlq.speech import SpeechSimulator
+from repro.nlq.templates import QueryTemplate, templates_of
+from repro.nlq.text_to_sql import TextToSql
+
+__all__ = [
+    "CandidateGenerator",
+    "CandidateQuery",
+    "QueryTemplate",
+    "SpeechSimulator",
+    "TextToSql",
+    "templates_of",
+]

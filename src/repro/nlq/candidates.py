@@ -1,0 +1,214 @@
+"""Text-to-multi-SQL: candidate queries with probabilities (Section 3).
+
+Starting from the seed query produced by text-to-SQL, MUVE "iterates over
+all schema element names and constants that appear in the query", looks up
+the k most phonetically similar entries for each element, and derives
+candidate queries by substituting those alternatives.  The probability of a
+single replacement is based on phonetic similarity (Double Metaphone +
+Jaro-Winkler); the probability of multiple replacements is the product of
+the single-replacement probabilities.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import CandidateGenerationError
+from repro.phonetics.index import PhoneticIndex
+from repro.sqldb.database import Database
+from repro.sqldb.expressions import AggregateFunction
+from repro.sqldb.query import AggregateQuery, QueryElement
+
+#: Spoken forms of the aggregate functions, used for phonetic comparison.
+_SPOKEN_AGG = {
+    AggregateFunction.AVG: "average",
+    AggregateFunction.SUM: "total sum",
+    AggregateFunction.COUNT: "count",
+    AggregateFunction.MIN: "minimum",
+    AggregateFunction.MAX: "maximum",
+}
+
+
+@dataclass(frozen=True)
+class CandidateQuery:
+    """Definition 1 of the paper: a query the voice input may translate to,
+    with the system's confidence that it matches the user's intent."""
+
+    query: AggregateQuery
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise CandidateGenerationError(
+                f"probability {self.probability} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class _Alternative:
+    """One possible substitution for one query element."""
+
+    element_index: int
+    replacement: object
+    weight: float
+
+
+class CandidateGenerator:
+    """Expands a seed query into a probability distribution over candidates.
+
+    Parameters
+    ----------
+    database / table_name:
+        Where to find the vocabulary of plausible substitutions (column
+        names and distinct text values).
+    k:
+        How many phonetically similar alternatives to retrieve per element
+        (the paper "typically sets k to 20").
+    sharpness:
+        Exponent applied to similarity scores when converting them to
+        replacement weights; larger values concentrate probability mass on
+        the closest-sounding alternatives.
+    replacement_penalty:
+        Prior odds of any single element having been mis-recognised,
+        relative to keeping the original (weight of the original is 1).
+    max_simultaneous:
+        Maximum number of elements replaced at once.  Probability decays
+        with the product rule, so two is usually plenty.
+    """
+
+    def __init__(self, database: Database, table_name: str, k: int = 20,
+                 sharpness: float = 6.0, replacement_penalty: float = 0.4,
+                 max_simultaneous: int = 2,
+                 vary_aggregate_function: bool = True) -> None:
+        if k <= 0:
+            raise CandidateGenerationError("k must be positive")
+        table = database.table(table_name)
+        self._k = k
+        self._sharpness = sharpness
+        self._replacement_penalty = replacement_penalty
+        self._max_simultaneous = max(1, max_simultaneous)
+        self._vary_aggregate_function = vary_aggregate_function
+
+        self._numeric_index = PhoneticIndex(
+            c.name for c in table.schema.numeric_columns())
+        self._text_column_index = PhoneticIndex(
+            c.name for c in table.schema.text_columns())
+        import numpy as np
+        self._value_indexes: dict[str, PhoneticIndex] = {}
+        for column in table.schema.text_columns():
+            values = np.unique(table.column(column.name)).tolist()
+            self._value_indexes[column.name] = PhoneticIndex(values)
+
+    # ------------------------------------------------------------------
+
+    def candidates(self, seed: AggregateQuery,
+                   max_candidates: int = 20) -> list[CandidateQuery]:
+        """The *max_candidates* most likely interpretations of *seed*.
+
+        The seed itself is always included (it is the most likely single
+        candidate).  Probabilities are normalised to sum to one over the
+        returned set, matching the "probability distribution over query
+        candidates" the visualization planner consumes.
+        """
+        if max_candidates <= 0:
+            raise CandidateGenerationError("max_candidates must be positive")
+        elements = list(seed.elements())
+        alternatives = self._collect_alternatives(seed, elements)
+
+        weighted: dict[AggregateQuery, float] = {seed: 1.0}
+        for count in range(1, self._max_simultaneous + 1):
+            for combo in self._element_combinations(alternatives, count):
+                query = seed
+                weight = 1.0
+                for alternative in combo:
+                    element = elements[alternative.element_index]
+                    query = query.replace_element(element,
+                                                  alternative.replacement)
+                    weight *= alternative.weight
+                if query == seed:
+                    continue
+                existing = weighted.get(query, 0.0)
+                if weight > existing:
+                    weighted[query] = weight
+
+        top = heapq.nlargest(max_candidates, weighted.items(),
+                             key=lambda item: (item[1],
+                                               item[0].to_sql()))
+        total = sum(weight for _, weight in top)
+        return [CandidateQuery(query, weight / total)
+                for query, weight in top]
+
+    # ------------------------------------------------------------------
+
+    def _collect_alternatives(self, seed: AggregateQuery,
+                              elements: list[QueryElement],
+                              ) -> list[list[_Alternative]]:
+        """Alternatives per element, indexed like *elements*."""
+        per_element: list[list[_Alternative]] = []
+        for index, element in enumerate(elements):
+            if element.kind == "agg_func":
+                per_element.append(
+                    self._aggregate_alternatives(seed, index))
+            elif element.kind == "agg_column":
+                per_element.append(self._index_alternatives(
+                    self._numeric_index, element, index))
+            elif element.kind == "pred_column":
+                per_element.append(self._index_alternatives(
+                    self._text_column_index, element, index))
+            else:  # pred_value
+                predicate = seed.predicates[element.position]
+                value_index = self._value_indexes.get(predicate.column)
+                if value_index is None:
+                    per_element.append([])
+                else:
+                    per_element.append(self._index_alternatives(
+                        value_index, element, index))
+        return per_element
+
+    def _aggregate_alternatives(self, seed: AggregateQuery,
+                                element_index: int) -> list[_Alternative]:
+        if not self._vary_aggregate_function:
+            return []
+        current = seed.aggregate.func
+        spoken = _SPOKEN_AGG[current]
+        alternatives = []
+        for func, spoken_alt in _SPOKEN_AGG.items():
+            if func == current:
+                continue
+            if seed.aggregate.column is None and func != AggregateFunction.COUNT:
+                continue  # SUM(*) etc. is invalid
+            if func.requires_numeric and seed.aggregate.column is None:
+                continue
+            similarity = self._text_column_index.similarity(spoken,
+                                                            spoken_alt)
+            weight = self._weight(similarity)
+            if weight > 0.0:
+                alternatives.append(
+                    _Alternative(element_index, func.value, weight))
+        return alternatives
+
+    def _index_alternatives(self, index: PhoneticIndex,
+                            element: QueryElement,
+                            element_index: int) -> list[_Alternative]:
+        alternatives = []
+        for scored in index.most_similar(element.text, k=self._k,
+                                         include_self=False):
+            weight = self._weight(scored.score)
+            if weight > 0.0:
+                alternatives.append(
+                    _Alternative(element_index, scored.term, weight))
+        return alternatives
+
+    def _weight(self, similarity: float) -> float:
+        """Replacement weight from a similarity score (original has 1.0)."""
+        return self._replacement_penalty * (similarity ** self._sharpness)
+
+    @staticmethod
+    def _element_combinations(alternatives: list[list[_Alternative]],
+                              count: int):
+        """All ways to pick *count* alternatives from distinct elements."""
+        indices = [i for i, alts in enumerate(alternatives) if alts]
+        for chosen in itertools.combinations(indices, count):
+            pools = [alternatives[i] for i in chosen]
+            yield from itertools.product(*pools)

@@ -1,0 +1,90 @@
+"""Query-log priors for candidate probabilities (related-work extension).
+
+The paper's related work points at approaches that reduce ambiguity "by
+considering more information (e.g., query logs)" and calls them
+complementary.  :class:`QueryLogPrior` implements the natural combination:
+candidate probabilities from phonetic similarity are re-weighted by how
+often structurally similar queries were asked before, then renormalised.
+
+The prior is deliberately simple and fully inspectable: each logged query
+contributes counts for its aggregate call and each of its predicates; a
+candidate's prior score is a smoothed product of its elements' relative
+frequencies.  ``strength`` interpolates between pure phonetics (0) and
+pure history (1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import CandidateGenerationError
+from repro.nlq.candidates import CandidateQuery
+from repro.sqldb.query import AggregateQuery
+
+
+class QueryLogPrior:
+    """Frequency statistics over previously issued queries."""
+
+    def __init__(self, strength: float = 0.3,
+                 smoothing: float = 1.0) -> None:
+        if not 0.0 <= strength <= 1.0:
+            raise CandidateGenerationError(
+                "prior strength must be within [0, 1]")
+        if smoothing <= 0.0:
+            raise CandidateGenerationError("smoothing must be positive")
+        self.strength = strength
+        self.smoothing = smoothing
+        self._aggregate_counts: Counter = Counter()
+        self._predicate_counts: Counter = Counter()
+        self._num_logged = 0
+
+    # ------------------------------------------------------------------
+
+    def record(self, query: AggregateQuery) -> None:
+        """Log one issued query (call this when the user confirms a
+        result, e.g. by clicking its bar)."""
+        self._aggregate_counts[query.aggregate] += 1
+        for predicate in query.predicates:
+            self._predicate_counts[(predicate.column,
+                                    predicate.value)] += 1
+        self._num_logged += 1
+
+    @property
+    def num_logged(self) -> int:
+        return self._num_logged
+
+    # ------------------------------------------------------------------
+
+    def score(self, query: AggregateQuery) -> float:
+        """Smoothed relative-frequency score in (0, 1]."""
+        denominator = self._num_logged + self.smoothing
+        score = ((self._aggregate_counts[query.aggregate]
+                  + self.smoothing) / denominator)
+        for predicate in query.predicates:
+            score *= ((self._predicate_counts[(predicate.column,
+                                               predicate.value)]
+                       + self.smoothing) / denominator)
+        return min(1.0, score)
+
+    def reweight(self, candidates: list[CandidateQuery],
+                 ) -> list[CandidateQuery]:
+        """Candidates re-weighted by history and renormalised.
+
+        Each probability becomes ``p^(1-s) * prior^s`` (a log-linear
+        mixture), keeping the ranking stable when the log is empty.
+        """
+        if not candidates:
+            return []
+        strength = self.strength
+        weights = [
+            (candidate.probability ** (1.0 - strength))
+            * (self.score(candidate.query) ** strength)
+            for candidate in candidates
+        ]
+        total = sum(weights)
+        if total <= 0.0:
+            return list(candidates)
+        reweighted = [CandidateQuery(candidate.query, weight / total)
+                      for candidate, weight in zip(candidates, weights)]
+        reweighted.sort(key=lambda c: (-c.probability, c.query.to_sql()))
+        return reweighted

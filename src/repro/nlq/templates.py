@@ -1,0 +1,174 @@
+"""Query templates: the grouping structure behind plots.
+
+Definition 2 of the paper: a plot visualizes results for queries that
+"instantiate a common query template with placeholders"; the template is the
+plot title, the placeholder substitutions label the x-axis.  Placeholders
+may stand for the aggregation function, the aggregation column, one
+predicate's constant, or one predicate's column.
+
+A :class:`QueryTemplate` is identified purely by the *fixed* parts of the
+query — the varying element is excluded from equality and hashing — so two
+candidate queries that differ only in the placeholder slot map to the same
+template object.  That identification is the ``T(q)`` function of
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import PlanningError
+from repro.sqldb.expressions import AggregateCall, AggregateFunction
+from repro.sqldb.query import AggregateQuery, Predicate
+
+#: Placeholder marker used in rendered template titles.
+PLACEHOLDER = "?"
+
+_KINDS = ("agg_func", "agg_column", "pred_value", "pred_column")
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query shape with exactly one element replaced by a placeholder.
+
+    ``kind`` names the varying element.  The remaining fields hold only the
+    *fixed* parts: ``agg_func`` is ``None`` when the function varies,
+    ``agg_column`` is ``None`` when the aggregation column varies (or for
+    ``COUNT(*)``), and ``anchor`` pins the fixed half of the varying
+    predicate (its column for ``pred_value``, its value for
+    ``pred_column``).
+    """
+
+    kind: str
+    table: str
+    agg_func: AggregateFunction | None
+    agg_column: str | None
+    fixed_predicates: tuple[Predicate, ...]
+    anchor: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown template kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Relationship to queries
+    # ------------------------------------------------------------------
+
+    def matches(self, query: AggregateQuery) -> bool:
+        """True when *query* instantiates this template."""
+        return self in set(templates_of(query))
+
+    def x_label(self, query: AggregateQuery) -> str:
+        """The x-axis label of *query*'s bar in a plot of this template
+        (i.e. the placeholder substitution)."""
+        if self.kind == "agg_func":
+            return query.aggregate.func.value.upper()
+        if self.kind == "agg_column":
+            return query.aggregate.column or "*"
+        varying = self._varying_predicate(query)
+        if self.kind == "pred_value":
+            return str(varying.value)
+        return varying.column
+
+    def _varying_predicate(self, query: AggregateQuery) -> Predicate:
+        fixed = set(self.fixed_predicates)
+        extras = [p for p in query.predicates if p not in fixed]
+        if len(extras) != 1 or not fixed <= set(query.predicates):
+            raise PlanningError(
+                f"query {query.to_sql()!r} does not instantiate "
+                f"template {self.title()!r}")
+        return extras[0]
+
+    def instantiate(self, substitution: Any) -> AggregateQuery:
+        """Fill the placeholder with *substitution*, yielding a query."""
+        if self.kind == "agg_func":
+            func = AggregateFunction(str(substitution).lower())
+            if self.agg_column is None and func != AggregateFunction.COUNT:
+                raise PlanningError(
+                    f"{func.value.upper()}(*) is not a valid substitution")
+            call = AggregateCall(func, self.agg_column)
+            return AggregateQuery(self.table, call, self.fixed_predicates)
+        if self.kind == "agg_column":
+            assert self.agg_func is not None
+            call = AggregateCall(self.agg_func, str(substitution))
+            return AggregateQuery(self.table, call, self.fixed_predicates)
+        assert self.agg_func is not None
+        call = AggregateCall(self.agg_func, self.agg_column)
+        if self.kind == "pred_value":
+            predicate = Predicate(str(self.anchor), substitution)
+        else:  # pred_column
+            predicate = Predicate(str(substitution), self.anchor)
+        return AggregateQuery(self.table, call,
+                              self.fixed_predicates + (predicate,))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def title(self) -> str:
+        """Human-readable plot title with the placeholder marked."""
+        func_text = (PLACEHOLDER if self.agg_func is None
+                     else self.agg_func.value.upper())
+        if self.kind == "agg_column":
+            column_text = PLACEHOLDER
+        else:
+            column_text = self.agg_column or "*"
+        head = f"{func_text}({column_text})"
+        rendered: list[str] = [p.to_sql() for p in self.fixed_predicates]
+        if self.kind == "pred_value":
+            rendered.append(f"{self.anchor} = {PLACEHOLDER}")
+        elif self.kind == "pred_column":
+            rendered.append(f"{PLACEHOLDER} = "
+                            f"{_render_value(self.anchor)}")
+        if not rendered:
+            return head
+        return f"{head} WHERE {' AND '.join(sorted(rendered))}"
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def templates_of(query: AggregateQuery) -> Iterator[QueryTemplate]:
+    """All templates a query instantiates — ``T(q)`` in Algorithm 2.
+
+    We introduce a placeholder for exactly one element at a time (the paper
+    introduces placeholders "for a limited number of elements"; plots with
+    multiple placeholders would need multi-dimensional axes).
+    """
+    yield QueryTemplate(
+        kind="agg_func",
+        table=query.table,
+        agg_func=None,
+        agg_column=query.aggregate.column,
+        fixed_predicates=query.predicates,
+    )
+    if query.aggregate.column is not None:
+        yield QueryTemplate(
+            kind="agg_column",
+            table=query.table,
+            agg_func=query.aggregate.func,
+            agg_column=None,
+            fixed_predicates=query.predicates,
+        )
+    for index, predicate in enumerate(query.predicates):
+        others = (query.predicates[:index] + query.predicates[index + 1:])
+        yield QueryTemplate(
+            kind="pred_value",
+            table=query.table,
+            agg_func=query.aggregate.func,
+            agg_column=query.aggregate.column,
+            fixed_predicates=others,
+            anchor=predicate.column,
+        )
+        yield QueryTemplate(
+            kind="pred_column",
+            table=query.table,
+            agg_func=query.aggregate.func,
+            agg_column=query.aggregate.column,
+            fixed_predicates=others,
+            anchor=predicate.value,
+        )

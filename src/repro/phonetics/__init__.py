@@ -1,0 +1,39 @@
+"""Phonetic encodings and string similarity (the Lucene substitute).
+
+The paper maps query/database elements to a phonetic representation with the
+Double Metaphone algorithm and measures similarity of the encodings with the
+Jaro-Winkler distance; Apache Lucene provides the "k most phonetically
+similar entries" lookup.  This package reimplements all three pieces:
+
+* :func:`double_metaphone` — the Philips (2000) Double Metaphone codec,
+  returning a primary and alternate code.
+* :mod:`repro.phonetics.distance` — Jaro, Jaro-Winkler, Levenshtein and
+  Damerau-Levenshtein similarities.
+* :class:`PhoneticIndex` — an in-memory index over a vocabulary supporting
+  ``most_similar(term, k)``, used wherever the paper calls Lucene.
+
+Soundex and NYSIIS codecs are included for comparison/ablation purposes.
+"""
+
+from repro.phonetics.distance import (
+    damerau_levenshtein,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+)
+from repro.phonetics.index import PhoneticIndex, ScoredTerm
+from repro.phonetics.metaphone import double_metaphone
+from repro.phonetics.nysiis import nysiis
+from repro.phonetics.soundex import soundex
+
+__all__ = [
+    "PhoneticIndex",
+    "ScoredTerm",
+    "damerau_levenshtein",
+    "double_metaphone",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "nysiis",
+    "soundex",
+]

@@ -1,0 +1,122 @@
+"""Edit- and Jaro-family string similarities.
+
+The paper computes phonetic similarity as the Jaro-Winkler similarity of
+Double Metaphone encodings.  Levenshtein and Damerau-Levenshtein are provided
+as alternative metrics for ablations and for the ASR noise model.
+"""
+
+from __future__ import annotations
+
+
+def jaro(s1: str, s2: str) -> float:
+    """Jaro similarity in [0, 1]; 1.0 means identical strings.
+
+    Uses the standard definition: matches are characters equal within a
+    window of ``max(len)/2 - 1``; transpositions are matched characters in a
+    different relative order.
+    """
+    if s1 == s2:
+        return 1.0
+    len1, len2 = len(s1), len(s2)
+    if len1 == 0 or len2 == 0:
+        return 0.0
+    window = max(len1, len2) // 2 - 1
+    if window < 0:
+        window = 0
+    matched1 = [False] * len1
+    matched2 = [False] * len2
+    matches = 0
+    for i, ch in enumerate(s1):
+        lo = max(0, i - window)
+        hi = min(len2, i + window + 1)
+        for j in range(lo, hi):
+            if not matched2[j] and s2[j] == ch:
+                matched1[i] = True
+                matched2[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len1):
+        if matched1[i]:
+            while not matched2[j]:
+                j += 1
+            if s1[i] != s2[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len1 + m / len2 + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(s1: str, s2: str, prefix_scale: float = 0.1,
+                 max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by the common prefix length.
+
+    ``prefix_scale`` must not exceed 0.25 or the result can leave [0, 1].
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be within [0, 0.25]")
+    base = jaro(s1, s2)
+    prefix = 0
+    for c1, c2 in zip(s1, s2):
+        if c1 != c2 or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def levenshtein(s1: str, s2: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs)."""
+    if s1 == s2:
+        return 0
+    if len(s1) < len(s2):
+        s1, s2 = s2, s1
+    if not s2:
+        return len(s1)
+    previous = list(range(len(s2) + 1))
+    for i, c1 in enumerate(s1, start=1):
+        current = [i]
+        for j, c2 in enumerate(s2, start=1):
+            cost = 0 if c1 == c2 else 1
+            current.append(min(previous[j] + 1,
+                               current[j - 1] + 1,
+                               previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein(s1: str, s2: str) -> int:
+    """Edit distance that also counts adjacent transpositions as one edit."""
+    if s1 == s2:
+        return 0
+    len1, len2 = len(s1), len(s2)
+    if len1 == 0:
+        return len2
+    if len2 == 0:
+        return len1
+    # Three rolling rows: two back, one back, current.
+    two_back = [0] * (len2 + 1)
+    one_back = list(range(len2 + 1))
+    for i in range(1, len1 + 1):
+        current = [i] + [0] * len2
+        for j in range(1, len2 + 1):
+            cost = 0 if s1[i - 1] == s2[j - 1] else 1
+            current[j] = min(one_back[j] + 1,
+                             current[j - 1] + 1,
+                             one_back[j - 1] + cost)
+            if (i > 1 and j > 1 and s1[i - 1] == s2[j - 2]
+                    and s1[i - 2] == s2[j - 1]):
+                current[j] = min(current[j], two_back[j - 2] + 1)
+        two_back, one_back = one_back, current
+    return one_back[-1]
+
+
+def normalized_levenshtein_similarity(s1: str, s2: str) -> float:
+    """1 - Levenshtein / max-length, in [0, 1] (1.0 for two empty strings)."""
+    longest = max(len(s1), len(s2))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(s1, s2) / longest

@@ -1,0 +1,588 @@
+"""Double Metaphone phonetic codec (Philips, C/C++ Users Journal 2000).
+
+This is a from-scratch Python port of the reference rule set.  The codec maps
+a word to a *primary* and an *alternate* code over the alphabet
+``0 A F H J K L M N P R S T X`` (``0`` encodes "th", ``X`` encodes "sh/ch").
+Two words are considered phonetically identical when any of their codes
+match; graded similarity is obtained by comparing codes with Jaro-Winkler
+(see :mod:`repro.phonetics.distance`), exactly as in the paper.
+
+The implementation follows the original control flow: a cursor walks the
+normalised word and each consonant class appends to both code buffers, with
+the alternate buffer diverging for ambiguous spellings (e.g. Slavo-Germanic
+words, ``-gn-``, ``sch``...).
+"""
+
+from __future__ import annotations
+
+VOWELS = frozenset("AEIOUY")
+
+
+def _is_vowel(word: str, pos: int) -> bool:
+    return 0 <= pos < len(word) and word[pos] in VOWELS
+
+
+def _is_slavo_germanic(word: str) -> bool:
+    return any(tag in word for tag in ("W", "K", "CZ", "WITZ"))
+
+
+def _contains(word: str, start: int, length: int, *targets: str) -> bool:
+    """True if word[start:start+length] equals any target (bounds-safe)."""
+    if start < 0:
+        return False
+    fragment = word[start:start + length]
+    return fragment in targets
+
+
+def double_metaphone(value: str, max_length: int = 8) -> tuple[str, str]:
+    """Return the (primary, alternate) Double Metaphone codes for *value*.
+
+    Non-alphabetic characters are ignored.  ``max_length`` bounds the code
+    length (the reference implementation uses 4; we default to 8 for finer
+    discrimination between long identifiers, matching what one would
+    configure in Lucene's ``DoubleMetaphoneFilter``).
+    """
+    word = "".join(ch for ch in value.upper() if "A" <= ch <= "Z")
+    if not word:
+        return "", ""
+
+    primary: list[str] = []
+    secondary: list[str] = []
+
+    def add(p: str, s: str | None = None) -> None:
+        primary.append(p)
+        secondary.append(p if s is None else s)
+
+    length = len(word)
+    last = length - 1
+    slavo_germanic = _is_slavo_germanic(word)
+    pos = 0
+
+    # Skip silent letters at the start of the word.
+    if word[:2] in ("GN", "KN", "PN", "WR", "PS"):
+        pos = 1
+    # Initial X is pronounced Z, which maps to S (e.g. "Xavier").
+    if word[0] == "X":
+        add("S")
+        pos = 1
+
+    while pos < length and (len(primary) < max_length
+                            or len(secondary) < max_length):
+        ch = word[pos]
+
+        if ch in VOWELS:
+            if pos == 0:
+                add("A")
+            pos += 1
+            continue
+
+        if ch == "B":
+            # "-mb", e.g. "dumb", already skipped over... "mb" handled at M.
+            add("P")
+            pos += 2 if _contains(word, pos + 1, 1, "B") else 1
+            continue
+
+        if ch == "Ç":  # C-cedilla, normalised away above; kept for safety
+            add("S")
+            pos += 1
+            continue
+
+        if ch == "C":
+            # Various Germanic spellings: "ACH" not preceded by a vowel.
+            if (pos > 1 and not _is_vowel(word, pos - 2)
+                    and _contains(word, pos - 1, 3, "ACH")
+                    and not _contains(word, pos + 2, 1, "I")
+                    and (not _contains(word, pos + 2, 1, "E")
+                         or _contains(word, pos - 2, 6, "BACHER", "MACHER"))):
+                add("K")
+                pos += 2
+                continue
+            # Special case: "caesar".
+            if pos == 0 and _contains(word, pos, 6, "CAESAR"):
+                add("S")
+                pos += 2
+                continue
+            # Italian "chianti".
+            if _contains(word, pos, 4, "CHIA"):
+                add("K")
+                pos += 2
+                continue
+            if _contains(word, pos, 2, "CH"):
+                # "michael"
+                if pos > 0 and _contains(word, pos, 4, "CHAE"):
+                    add("K", "X")
+                    pos += 2
+                    continue
+                # Greek roots at word start, e.g. "chemistry", "chorus".
+                if (pos == 0
+                        and (_contains(word, pos + 1, 5, "HARAC", "HARIS")
+                             or _contains(word, pos + 1, 3,
+                                          "HOR", "HYM", "HIA", "HEM"))
+                        and not _contains(word, 0, 5, "CHORE")):
+                    add("K")
+                    pos += 2
+                    continue
+                # Germanic/Greek "ch" -> K: "van ...", "schooner" etc.
+                if ((_contains(word, 0, 4, "VAN ", "VON ")
+                     or _contains(word, 0, 3, "SCH"))
+                        or _contains(word, pos - 2, 6,
+                                     "ORCHES", "ARCHIT", "ORCHID")
+                        or _contains(word, pos + 2, 1, "T", "S")
+                        or ((pos == 0
+                             or _contains(word, pos - 1, 1, "A", "O", "U", "E"))
+                            and _contains(word, pos + 2, 1, "L", "R", "N",
+                                          "M", "B", "H", "F", "V", "W", " ")
+                            )):
+                    add("K")
+                else:
+                    if pos > 0:
+                        if _contains(word, 0, 2, "MC"):
+                            add("K")
+                        else:
+                            add("X", "K")
+                    else:
+                        add("X")
+                pos += 2
+                continue
+            # "czerny"
+            if (_contains(word, pos, 2, "CZ")
+                    and not _contains(word, pos - 2, 4, "WICZ")):
+                add("S", "X")
+                pos += 2
+                continue
+            # "focaccia"
+            if _contains(word, pos + 1, 3, "CIA"):
+                add("X")
+                pos += 3
+                continue
+            # Double C, but not "McClellan".
+            if (_contains(word, pos, 2, "CC")
+                    and not (pos == 1 and word[0] == "M")):
+                # "bellocchio" but not "bacchus"
+                if (_contains(word, pos + 2, 1, "I", "E", "H")
+                        and not _contains(word, pos + 2, 2, "HU")):
+                    # "accident", "accede", "succeed"
+                    if ((pos == 1 and _contains(word, pos - 1, 1, "A"))
+                            or _contains(word, pos - 1, 5, "UCCEE", "UCCES")):
+                        add("KS")
+                    else:
+                        add("X")
+                    pos += 3
+                    continue
+                # Pierce's rule.
+                add("K")
+                pos += 2
+                continue
+            if _contains(word, pos, 2, "CK", "CG", "CQ"):
+                add("K")
+                pos += 2
+                continue
+            if _contains(word, pos, 2, "CI", "CE", "CY"):
+                # Italian vs English.
+                if _contains(word, pos, 3, "CIO", "CIE", "CIA"):
+                    add("S", "X")
+                else:
+                    add("S")
+                pos += 2
+                continue
+            add("K")
+            if _contains(word, pos + 1, 2, " C", " Q", " G"):
+                pos += 3
+            elif (_contains(word, pos + 1, 1, "C", "K", "Q")
+                    and not _contains(word, pos + 1, 2, "CE", "CI")):
+                pos += 2
+            else:
+                pos += 1
+            continue
+
+        if ch == "D":
+            if _contains(word, pos, 2, "DG"):
+                if _contains(word, pos + 2, 1, "I", "E", "Y"):
+                    # "edge"
+                    add("J")
+                    pos += 3
+                else:
+                    # "edgar"
+                    add("TK")
+                    pos += 2
+                continue
+            if _contains(word, pos, 2, "DT", "DD"):
+                add("T")
+                pos += 2
+                continue
+            add("T")
+            pos += 1
+            continue
+
+        if ch == "F":
+            add("F")
+            pos += 2 if _contains(word, pos + 1, 1, "F") else 1
+            continue
+
+        if ch == "G":
+            if _contains(word, pos + 1, 1, "H"):
+                if pos > 0 and not _is_vowel(word, pos - 1):
+                    add("K")
+                    pos += 2
+                    continue
+                if pos == 0:
+                    # "ghislane" vs "ghoul"
+                    if _contains(word, pos + 2, 1, "I"):
+                        add("J")
+                    else:
+                        add("K")
+                    pos += 2
+                    continue
+                # Parker's rule (with some further refinements): silent GH.
+                if ((pos > 1 and _contains(word, pos - 2, 1, "B", "H", "D"))
+                        or (pos > 2
+                            and _contains(word, pos - 3, 1, "B", "H", "D"))
+                        or (pos > 3
+                            and _contains(word, pos - 4, 1, "B", "H"))):
+                    pos += 2
+                    continue
+                # "laugh", "McLaughlin", "cough", "gough", "rough", "tough"
+                if (pos > 2 and _contains(word, pos - 1, 1, "U")
+                        and _contains(word, pos - 3, 1,
+                                      "C", "G", "L", "R", "T")):
+                    add("F")
+                elif pos > 0 and not _contains(word, pos - 1, 1, "I"):
+                    add("K")
+                pos += 2
+                continue
+            if _contains(word, pos + 1, 1, "N"):
+                if pos == 1 and _is_vowel(word, 0) and not slavo_germanic:
+                    add("KN", "N")
+                elif (not _contains(word, pos + 2, 2, "EY")
+                        and not _contains(word, pos + 1, 1, "Y")
+                        and not slavo_germanic):
+                    add("N", "KN")
+                else:
+                    add("KN")
+                pos += 2
+                continue
+            # "tagliaro"
+            if _contains(word, pos + 1, 2, "LI") and not slavo_germanic:
+                add("KL", "L")
+                pos += 2
+                continue
+            # -ges-, -gep-, -gel- at start
+            if (pos == 0
+                    and (_contains(word, pos + 1, 1, "Y")
+                         or _contains(word, pos + 1, 2,
+                                      "ES", "EP", "EB", "EL", "EY", "IB",
+                                      "IL", "IN", "IE", "EI", "ER"))):
+                add("K", "J")
+                pos += 2
+                continue
+            # -ger-, -gy-
+            if ((_contains(word, pos + 1, 2, "ER")
+                 or _contains(word, pos + 1, 1, "Y"))
+                    and not _contains(word, 0, 6, "DANGER", "RANGER", "MANGER")
+                    and not _contains(word, pos - 1, 1, "E", "I")
+                    and not _contains(word, pos - 1, 3, "RGY", "OGY")):
+                add("K", "J")
+                pos += 2
+                continue
+            # Italian "biaggi"
+            if (_contains(word, pos + 1, 1, "E", "I", "Y")
+                    or _contains(word, pos - 1, 4, "AGGI", "OGGI")):
+                if (_contains(word, 0, 4, "VAN ", "VON ")
+                        or _contains(word, 0, 3, "SCH")
+                        or _contains(word, pos + 1, 2, "ET")):
+                    add("K")
+                elif _contains(word, pos + 1, 4, "IER "):
+                    add("J")
+                elif _contains(word, pos + 1, 3, "IER") and pos + 4 == length:
+                    add("J")
+                else:
+                    add("J", "K")
+                pos += 2
+                continue
+            add("K")
+            pos += 2 if _contains(word, pos + 1, 1, "G") else 1
+            continue
+
+        if ch == "H":
+            # Keep H only between vowels or after certain consonants.
+            if (pos == 0 or _is_vowel(word, pos - 1)) and _is_vowel(word,
+                                                                    pos + 1):
+                add("H")
+                pos += 2
+            else:
+                pos += 1
+            continue
+
+        if ch == "J":
+            # Spanish "jose", "san jacinto"
+            if _contains(word, pos, 4, "JOSE") or _contains(word, 0, 4,
+                                                            "SAN "):
+                if ((pos == 0 and word[pos + 4:pos + 5] == " ")
+                        or _contains(word, 0, 4, "SAN ")):
+                    add("H")
+                else:
+                    add("J", "H")
+                pos += 1
+                continue
+            if pos == 0 and not _contains(word, pos, 4, "JOSE"):
+                add("J", "A")  # e.g. "Yankelovich" / "Jankelowicz"
+            elif (_is_vowel(word, pos - 1) and not slavo_germanic
+                    and _contains(word, pos + 1, 1, "A", "O")):
+                add("J", "H")
+            elif pos == last:
+                add("J", "")
+            elif (not _contains(word, pos + 1, 1, "L", "T", "K", "S", "N",
+                                "M", "B", "Z")
+                    and not _contains(word, pos - 1, 1, "S", "K", "L")):
+                add("J")
+            pos += 2 if _contains(word, pos + 1, 1, "J") else 1
+            continue
+
+        if ch == "K":
+            add("K")
+            pos += 2 if _contains(word, pos + 1, 1, "K") else 1
+            continue
+
+        if ch == "L":
+            if _contains(word, pos + 1, 1, "L"):
+                # Spanish "cabrillo", "gallegos"
+                if ((pos == length - 3
+                     and _contains(word, pos - 1, 4, "ILLO", "ILLA", "ALLE"))
+                        or ((_contains(word, last - 1, 2, "AS", "OS")
+                             or _contains(word, last, 1, "A", "O"))
+                            and _contains(word, pos - 1, 4, "ALLE"))):
+                    add("L", "")
+                    pos += 2
+                    continue
+                pos += 2
+            else:
+                pos += 1
+            add("L")
+            continue
+
+        if ch == "M":
+            if ((_contains(word, pos - 1, 3, "UMB")
+                 and (pos + 1 == last or _contains(word, pos + 2, 2, "ER")))
+                    or _contains(word, pos + 1, 1, "M")):
+                pos += 2
+            else:
+                pos += 1
+            add("M")
+            continue
+
+        if ch == "N":
+            add("N")
+            pos += 2 if _contains(word, pos + 1, 1, "N") else 1
+            continue
+
+        if ch == "P":
+            if _contains(word, pos + 1, 1, "H"):
+                add("F")
+                pos += 2
+                continue
+            add("P")
+            pos += 2 if _contains(word, pos + 1, 1, "P", "B") else 1
+            continue
+
+        if ch == "Q":
+            add("K")
+            pos += 2 if _contains(word, pos + 1, 1, "Q") else 1
+            continue
+
+        if ch == "R":
+            # French "rogier", but exclude "hochmeier"
+            if (pos == last and not slavo_germanic
+                    and _contains(word, pos - 2, 2, "IE")
+                    and not _contains(word, pos - 4, 2, "ME", "MA")):
+                add("", "R")
+            else:
+                add("R")
+            pos += 2 if _contains(word, pos + 1, 1, "R") else 1
+            continue
+
+        if ch == "S":
+            # Silent S: "isle", "carlisle"
+            if _contains(word, pos - 1, 3, "ISL", "YSL"):
+                pos += 1
+                continue
+            # "sugar"
+            if pos == 0 and _contains(word, pos, 5, "SUGAR"):
+                add("X", "S")
+                pos += 1
+                continue
+            if _contains(word, pos, 2, "SH"):
+                # Germanic "holsheim"
+                if _contains(word, pos + 1, 4, "HEIM", "HOEK", "HOLM",
+                             "HOLZ"):
+                    add("S")
+                else:
+                    add("X")
+                pos += 2
+                continue
+            # Italian & Armenian "sio"/"sia"
+            if (_contains(word, pos, 3, "SIO", "SIA")
+                    or _contains(word, pos, 4, "SIAN")):
+                if slavo_germanic:
+                    add("S")
+                else:
+                    add("S", "X")
+                pos += 3
+                continue
+            # German/Anglicised "sm", "sn", "sl", "sw": alternate X.
+            if ((pos == 0 and _contains(word, pos + 1, 1, "M", "N", "L", "W"))
+                    or _contains(word, pos + 1, 1, "Z")):
+                add("S", "X")
+                pos += 2 if _contains(word, pos + 1, 1, "Z") else 1
+                continue
+            if _contains(word, pos, 2, "SC"):
+                if _contains(word, pos + 2, 1, "H"):
+                    # Dutch "schooner" etc., vs "schenker"
+                    if _contains(word, pos + 3, 2, "OO", "ER", "EN", "UY",
+                                 "ED", "EM"):
+                        if _contains(word, pos + 3, 2, "ER", "EN"):
+                            add("X", "SK")
+                        else:
+                            add("SK")
+                    else:
+                        if (pos == 0 and not _is_vowel(word, 3)
+                                and word[3:4] != "W"):
+                            add("X", "S")
+                        else:
+                            add("X")
+                    pos += 3
+                    continue
+                if _contains(word, pos + 2, 1, "I", "E", "Y"):
+                    add("S")
+                    pos += 3
+                    continue
+                add("SK")
+                pos += 3
+                continue
+            # French "resnais", "artois"
+            if (pos == last and _contains(word, pos - 2, 2, "AI", "OI")):
+                add("", "S")
+            else:
+                add("S")
+            pos += 2 if _contains(word, pos + 1, 1, "S", "Z") else 1
+            continue
+
+        if ch == "T":
+            if _contains(word, pos, 4, "TION"):
+                add("X")
+                pos += 3
+                continue
+            if _contains(word, pos, 3, "TIA", "TCH"):
+                add("X")
+                pos += 3
+                continue
+            if (_contains(word, pos, 2, "TH")
+                    or _contains(word, pos, 3, "TTH")):
+                # "thomas", "thames" or Germanic
+                if (_contains(word, pos + 2, 2, "OM", "AM")
+                        or _contains(word, 0, 4, "VAN ", "VON ")
+                        or _contains(word, 0, 3, "SCH")):
+                    add("T")
+                else:
+                    add("0", "T")
+                pos += 2
+                continue
+            add("T")
+            pos += 2 if _contains(word, pos + 1, 1, "T", "D") else 1
+            continue
+
+        if ch == "V":
+            add("F")
+            pos += 2 if _contains(word, pos + 1, 1, "V") else 1
+            continue
+
+        if ch == "W":
+            # "wr" -> R
+            if _contains(word, pos, 2, "WR"):
+                add("R")
+                pos += 2
+                continue
+            if pos == 0 and (_is_vowel(word, pos + 1)
+                             or _contains(word, pos, 2, "WH")):
+                # "Wasserman" vs "Vasserman"
+                if _is_vowel(word, pos + 1):
+                    add("A", "F")
+                else:
+                    add("A")
+            # "Arnow" vs "Arnoff"
+            if ((pos == last and _is_vowel(word, pos - 1))
+                    or _contains(word, pos - 1, 5, "EWSKI", "EWSKY",
+                                 "OWSKI", "OWSKY")
+                    or _contains(word, 0, 3, "SCH")):
+                add("", "F")
+                pos += 1
+                continue
+            # Polish "filipowicz"
+            if _contains(word, pos, 4, "WICZ", "WITZ"):
+                add("TS", "FX")
+                pos += 4
+                continue
+            pos += 1
+            continue
+
+        if ch == "X":
+            # French "breaux": silent final X.
+            if not (pos == last
+                    and (_contains(word, pos - 3, 3, "IAU", "EAU")
+                         or _contains(word, pos - 2, 2, "AU", "OU"))):
+                add("KS")
+            pos += 2 if _contains(word, pos + 1, 1, "C", "X") else 1
+            continue
+
+        if ch == "Z":
+            # Chinese pinyin, e.g. "zhao"
+            if _contains(word, pos + 1, 1, "H"):
+                add("J")
+                pos += 2
+                continue
+            if (_contains(word, pos + 1, 2, "ZO", "ZI", "ZA")
+                    or (slavo_germanic and pos > 0
+                        and not _contains(word, pos - 1, 1, "T"))):
+                add("S", "TS")
+            else:
+                add("S")
+            pos += 2 if _contains(word, pos + 1, 1, "Z") else 1
+            continue
+
+        # Any other character (shouldn't occur after normalisation).
+        pos += 1
+
+    code_primary = "".join(primary)[:max_length]
+    code_secondary = "".join(secondary)[:max_length]
+    if code_secondary == code_primary:
+        code_secondary = ""
+    return code_primary, code_secondary
+
+
+def metaphone_codes(value: str, max_length: int = 8) -> tuple[str, ...]:
+    """All non-empty codes for *value* (primary, plus alternate if distinct).
+
+    Multi-word values are encoded per word and the codes concatenated with a
+    space, so that e.g. ``"new york"`` and ``"newark"`` remain comparable via
+    Jaro-Winkler on the combined encodings.
+    """
+    words = value.split()
+    if not words:
+        return ("",)
+    if len(words) == 1:
+        primary, alternate = double_metaphone(value, max_length)
+        return (primary,) if not alternate else (primary, alternate)
+    primaries: list[str] = []
+    alternates: list[str] = []
+    any_alternate = False
+    for word in words:
+        primary, alternate = double_metaphone(word, max_length)
+        primaries.append(primary)
+        if alternate:
+            any_alternate = True
+            alternates.append(alternate)
+        else:
+            alternates.append(primary)
+    combined_primary = " ".join(primaries)
+    if not any_alternate:
+        return (combined_primary,)
+    return (combined_primary, " ".join(alternates))

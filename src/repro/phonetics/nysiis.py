@@ -1,0 +1,86 @@
+"""NYSIIS phonetic codec (New York State Identification and Intelligence
+System), included for phonetic-codec ablations alongside Double Metaphone."""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("AEIOU")
+
+
+def nysiis(value: str, max_length: int = 8) -> str:
+    """Encode *value* with the original NYSIIS rules."""
+    word = "".join(ch for ch in value.upper() if "A" <= ch <= "Z")
+    if not word:
+        return ""
+
+    # Step 1: transcode first characters.
+    for prefix, repl in (("MAC", "MCC"), ("KN", "NN"), ("K", "C"),
+                         ("PH", "FF"), ("PF", "FF"), ("SCH", "SSS")):
+        if word.startswith(prefix):
+            word = repl + word[len(prefix):]
+            break
+
+    # Step 2: transcode last characters.
+    for suffix, repl in (("EE", "Y"), ("IE", "Y"), ("DT", "D"), ("RT", "D"),
+                         ("RD", "D"), ("NT", "D"), ("ND", "D")):
+        if word.endswith(suffix):
+            word = word[:-len(suffix)] + repl
+            break
+
+    key = [word[0]]
+    i = 1
+    while i < len(word):
+        ch = word[i]
+        if word[i:i + 2] == "EV":
+            translated = "AF"
+            step = 2
+        elif ch in _VOWELS:
+            translated = "A"
+            step = 1
+        elif ch == "Q":
+            translated = "G"
+            step = 1
+        elif ch == "Z":
+            translated = "S"
+            step = 1
+        elif ch == "M":
+            translated = "N"
+            step = 1
+        elif word[i:i + 2] == "KN":
+            translated = "N"
+            step = 2
+        elif ch == "K":
+            translated = "C"
+            step = 1
+        elif word[i:i + 3] == "SCH":
+            translated = "SSS"
+            step = 3
+        elif word[i:i + 2] == "PH":
+            translated = "FF"
+            step = 2
+        elif (ch == "H" and (word[i - 1] not in _VOWELS
+                             or (i + 1 < len(word)
+                                 and word[i + 1] not in _VOWELS))):
+            # Silent H duplicates the previous (translated) character and is
+            # then removed by the dedup step below.
+            translated = key[-1]
+            step = 1
+        elif ch == "W" and word[i - 1] in _VOWELS:
+            translated = key[-1]
+            step = 1
+        else:
+            translated = ch
+            step = 1
+        for out in translated:
+            if out != key[-1]:
+                key.append(out)
+        i += step
+
+    # Step 3: trim terminal S / AY / A.
+    if key[-1] == "S" and len(key) > 1:
+        key.pop()
+    if len(key) >= 2 and key[-2:] == ["A", "Y"]:
+        key[-2:] = ["Y"]
+    if key[-1] == "A" and len(key) > 1:
+        key.pop()
+
+    return "".join(key)[:max_length]

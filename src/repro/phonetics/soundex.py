@@ -1,0 +1,39 @@
+"""American Soundex codec (included for phonetic-codec ablations)."""
+
+from __future__ import annotations
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("BFPV", "1"),
+    **dict.fromkeys("CGJKQSXZ", "2"),
+    **dict.fromkeys("DT", "3"),
+    "L": "4",
+    **dict.fromkeys("MN", "5"),
+    "R": "6",
+}
+
+_HW = frozenset("HW")
+_VOWELS = frozenset("AEIOUY")
+
+
+def soundex(value: str, length: int = 4) -> str:
+    """Classic Soundex: first letter plus digit codes, zero-padded.
+
+    Follows the U.S. National Archives rules: letters separated by H or W
+    with the same code count once; vowels reset the run.
+    """
+    word = "".join(ch for ch in value.upper() if "A" <= ch <= "Z")
+    if not word:
+        return ""
+    first = word[0]
+    encoded = [first]
+    previous_code = _SOUNDEX_CODES.get(first, "")
+    for ch in word[1:]:
+        if ch in _HW:
+            continue
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != previous_code:
+            encoded.append(code)
+            if len(encoded) == length:
+                break
+        previous_code = code if ch not in _VOWELS else ""
+    return "".join(encoded).ljust(length, "0")[:length]

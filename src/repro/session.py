@@ -1,0 +1,103 @@
+"""Multi-turn sessions: MUVE that learns from confirmed results.
+
+A :class:`MuveSession` wraps a :class:`~repro.muve.Muve` instance and a
+:class:`~repro.nlq.priors.QueryLogPrior`.  Each turn re-weights the
+candidate distribution by what this user has asked before; when the user
+clicks a bar (confirming which interpretation was correct), the session
+logs it, sharpening future distributions.  This operationalises the
+related-work observation that query-log information is complementary to
+MUVE's phonetic disambiguation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.problem import MultiplotSelectionProblem
+from repro.errors import ReproError
+from repro.execution.progressive import ProcessingStrategy
+from repro.muve import Muve, MuveResponse
+from repro.nlq.priors import QueryLogPrior
+from repro.sqldb.query import AggregateQuery
+
+
+@dataclass
+class MuveSession:
+    """A user session: per-user prior over interpretations.
+
+    Parameters
+    ----------
+    muve:
+        The underlying system (shared across sessions is fine — the
+        session only owns the prior).
+    prior_strength:
+        How strongly history shifts the distribution (0 disables).
+    """
+
+    muve: Muve
+    prior_strength: float = 0.3
+    prior: QueryLogPrior = field(init=False)
+    _history: list[MuveResponse] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.prior = QueryLogPrior(strength=self.prior_strength)
+
+    # ------------------------------------------------------------------
+
+    def ask(self, text: str,
+            strategy: ProcessingStrategy | None = None) -> MuveResponse:
+        """One turn: candidates re-weighted by this session's history."""
+        response = self.muve.ask(text, strategy=strategy)
+        response = self._apply_prior(response)
+        self._history.append(response)
+        return response
+
+    def ask_voice(self, utterance: str,
+                  strategy: ProcessingStrategy | None = None,
+                  ) -> MuveResponse:
+        response = self.muve.ask_voice(utterance, strategy=strategy)
+        response = self._apply_prior(response)
+        self._history.append(response)
+        return response
+
+    def confirm(self, query: AggregateQuery) -> None:
+        """The user clicked *query*'s bar: log it for future turns.
+
+        The confirmed query must be displayed in the latest response
+        (users can only click what is on screen).
+        """
+        if not self._history:
+            raise ReproError("nothing to confirm: no question asked yet")
+        latest = self._history[-1]
+        if not latest.multiplot.shows(query):
+            raise ReproError(
+                f"query {query.to_sql()!r} is not displayed in the "
+                "latest multiplot")
+        self.prior.record(query)
+
+    @property
+    def turns(self) -> int:
+        return len(self._history)
+
+    # ------------------------------------------------------------------
+
+    def _apply_prior(self, response: MuveResponse) -> MuveResponse:
+        """Replan with history-adjusted probabilities (when any history
+        exists; the first turn passes through unchanged)."""
+        if self.prior.num_logged == 0 or self.prior_strength == 0.0:
+            return response
+        reweighted = tuple(self.prior.reweight(list(response.candidates)))
+        problem = MultiplotSelectionProblem(reweighted,
+                                            geometry=self.muve.geometry)
+        planning = self.muve.planner.plan(problem)
+        updates = tuple(self.muve._executor.run(planning.multiplot))
+        return MuveResponse(
+            utterance=response.utterance,
+            transcript=response.transcript,
+            seed_query=response.seed_query,
+            candidates=reweighted,
+            planning=planning,
+            updates=updates,
+            headline=response.headline,
+            geometry=response.geometry,
+        )

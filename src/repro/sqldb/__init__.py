@@ -1,0 +1,41 @@
+"""An in-memory columnar SQL engine — the Postgres substitute.
+
+MUVE needs four things from its database: (1) executing single-table
+aggregation queries with predicates, (2) merging phonetically-similar
+queries via ``IN`` predicates plus ``GROUP BY``, (3) optimizer-style cost
+estimates (``EXPLAIN``) to drive merge decisions and the processing-cost-
+aware ILP, and (4) sampling for approximate early results.  This package
+implements all four on top of numpy-backed columnar tables:
+
+* :class:`Database` — the connection façade (`create_table`, `execute`,
+  `explain`, `sample`).
+* :mod:`repro.sqldb.parser` — a tokenizer and recursive-descent parser for
+  the supported SQL subset.
+* :mod:`repro.sqldb.planner` — logical plans with a Postgres-flavoured cost
+  model (per-tuple and per-operator costs, selectivity estimation from
+  column statistics).
+* :mod:`repro.sqldb.executor` — vectorized evaluation.
+* :class:`AggregateQuery` — the structured query form the rest of MUVE
+  manipulates (aggregate + equality predicates on one table).
+"""
+
+from repro.sqldb.database import Database, QueryResult
+from repro.sqldb.planner import CostEstimate, PlanNode
+from repro.sqldb.query import AggregateFunction, AggregateQuery, Predicate
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateQuery",
+    "ColumnSchema",
+    "CostEstimate",
+    "Database",
+    "DataType",
+    "PlanNode",
+    "Predicate",
+    "QueryResult",
+    "Table",
+    "TableSchema",
+]

@@ -1,0 +1,138 @@
+"""Loading CSV files into the engine (real-data adoption path).
+
+The evaluation uses synthetic stand-ins, but the system itself is meant
+for real tables (the paper's NYC datasets are public CSV downloads).
+:func:`load_csv` infers a schema from the data — a column is INT if every
+non-empty value parses as an integer, FLOAT if every value parses as a
+number, TEXT otherwise — and returns a ready
+:class:`~repro.sqldb.table.Table`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+from repro.errors import CatalogError
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+#: Values treated as SQL NULL in CSV input; they force TEXT columns to
+#: keep an empty string and numeric columns to fall back to TEXT.
+_NULL_LIKE = frozenset({""})
+
+
+def _normalize_name(raw: str, position: int) -> str:
+    """A header cell as a legal identifier (snake_case, prefixed if odd)."""
+    cleaned = []
+    for ch in raw.strip():
+        if ch.isalnum():
+            cleaned.append(ch.lower())
+        elif cleaned and cleaned[-1] != "_":
+            cleaned.append("_")
+    name = "".join(cleaned).strip("_")
+    if not name:
+        name = f"column_{position}"
+    if name[0].isdigit():
+        name = f"c_{name}"
+    return name
+
+
+def _parse_int(text: str) -> int | None:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def _parse_float(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def infer_column_type(values: Iterable[str]) -> DataType:
+    """INT if everything parses as int, FLOAT if as float, else TEXT.
+
+    Empty cells are allowed for TEXT only: a numeric column with missing
+    values degrades to TEXT (the engine has no NULL), which keeps load
+    lossless and lets the caller clean up explicitly.
+    """
+    saw_any = False
+    all_int = True
+    all_float = True
+    for value in values:
+        stripped = value.strip()
+        if stripped in _NULL_LIKE:
+            return DataType.TEXT
+        saw_any = True
+        if all_int and _parse_int(stripped) is None:
+            all_int = False
+        if all_float and _parse_float(stripped) is None:
+            all_float = False
+        if not all_float:
+            break
+    if not saw_any:
+        return DataType.TEXT
+    if all_int:
+        return DataType.INT
+    if all_float:
+        return DataType.FLOAT
+    return DataType.TEXT
+
+
+def load_csv_text(text: str, table_name: str,
+                  delimiter: str = ",") -> Table:
+    """Parse CSV *text* (header row required) into a Table."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise CatalogError("CSV input is empty")
+    header, data = rows[0], rows[1:]
+    if not header or all(not cell.strip() for cell in header):
+        raise CatalogError("CSV header row is empty")
+    names = []
+    seen: set[str] = set()
+    for position, cell in enumerate(header):
+        name = _normalize_name(cell, position)
+        while name in seen:
+            name += "_"
+        seen.add(name)
+        names.append(name)
+    width = len(names)
+    for index, row in enumerate(data):
+        if len(row) != width:
+            raise CatalogError(
+                f"CSV row {index + 2} has {len(row)} cells, expected "
+                f"{width}")
+
+    column_types = [
+        infer_column_type(row[i] for row in data) for i in range(width)]
+    schema = TableSchema(table_name, tuple(
+        ColumnSchema(name, dtype)
+        for name, dtype in zip(names, column_types)))
+
+    def convert(cell: str, dtype: DataType):
+        stripped = cell.strip()
+        if dtype == DataType.INT:
+            return int(stripped)
+        if dtype == DataType.FLOAT:
+            return float(stripped)
+        return stripped
+
+    converted: list[Sequence] = [
+        tuple(convert(cell, dtype)
+              for cell, dtype in zip(row, column_types))
+        for row in data
+    ]
+    return Table.from_rows(schema, converted)
+
+
+def load_csv(path: str, table_name: str, delimiter: str = ",") -> Table:
+    """Load the CSV file at *path* into a Table."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        return load_csv_text(handle.read(), table_name,
+                             delimiter=delimiter)

@@ -1,0 +1,185 @@
+"""The connection façade tying parser, planner and executor together."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sqldb.executor import execute_select
+from repro.sqldb.parser import SelectStatement, parse
+from repro.sqldb.planner import PlanNode, plan_select
+from repro.sqldb.query import AggregateQuery
+from repro.sqldb.schema import Catalog, ColumnSchema, TableSchema
+from repro.sqldb.statistics import TableStatistics
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of a query: column names, rows, and wall-clock time."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    elapsed_seconds: float
+
+    def scalar(self) -> float:
+        """The single value of a one-row one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a scalar result, got {len(self.rows)} row(s) x "
+                f"{len(self.columns)} column(s)")
+        return self.rows[0][0]
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.lower() == lowered:
+                return index
+        raise ExecutionError(f"result has no column {name!r}")
+
+
+class Database:
+    """An in-memory database: catalog, tables, statistics, execution.
+
+    Statistics are computed lazily per table and cached; any mutation
+    through :meth:`insert_rows` invalidates the cache (our ``ANALYZE``).
+    """
+
+    def __init__(self, seed: int = 0,
+                 io_millis_per_page: float = 0.0) -> None:
+        """``io_millis_per_page`` > 0 simulates a disk-resident DBMS: every
+        query execution sleeps in proportion to the pages its scan reads
+        (scaled by the sample fraction, SYSTEM-sampling style).  The
+        scaling experiments use this to reproduce the paper's Postgres
+        regime, where page I/O dominates per-query cost; the default of 0
+        keeps the engine purely in-memory."""
+        self.catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+        self._rng = np.random.default_rng(seed)
+        self.io_millis_per_page = io_millis_per_page
+
+    # ------------------------------------------------------------------
+    # DDL / data loading
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, DataType | str]],
+                     ) -> TableSchema:
+        """Create an empty table. Columns are (name, type) pairs."""
+        schema_columns = []
+        for column_name, dtype in columns:
+            if isinstance(dtype, str):
+                from repro.sqldb.types import parse_type_name
+                dtype = parse_type_name(dtype)
+            schema_columns.append(ColumnSchema(column_name, dtype))
+        schema = TableSchema(name, tuple(schema_columns))
+        self.catalog.register(schema)
+        self._tables[schema.name.lower()] = Table(schema)
+        return schema
+
+    def register_table(self, table: Table) -> None:
+        """Adopt a pre-built table (dataset generators use this)."""
+        self.catalog.register(table.schema)
+        self._tables[table.schema.name.lower()] = table
+
+    def load_csv(self, path: str, table_name: str,
+                 delimiter: str = ",") -> TableSchema:
+        """Load a CSV file as a new table (schema inferred from data)."""
+        from repro.sqldb.csv_loader import load_csv
+        table = load_csv(path, table_name, delimiter=delimiter)
+        self.register_table(table)
+        return table.schema
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+        self._tables.pop(name.lower(), None)
+        self._statistics.pop(name.lower(), None)
+
+    def insert_rows(self, table_name: str,
+                    rows: Iterable[Sequence[Any]]) -> None:
+        table = self.table(table_name)
+        table.append_rows(rows)
+        self._statistics.pop(table_name.lower(), None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        key = table_name.lower()
+        if key not in self._statistics:
+            self._statistics[key] = TableStatistics(self.table(table_name))
+        return self._statistics[key]
+
+    def vocabulary(self, table_name: str,
+                   max_values_per_column: int = 1000) -> list[str]:
+        """All schema element names plus distinct text constants.
+
+        This is what gets loaded into the :class:`PhoneticIndex` — the
+        strings that a voice query could plausibly have meant.
+        """
+        table = self.table(table_name)
+        terms: list[str] = [table_name]
+        terms.extend(table.schema.column_names)
+        for column in table.schema.text_columns():
+            values = np.unique(table.column(column.name))
+            terms.extend(values[:max_values_per_column].tolist())
+        return terms
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def _coerce_statement(self, query: str | SelectStatement | AggregateQuery,
+                          ) -> SelectStatement:
+        if isinstance(query, SelectStatement):
+            return query
+        if isinstance(query, AggregateQuery):
+            return parse(query.to_sql())
+        return parse(query)
+
+    def execute(self, query: str | SelectStatement | AggregateQuery,
+                ) -> QueryResult:
+        """Parse (if needed), execute, and time a query."""
+        statement = self._coerce_statement(query)
+        table = self.table(statement.table)
+        start = time.perf_counter()
+        columns, rows = execute_select(statement, table, self._rng)
+        if self.io_millis_per_page > 0.0:
+            self._simulate_io(statement, table)
+        elapsed = time.perf_counter() - start
+        return QueryResult(columns=columns,
+                           rows=tuple(tuple(row) for row in rows),
+                           elapsed_seconds=elapsed)
+
+    def _simulate_io(self, statement: SelectStatement,
+                     table: Table) -> None:
+        """Sleep for the simulated page reads of a scan (see __init__)."""
+        from repro.sqldb.planner import PAGE_SIZE_BYTES
+        pages = max(1.0, table.estimated_bytes() / PAGE_SIZE_BYTES)
+        fraction = statement.sample_fraction or 1.0
+        time.sleep(pages * fraction * self.io_millis_per_page / 1000.0)
+
+    def explain(self, query: str | SelectStatement | AggregateQuery,
+                ) -> PlanNode:
+        """The cost-annotated plan without executing (Postgres EXPLAIN)."""
+        statement = self._coerce_statement(query)
+        table = self.table(statement.table)
+        return plan_select(statement, table, self.statistics(statement.table))
+
+    def estimated_cost(self, query: str | SelectStatement | AggregateQuery,
+                       ) -> float:
+        """Total plan cost in abstract optimizer units."""
+        return self.explain(query).cost.total

@@ -1,0 +1,130 @@
+"""Tokenizer for the supported SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "and", "or", "not", "in", "group", "by",
+    "as", "tablesample", "bernoulli", "true", "false", "explain",
+    "order", "limit", "asc", "desc", "distinct", "between", "like",
+    "having",
+})
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", "=", "<", ">", "*", ";")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def matches(self, token_type: TokenType, text: str | None = None) -> bool:
+        if self.type != token_type:
+            return False
+        return text is None or self.text == text
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SqlSyntaxError` on junk."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        ch = sql[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "'":
+            text, pos = _read_string(sql, pos)
+            yield Token(TokenType.STRING, text, pos)
+            continue
+        if ch.isdigit() or (ch in "+-." and pos + 1 < length
+                            and sql[pos + 1].isdigit()):
+            text, new_pos = _read_number(sql, pos)
+            yield Token(TokenType.NUMBER, text, pos)
+            pos = new_pos
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            word = sql[start:pos]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokenType.KEYWORD, lowered, start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, pos):
+                # Normalise != to the SQL-standard <>.
+                text = "<>" if symbol == "!=" else symbol
+                yield Token(TokenType.SYMBOL, text, pos)
+                pos += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", pos)
+    yield Token(TokenType.END, "", length)
+
+
+def _read_string(sql: str, pos: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at *pos*; '' escapes a quote."""
+    start = pos
+    pos += 1
+    parts: list[str] = []
+    while pos < len(sql):
+        ch = sql[pos]
+        if ch == "'":
+            if sql.startswith("''", pos):
+                parts.append("'")
+                pos += 2
+                continue
+            return "".join(parts), pos + 1
+        parts.append(ch)
+        pos += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_number(sql: str, pos: int) -> tuple[str, int]:
+    start = pos
+    if sql[pos] in "+-":
+        pos += 1
+    seen_dot = False
+    seen_exp = False
+    while pos < len(sql):
+        ch = sql[pos]
+        if ch.isdigit():
+            pos += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            pos += 1
+        elif ch in "eE" and not seen_exp and pos + 1 < len(sql):
+            follow = sql[pos + 1]
+            if follow.isdigit() or (follow in "+-" and pos + 2 < len(sql)
+                                    and sql[pos + 2].isdigit()):
+                seen_exp = True
+                seen_dot = True  # no dot after exponent
+                pos += 2 if follow in "+-" else 1
+                continue
+            break
+        else:
+            break
+    return sql[start:pos], pos

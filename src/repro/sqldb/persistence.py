@@ -1,0 +1,91 @@
+"""Saving and loading whole databases (CSV files plus a JSON manifest).
+
+The manifest pins each column's declared type, so loading does not rely
+on type re-inference (a TEXT column of digit strings round-trips as TEXT).
+Layout::
+
+    <directory>/manifest.json        {"tables": {name: [[col, type], ...]}}
+    <directory>/<table>.csv          header + data rows
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from repro.errors import CatalogError
+from repro.sqldb.database import Database
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+_MANIFEST = "manifest.json"
+
+
+def save_database(database: Database, directory: str) -> None:
+    """Write every table of *database* under *directory*."""
+    os.makedirs(directory, exist_ok=True)
+    manifest: dict = {"tables": {}}
+    for table_name in database.catalog.table_names():
+        table = database.table(table_name)
+        manifest["tables"][table.schema.name] = [
+            [column.name, column.dtype.value]
+            for column in table.schema.columns]
+        path = os.path.join(directory, f"{table.schema.name}.csv")
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.column_names)
+            for row in table.rows():
+                writer.writerow(row)
+    with open(os.path.join(directory, _MANIFEST), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_database(directory: str, seed: int = 0,
+                  io_millis_per_page: float = 0.0) -> Database:
+    """Rebuild a database previously written by :func:`save_database`."""
+    manifest_path = os.path.join(directory, _MANIFEST)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise CatalogError(
+            f"{directory!r} has no {_MANIFEST}; not a saved database"
+        ) from None
+    database = Database(seed=seed, io_millis_per_page=io_millis_per_page)
+    for table_name, columns in manifest.get("tables", {}).items():
+        schema = TableSchema(table_name, tuple(
+            ColumnSchema(name, DataType(dtype)) for name, dtype in columns))
+        path = os.path.join(directory, f"{table_name}.csv")
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None or [h for h in header] != list(
+                    schema.column_names):
+                raise CatalogError(
+                    f"CSV header of {path!r} does not match the manifest")
+            rows = [_convert_row(row, schema, path, index)
+                    for index, row in enumerate(reader)]
+        database.register_table(Table.from_rows(schema, rows))
+    return database
+
+
+def _convert_row(row: list[str], schema: TableSchema, path: str,
+                 index: int) -> tuple:
+    if len(row) != len(schema.columns):
+        raise CatalogError(
+            f"row {index + 2} of {path!r} has {len(row)} cells, "
+            f"expected {len(schema.columns)}")
+    converted = []
+    for cell, column in zip(row, schema.columns):
+        if column.dtype == DataType.INT:
+            converted.append(int(cell))
+        elif column.dtype == DataType.FLOAT:
+            converted.append(float(cell))
+        elif column.dtype == DataType.BOOL:
+            converted.append(cell == "True")
+        else:
+            converted.append(cell)
+    return tuple(converted)

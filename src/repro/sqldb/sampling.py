@@ -1,0 +1,41 @@
+"""Row sampling for approximate query processing (Section 8.2).
+
+``TABLESAMPLE BERNOULLI (p)`` keeps each row independently with probability
+p.  The approximate-processing strategies additionally need to *scale*
+sample aggregates back to full-table estimates; the scaling rules per
+aggregate function live here too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sqldb.expressions import AggregateFunction
+from repro.sqldb.table import Table
+
+
+def bernoulli_sample(table: Table, fraction: float,
+                     rng: np.random.Generator) -> Table:
+    """A new table keeping each row independently with probability
+    *fraction* (must be in (0, 1])."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"sample fraction {fraction} outside (0, 1]")
+    if fraction == 1.0:
+        return table
+    mask = rng.random(table.num_rows) < fraction
+    return table.select_rows(mask)
+
+
+def scale_aggregate(func: AggregateFunction, sample_value: float,
+                    fraction: float) -> float:
+    """Extrapolate a sample aggregate to a full-data estimate.
+
+    COUNT and SUM scale inversely with the sampling fraction; AVG, MIN and
+    MAX are used as-is (MIN/MAX are biased estimators on samples — the
+    relative-error experiment of Figure 10 measures exactly this effect).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"sample fraction {fraction} outside (0, 1]")
+    if func in (AggregateFunction.COUNT, AggregateFunction.SUM):
+        return sample_value / fraction
+    return sample_value

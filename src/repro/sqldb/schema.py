@@ -1,0 +1,110 @@
+"""Table schemas and the database catalog."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.sqldb.types import DataType
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def validate_identifier(name: str, kind: str = "identifier") -> str:
+    """Check that *name* is a legal unquoted SQL identifier, return it."""
+    if not isinstance(name, str) or not _IDENTIFIER_RE.match(name):
+        raise CatalogError(f"invalid {kind} name: {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Name and type of a single column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "column")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of uniquely named columns."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "table")
+        seen: set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}")
+            seen.add(lowered)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    def column(self, name: str) -> ColumnSchema:
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise CatalogError(
+            f"table {self.name!r} has no column {name!r}; available: "
+            f"{', '.join(self.column_names)}")
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def numeric_columns(self) -> tuple[ColumnSchema, ...]:
+        return tuple(c for c in self.columns if c.dtype.is_numeric)
+
+    def text_columns(self) -> tuple[ColumnSchema, ...]:
+        return tuple(c for c in self.columns if c.dtype == DataType.TEXT)
+
+
+@dataclass
+class Catalog:
+    """Name -> schema mapping for all tables in a database."""
+
+    _schemas: dict[str, TableSchema] = field(default_factory=dict)
+
+    def register(self, schema: TableSchema) -> None:
+        key = schema.name.lower()
+        if key in self._schemas:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._schemas[key] = schema
+
+    def drop(self, name: str) -> None:
+        try:
+            del self._schemas[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def lookup(self, name: str) -> TableSchema:
+        try:
+            return self._schemas[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {name!r} does not exist; available: "
+                f"{', '.join(sorted(self._schemas)) or '(none)'}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._schemas
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(schema.name for schema in self._schemas.values())

@@ -1,0 +1,180 @@
+"""Column statistics and selectivity estimation.
+
+This mirrors the part of the Postgres planner MUVE relies on: per-column
+distinct counts, min/max bounds and most-common-value lists, combined into
+selectivity estimates for predicate trees.  The estimates drive
+:mod:`repro.sqldb.planner` cost numbers, which in turn drive MUVE's query
+merging decisions and the processing-cost-aware ILP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sqldb.expressions import (
+    And,
+    BooleanExpr,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Not,
+    Or,
+)
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+_DEFAULT_EQ_SELECTIVITY = 0.005
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+_MCV_LIST_SIZE = 100
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics of one column over one table."""
+
+    name: str
+    dtype: DataType
+    n_distinct: int
+    min_value: float | None
+    max_value: float | None
+    mcv_values: tuple
+    mcv_fractions: tuple[float, ...]
+
+    @property
+    def mcv_total_fraction(self) -> float:
+        return float(sum(self.mcv_fractions))
+
+    def equality_selectivity(self, value) -> float:
+        """Estimated fraction of rows with column == value."""
+        for mcv, fraction in zip(self.mcv_values, self.mcv_fractions):
+            if mcv == value:
+                return fraction
+        remaining_distinct = self.n_distinct - len(self.mcv_values)
+        if remaining_distinct <= 0:
+            # Everything is in the MCV list and the value isn't there.
+            return 0.0
+        remaining_fraction = max(0.0, 1.0 - self.mcv_total_fraction)
+        return remaining_fraction / remaining_distinct
+
+    def range_selectivity(self, op: ComparisonOp, value) -> float:
+        """Estimated fraction of rows satisfying ``column <op> value``."""
+        if (self.min_value is None or self.max_value is None
+                or not isinstance(value, (int, float))):
+            return _DEFAULT_RANGE_SELECTIVITY
+        lo, hi = self.min_value, self.max_value
+        if hi <= lo:
+            below = 0.5
+        else:
+            below = (float(value) - lo) / (hi - lo)
+        below = min(1.0, max(0.0, below))
+        if op in (ComparisonOp.LT, ComparisonOp.LE):
+            return below
+        return 1.0 - below
+
+
+class TableStatistics:
+    """Statistics for all columns of a table, built by a full scan."""
+
+    def __init__(self, table: Table, mcv_size: int = _MCV_LIST_SIZE) -> None:
+        self.table_name = table.schema.name
+        self.num_rows = table.num_rows
+        self._columns: dict[str, ColumnStatistics] = {}
+        for column in table.schema.columns:
+            self._columns[column.name.lower()] = _analyze_column(
+                table, column.name, column.dtype, mcv_size)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self._columns[name.lower()]
+
+    # ------------------------------------------------------------------
+    # Selectivity of predicate trees
+    # ------------------------------------------------------------------
+
+    def selectivity(self, expr: BooleanExpr | None) -> float:
+        """Estimated selectivity of a predicate tree in [0, 1]."""
+        if expr is None:
+            return 1.0
+        if isinstance(expr, Comparison):
+            return self._comparison_selectivity(expr)
+        if isinstance(expr, InList):
+            stats = self._columns.get(expr.column.lower())
+            if stats is None:
+                return min(1.0, _DEFAULT_EQ_SELECTIVITY * len(expr.values))
+            total = sum(stats.equality_selectivity(v) for v in expr.values)
+            return min(1.0, total)
+        if isinstance(expr, And):
+            result = 1.0
+            for child in expr.children:
+                result *= self.selectivity(child)
+            return result
+        if isinstance(expr, Or):
+            result = 0.0
+            for child in expr.children:
+                child_sel = self.selectivity(child)
+                result = result + child_sel - result * child_sel
+            return result
+        if isinstance(expr, Not):
+            return 1.0 - self.selectivity(expr.child)
+        return _DEFAULT_RANGE_SELECTIVITY
+
+    def _comparison_selectivity(self, expr: Comparison) -> float:
+        stats = self._columns.get(expr.column.lower())
+        if stats is None:
+            if expr.op == ComparisonOp.EQ:
+                return _DEFAULT_EQ_SELECTIVITY
+            if expr.op == ComparisonOp.NE:
+                return 1.0 - _DEFAULT_EQ_SELECTIVITY
+            return _DEFAULT_RANGE_SELECTIVITY
+        if expr.op == ComparisonOp.EQ:
+            return stats.equality_selectivity(expr.value)
+        if expr.op == ComparisonOp.NE:
+            return 1.0 - stats.equality_selectivity(expr.value)
+        return stats.range_selectivity(expr.op, expr.value)
+
+    def estimate_rows(self, expr: BooleanExpr | None) -> float:
+        """Expected number of rows surviving the predicate."""
+        return self.num_rows * self.selectivity(expr)
+
+    def estimate_groups(self, group_columns: tuple[str, ...]) -> float:
+        """Expected number of GROUP BY output groups (capped at row count).
+
+        Uses the independence assumption: the product of per-column distinct
+        counts, like Postgres before extended statistics.
+        """
+        if not group_columns:
+            return 1.0
+        product = 1.0
+        for name in group_columns:
+            stats = self._columns.get(name.lower())
+            product *= stats.n_distinct if stats else 200.0
+        return min(float(max(self.num_rows, 1)), product)
+
+
+def _analyze_column(table: Table, name: str, dtype: DataType,
+                    mcv_size: int) -> ColumnStatistics:
+    array = table.column(name)
+    if len(array) == 0:
+        return ColumnStatistics(name, dtype, 0, None, None, (), ())
+    values, counts = np.unique(array, return_counts=True)
+    n_distinct = len(values)
+    order = np.argsort(counts)[::-1][:mcv_size]
+    total = float(len(array))
+    mcv_values = tuple(values[order].tolist())
+    mcv_fractions = tuple(float(counts[i]) / total for i in order)
+    if dtype.is_numeric:
+        min_value = float(array.min())
+        max_value = float(array.max())
+    else:
+        min_value = None
+        max_value = None
+    return ColumnStatistics(
+        name=name,
+        dtype=dtype,
+        n_distinct=n_distinct,
+        min_value=min_value,
+        max_value=max_value,
+        mcv_values=mcv_values,
+        mcv_fractions=mcv_fractions,
+    )

@@ -1,0 +1,192 @@
+"""Columnar in-memory tables backed by numpy arrays."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError, TypeMismatchError
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.types import DataType
+
+
+class Table:
+    """A table: a schema plus one numpy array per column.
+
+    Columns of ``INT``/``FLOAT``/``BOOL`` type use native numpy dtypes;
+    ``TEXT`` columns use object arrays of Python strings.  Tables are
+    immutable after construction except for :meth:`append_rows`, which is
+    used by the dataset generators to build tables incrementally.
+    """
+
+    def __init__(self, schema: TableSchema,
+                 columns: Mapping[str, np.ndarray] | None = None) -> None:
+        self.schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray,
+                                            dict[Any, int]]] = {}
+        if columns is None:
+            for column in schema.columns:
+                self._columns[column.name] = np.empty(
+                    0, dtype=column.dtype.numpy_dtype)
+            self._num_rows = 0
+        else:
+            lengths = set()
+            for column in schema.columns:
+                if column.name not in columns:
+                    raise CatalogError(
+                        f"missing data for column {column.name!r}")
+                array = _as_column_array(columns[column.name], column)
+                self._columns[column.name] = array
+                lengths.add(len(array))
+            if len(lengths) > 1:
+                raise CatalogError(
+                    f"column lengths differ in table {schema.name!r}: "
+                    f"{sorted(lengths)}")
+            self._num_rows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: TableSchema,
+                  rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from an iterable of value tuples in schema order."""
+        materialized = [tuple(row) for row in rows]
+        width = len(schema.columns)
+        for index, row in enumerate(materialized):
+            if len(row) != width:
+                raise CatalogError(
+                    f"row {index} has {len(row)} values, expected {width}")
+        columns: dict[str, np.ndarray] = {}
+        for col_index, column in enumerate(schema.columns):
+            values = [row[col_index] for row in materialized]
+            columns[column.name] = _as_column_array(values, column)
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The backing array of a column (do not mutate)."""
+        schema_column = self.schema.column(name)
+        return self._columns[schema_column.name]
+
+    def dictionary(self, name: str) -> tuple[np.ndarray, np.ndarray,
+                                             dict[Any, int]]:
+        """Dictionary encoding of a TEXT column (cached).
+
+        Returns ``(uniques, codes, index)``: the distinct values, one
+        int64 code per row, and the value -> code mapping.  Equality, IN
+        and GROUP BY evaluation run on the integer codes, which is far
+        cheaper than repeated Python-object comparisons.  The cache is
+        invalidated by :meth:`append_rows`.
+        """
+        schema_column = self.schema.column(name)
+        key = schema_column.name
+        cached = self._dictionaries.get(key)
+        if cached is not None:
+            return cached
+        array = self._columns[key]
+        index: dict[Any, int] = {}
+        codes = np.empty(len(array), dtype=np.int64)
+        for position, value in enumerate(array):
+            code = index.get(value)
+            if code is None:
+                code = len(index)
+                index[value] = code
+            codes[position] = code
+        uniques = np.empty(len(index), dtype=object)
+        for value, code in index.items():
+            uniques[code] = value
+        encoded = (uniques, codes, index)
+        self._dictionaries[key] = encoded
+        return encoded
+
+    def rows(self) -> Iterable[tuple[Any, ...]]:
+        """Iterate rows as tuples (test/debug convenience; O(rows*cols))."""
+        arrays = [self._columns[c.name] for c in self.schema.columns]
+        for i in range(self._num_rows):
+            yield tuple(array[i] for array in arrays)
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory footprint, used by the cost model as a
+        stand-in for on-disk page counts."""
+        total = 0
+        for column in self.schema.columns:
+            array = self._columns[column.name]
+            if column.dtype == DataType.TEXT:
+                # object arrays: pointer + rough average string payload
+                total += array.size * 8
+                if array.size:
+                    sample = array[: min(256, array.size)]
+                    avg = sum(len(s) for s in sample) / len(sample)
+                    total += int(avg * array.size)
+            else:
+                total += array.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def select_rows(self, mask_or_indices: np.ndarray) -> "Table":
+        """A new table containing the rows selected by a boolean mask or an
+        integer index array (rows keep their relative order)."""
+        columns = {name: array[mask_or_indices]
+                   for name, array in self._columns.items()}
+        return Table(self.schema, columns)
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append value tuples in schema order (amortised via concatenate)."""
+        extension = Table.from_rows(self.schema, rows)
+        if extension.num_rows == 0:
+            return
+        for column in self.schema.columns:
+            self._columns[column.name] = np.concatenate(
+                [self._columns[column.name], extension._columns[column.name]])
+        self._num_rows += extension.num_rows
+        self._dictionaries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (f"Table({self.schema.name!r}, rows={self._num_rows}, "
+                f"columns={list(self.schema.column_names)})")
+
+
+def _as_column_array(values: Any, column: ColumnSchema) -> np.ndarray:
+    """Convert raw values to the column's canonical numpy representation."""
+    dtype = column.dtype
+    if isinstance(values, np.ndarray) and values.dtype == dtype.numpy_dtype:
+        if dtype == DataType.TEXT:
+            _check_text_values(values, column)
+        return values
+    if dtype == DataType.TEXT:
+        array = np.empty(len(values), dtype=object)
+        for index, value in enumerate(values):
+            array[index] = value
+        _check_text_values(array, column)
+        return array
+    try:
+        return np.asarray(values, dtype=dtype.numpy_dtype)
+    except (TypeError, ValueError) as exc:
+        raise TypeMismatchError(
+            f"cannot store values in {dtype.value} column "
+            f"{column.name!r}: {exc}") from exc
+
+
+def _check_text_values(array: np.ndarray, column: ColumnSchema) -> None:
+    for value in array:
+        if not isinstance(value, str):
+            raise TypeMismatchError(
+                f"TEXT column {column.name!r} received non-string "
+                f"value {value!r}")

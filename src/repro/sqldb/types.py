@@ -1,0 +1,106 @@
+"""Value types supported by the engine and coercion rules between them."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """The engine's scalar types.
+
+    ``INT`` and ``FLOAT`` are stored as numpy arrays; ``TEXT`` as an object
+    array of Python strings; ``BOOL`` as a numpy bool array.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return _NUMPY_DTYPES[self]
+
+
+_NUMPY_DTYPES = {
+    DataType.INT: np.dtype(np.int64),
+    DataType.FLOAT: np.dtype(np.float64),
+    DataType.TEXT: np.dtype(object),
+    DataType.BOOL: np.dtype(bool),
+}
+
+_TYPE_NAMES = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "bigint": DataType.INT,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "double precision": DataType.FLOAT,
+    "numeric": DataType.FLOAT,
+    "text": DataType.TEXT,
+    "varchar": DataType.TEXT,
+    "string": DataType.TEXT,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+}
+
+
+def parse_type_name(name: str) -> DataType:
+    """Map a SQL type name (``"varchar"``, ``"bigint"``...) to a DataType."""
+    try:
+        return _TYPE_NAMES[name.strip().lower()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown SQL type name {name!r}") from None
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the engine type of a Python literal."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, (int, np.integer)):
+        return DataType.INT
+    if isinstance(value, (float, np.floating)):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeMismatchError(f"unsupported literal {value!r}")
+
+
+def coerce_value(value: Any, target: DataType) -> Any:
+    """Coerce a Python literal to *target*, raising on lossy mismatches.
+
+    Numeric widening (int -> float) is allowed; anything else must match
+    exactly.  Used when binding predicate constants against column types.
+    """
+    source = infer_type(value)
+    if source == target:
+        return value
+    if source == DataType.INT and target == DataType.FLOAT:
+        return float(value)
+    if source == DataType.FLOAT and target == DataType.INT:
+        if float(value).is_integer():
+            return int(value)
+        raise TypeMismatchError(
+            f"cannot coerce non-integral {value!r} to INT")
+    raise TypeMismatchError(
+        f"cannot coerce {source.value} value {value!r} to {target.value}")
+
+
+def common_numeric_type(a: DataType, b: DataType) -> DataType:
+    """The result type of an arithmetic combination of two numeric types."""
+    if not (a.is_numeric and b.is_numeric):
+        raise TypeMismatchError(
+            f"arithmetic requires numeric types, got {a.value}/{b.value}")
+    if DataType.FLOAT in (a, b):
+        return DataType.FLOAT
+    return DataType.INT

@@ -1,0 +1,85 @@
+"""Small statistics helpers used by studies and benchmarks.
+
+The paper reports arithmetic averages with 95% confidence bounds and Pearson
+correlation analyses (Table 1).  These helpers wrap scipy so that every
+experiment formats its statistics the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _sps
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """An arithmetic mean together with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float = 0.95
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return f"{self.mean:.3f} ± {self.half_width:.3f} (n={self.n})"
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> MeanCI:
+    """Arithmetic mean of *values* with a t-distribution confidence bound.
+
+    Mirrors the paper's "95% confidence bounds for all plots showing
+    arithmetic averages".  A single observation yields a zero half-width.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("mean_ci requires at least one value")
+    mean = float(data.mean())
+    if data.size == 1:
+        return MeanCI(mean=mean, half_width=0.0, n=1, confidence=confidence)
+    sem = float(data.std(ddof=1)) / math.sqrt(data.size)
+    t_crit = float(_sps.t.ppf(0.5 + confidence / 2.0, df=data.size - 1))
+    return MeanCI(mean=mean, half_width=t_crit * sem, n=int(data.size),
+                  confidence=confidence)
+
+
+@dataclass(frozen=True)
+class PearsonResult:
+    """Pearson correlation result in the shape of the paper's Table 1."""
+
+    r: float
+    p_value: float
+    n: int
+
+    @property
+    def r_squared(self) -> float:
+        return self.r * self.r
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> PearsonResult:
+    """Pearson correlation coefficient with two-sided p-value."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError("pearson requires equally long sequences")
+    if x.size < 3:
+        raise ValueError("pearson requires at least three observations")
+    result = _sps.pearsonr(x, y)
+    return PearsonResult(r=float(result.statistic),
+                         p_value=float(result.pvalue), n=int(x.size))
+
+
+def seeded_rng(seed: int | None) -> np.random.Generator:
+    """A numpy Generator; every stochastic component takes one of these."""
+    return np.random.default_rng(seed)

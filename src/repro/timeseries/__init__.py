@@ -1,0 +1,39 @@
+"""Line-plot multiplots for multi-row queries — the paper's future work.
+
+Section 11 of the paper: "Queries with multiple result rows and up to two
+numerical result columns (e.g., time series) could be plotted as lines".
+This package implements that extension on top of the existing machinery:
+
+* a :class:`SeriesQuery` is an aggregate grouped by one *x-axis* column
+  (``SELECT month, AVG(arr_delay) ... GROUP BY month``);
+* phonetically similar interpretations of the underlying aggregate query
+  become *series* (lines) instead of bars;
+* series sharing a query template overlay in one :class:`SeriesPlot`,
+  and plots are selected into a :class:`SeriesMultiplot` by the same
+  disambiguation-time model (a line is "read" like a bar, a plot is
+  "understood" like a plot — the model only counts, so it transfers);
+* all series of a plot execute as **one** multi-key GROUP BY query.
+"""
+
+from repro.timeseries.candidates import series_candidates
+from repro.timeseries.execution import execute_series_multiplot
+from repro.timeseries.model import (
+    Series,
+    SeriesMultiplot,
+    SeriesPlot,
+    SeriesQuery,
+)
+from repro.timeseries.planner import SeriesPlanner
+from repro.timeseries.render import render_series_svg, render_series_text
+
+__all__ = [
+    "Series",
+    "SeriesMultiplot",
+    "SeriesPlanner",
+    "SeriesPlot",
+    "SeriesQuery",
+    "execute_series_multiplot",
+    "render_series_svg",
+    "render_series_text",
+    "series_candidates",
+]

@@ -1,0 +1,48 @@
+"""Candidate generation for series queries.
+
+The ambiguity lives in the *scalar* part (aggregate, predicates) exactly
+as before, so we reuse :class:`~repro.nlq.candidates.CandidateGenerator`
+on the base query and lift each candidate to a series over the chosen
+x-axis column.  Candidates whose predicates collide with the x-axis
+column (a phonetic confusion can move a predicate onto it) are dropped
+and the distribution renormalised.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CandidateGenerationError
+from repro.nlq.candidates import CandidateGenerator, CandidateQuery
+from repro.sqldb.database import Database
+from repro.timeseries.model import SeriesQuery
+
+
+def series_candidates(database: Database, seed: SeriesQuery,
+                      max_candidates: int = 12,
+                      generator: CandidateGenerator | None = None,
+                      ) -> list[CandidateQuery]:
+    """Candidate interpretations of *seed*'s base query.
+
+    Returns plain :class:`CandidateQuery` objects (the planner groups
+    them by template, as for bar multiplots); the x-axis column is a
+    property of the whole multiplot, not of individual candidates.
+    """
+    table = database.table(seed.base.table)
+    x_column = table.schema.column(seed.x_column)
+    if x_column.dtype.is_numeric:
+        # Numeric x-axes (years etc.) are fine; continuous floats are not.
+        import numpy as np
+        if len(np.unique(table.column(x_column.name))) > 100:
+            raise CandidateGenerationError(
+                f"x-axis column {x_column.name!r} has too many distinct "
+                "values to plot as a series")
+    generator = generator or CandidateGenerator(database, seed.base.table)
+    raw = generator.candidates(seed.base, max_candidates * 2)
+    kept = [c for c in raw
+            if not any(p.column.lower() == seed.x_column.lower()
+                       for p in c.query.predicates)]
+    kept = kept[:max_candidates]
+    if not kept:
+        raise CandidateGenerationError(
+            "no candidate interpretations compatible with the x-axis")
+    total = sum(c.probability for c in kept)
+    return [CandidateQuery(c.query, c.probability / total) for c in kept]

@@ -1,0 +1,118 @@
+"""Executing series multiplots with per-plot merged queries.
+
+All series of one plot share a template, so they execute as a *single*
+SQL query (the Section 8.1 idea carried to multi-row results):
+
+* ``pred_value`` templates — one two-key GROUP BY
+  (``GROUP BY x, anchor``) covering every line's predicate value;
+* ``agg_func`` / ``agg_column`` templates — one GROUP BY over x with one
+  output column per aggregate;
+* anything else falls back to one GROUP BY query per series.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.execution.merging import _normalize
+from repro.sqldb.database import Database
+from repro.sqldb.expressions import format_literal
+from repro.sqldb.query import AggregateQuery
+from repro.timeseries.model import Series, SeriesMultiplot, SeriesPlot
+
+
+def execute_series_multiplot(database: Database,
+                             multiplot: SeriesMultiplot,
+                             ) -> SeriesMultiplot:
+    """A copy of *multiplot* with every series' points filled in."""
+    rows = []
+    for row in multiplot.rows:
+        rows.append(tuple(_execute_plot(database, plot) for plot in row))
+    return SeriesMultiplot(tuple(rows))
+
+
+def _execute_plot(database: Database, plot: SeriesPlot) -> SeriesPlot:
+    kind = plot.template.kind
+    if kind == "pred_value" and len(plot.series) > 1:
+        filled = _execute_pred_value_plot(database, plot)
+    elif kind in ("agg_func", "agg_column") and len(plot.series) > 1:
+        filled = _execute_multi_aggregate_plot(database, plot)
+    else:
+        filled = tuple(_execute_single_series(database, plot, line)
+                       for line in plot.series)
+    return SeriesPlot(plot.template, plot.x_column, filled)
+
+
+def _series_points(pairs: list[tuple[Any, float]],
+                   ) -> tuple[tuple[Any, float], ...]:
+    return tuple(sorted(pairs, key=lambda pair: repr(pair[0])))
+
+
+def _execute_single_series(database: Database, plot: SeriesPlot,
+                           line: Series) -> Series:
+    sql = (f"SELECT {plot.x_column}, {line.query.aggregate.to_sql()} "
+           f"FROM {line.query.table}")
+    if line.query.predicates:
+        conditions = " AND ".join(p.to_sql()
+                                  for p in line.query.predicates)
+        sql += f" WHERE {conditions}"
+    sql += f" GROUP BY {plot.x_column}"
+    result = database.execute(sql)
+    pairs = [(row[0], _normalize(line.query, row[1]))
+             for row in result.rows]
+    pairs = [(x, v) for x, v in pairs if v is not None]
+    return line.with_points(_series_points(pairs))
+
+
+def _execute_pred_value_plot(database: Database,
+                             plot: SeriesPlot) -> tuple[Series, ...]:
+    template = plot.template
+    anchor = str(template.anchor)
+    values = sorted({line.query.predicate_on(anchor).value
+                     for line in plot.series}, key=repr)
+    in_list = ", ".join(format_literal(v) for v in values)
+    conditions = [p.to_sql() for p in template.fixed_predicates]
+    conditions.append(f"{anchor} IN ({in_list})")
+    aggregate = plot.series[0].query.aggregate
+    sql = (f"SELECT {plot.x_column}, {anchor}, {aggregate.to_sql()} "
+           f"FROM {template.table} "
+           f"WHERE {' AND '.join(sorted(conditions))} "
+           f"GROUP BY {plot.x_column}, {anchor}")
+    result = database.execute(sql)
+    by_value: dict[Any, list[tuple[Any, float]]] = {}
+    for row in result.rows:
+        by_value.setdefault(row[1], []).append((row[0], float(row[2])))
+    filled = []
+    for line in plot.series:
+        value = line.query.predicate_on(anchor).value
+        filled.append(line.with_points(
+            _series_points(by_value.get(value, []))))
+    return tuple(filled)
+
+
+def _execute_multi_aggregate_plot(database: Database,
+                                  plot: SeriesPlot) -> tuple[Series, ...]:
+    aggregates = sorted({line.query.aggregate.to_sql()
+                         for line in plot.series})
+    template = plot.template
+    sql = (f"SELECT {plot.x_column}, {', '.join(aggregates)} "
+           f"FROM {template.table}")
+    if template.fixed_predicates:
+        conditions = " AND ".join(sorted(
+            p.to_sql() for p in template.fixed_predicates))
+        sql += f" WHERE {conditions}"
+    sql += f" GROUP BY {plot.x_column}"
+    result = database.execute(sql)
+    filled = []
+    for line in plot.series:
+        index = result.column_index(line.query.aggregate.to_sql())
+        pairs = [(row[0], float(row[index])) for row in result.rows]
+        filled.append(line.with_points(_series_points(pairs)))
+    return tuple(filled)
+
+
+def lift_results(multiplot: SeriesMultiplot,
+                 query: AggregateQuery) -> tuple[tuple[Any, float], ...]:
+    """Convenience: the filled points of one candidate's series."""
+    line = multiplot.bar_for(query)
+    return line.points if line is not None else ()

@@ -1,0 +1,169 @@
+"""Series, series plots and series multiplots.
+
+The structure intentionally mirrors :mod:`repro.core.model`:
+``Series ~ Bar``, ``SeriesPlot ~ Plot``, ``SeriesMultiplot ~ Multiplot``,
+exposing the same counting/lookup protocol (``num_bars``,
+``num_highlighted_bars``, ``bar_for`` ...) so the Section 4 cost model
+evaluates series multiplots unchanged — it only counts readable units and
+never inspects geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator
+
+from repro.errors import PlanningError
+from repro.nlq.templates import QueryTemplate
+from repro.sqldb.query import AggregateQuery
+
+
+@dataclass(frozen=True)
+class SeriesQuery:
+    """An aggregate grouped by one x-axis column (a multi-row query)."""
+
+    base: AggregateQuery
+    x_column: str
+
+    def __post_init__(self) -> None:
+        if any(p.column.lower() == self.x_column.lower()
+               for p in self.base.predicates):
+            raise PlanningError(
+                f"x-axis column {self.x_column!r} is fixed by a predicate")
+
+    def to_sql(self) -> str:
+        sql = (f"SELECT {self.x_column}, {self.base.aggregate.to_sql()} "
+               f"FROM {self.base.table}")
+        if self.base.predicates:
+            conditions = " AND ".join(p.to_sql()
+                                      for p in self.base.predicates)
+            sql += f" WHERE {conditions}"
+        sql += f" GROUP BY {self.x_column} ORDER BY {self.x_column}"
+        return sql
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line: a candidate interpretation with its per-x values."""
+
+    query: AggregateQuery          # the underlying scalar-query candidate
+    probability: float
+    label: str
+    highlighted: bool = False
+    points: tuple[tuple[Any, float], ...] = field(default=())
+
+    def with_points(self, points: tuple[tuple[Any, float], ...],
+                    ) -> "Series":
+        return replace(self, points=points)
+
+    @property
+    def value(self) -> float | None:
+        """Protocol shim: a series counts as "filled" once it has points."""
+        return float(len(self.points)) if self.points else None
+
+
+@dataclass(frozen=True)
+class SeriesPlot:
+    """Overlaid series sharing one template, over one x-axis column."""
+
+    template: QueryTemplate
+    x_column: str
+    series: tuple[Series, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[AggregateQuery] = set()
+        for line in self.series:
+            if line.query in seen:
+                raise PlanningError(
+                    f"plot shows series twice: {line.query.to_sql()!r}")
+            seen.add(line.query)
+
+    @property
+    def title(self) -> str:
+        return f"{self.template.title()} BY {self.x_column}"
+
+    # -- Plot protocol ---------------------------------------------------
+
+    @property
+    def bars(self) -> tuple[Series, ...]:
+        return self.series
+
+    @property
+    def num_bars(self) -> int:
+        return len(self.series)
+
+    @property
+    def num_highlighted(self) -> int:
+        return sum(1 for line in self.series if line.highlighted)
+
+    @property
+    def has_highlight(self) -> bool:
+        return any(line.highlighted for line in self.series)
+
+    def bar_for(self, query: AggregateQuery) -> Series | None:
+        for line in self.series:
+            if line.query == query:
+                return line
+        return None
+
+    def probability_mass(self) -> float:
+        return sum(line.probability for line in self.series)
+
+
+@dataclass(frozen=True)
+class SeriesMultiplot:
+    """Series plots in rows; duck-types the Multiplot protocol."""
+
+    rows: tuple[tuple[SeriesPlot, ...], ...]
+
+    @classmethod
+    def empty(cls, num_rows: int = 1) -> "SeriesMultiplot":
+        return cls(tuple(() for _ in range(max(1, num_rows))))
+
+    def plots(self) -> Iterator[SeriesPlot]:
+        for row in self.rows:
+            yield from row
+
+    @property
+    def num_plots(self) -> int:
+        return sum(len(row) for row in self.rows)
+
+    @property
+    def num_bars(self) -> int:
+        return sum(plot.num_bars for plot in self.plots())
+
+    @property
+    def num_highlighted_bars(self) -> int:
+        return sum(plot.num_highlighted for plot in self.plots())
+
+    @property
+    def num_plots_with_highlight(self) -> int:
+        return sum(1 for plot in self.plots() if plot.has_highlight)
+
+    def bar_for(self, query: AggregateQuery) -> Series | None:
+        for plot in self.plots():
+            line = plot.bar_for(query)
+            if line is not None:
+                return line
+        return None
+
+    def shows(self, query: AggregateQuery) -> bool:
+        return self.bar_for(query) is not None
+
+    def highlights(self, query: AggregateQuery) -> bool:
+        line = self.bar_for(query)
+        return line is not None and line.highlighted
+
+    def displayed_queries(self) -> set[AggregateQuery]:
+        return {line.query for plot in self.plots()
+                for line in plot.series}
+
+    def duplicate_queries(self) -> set[AggregateQuery]:
+        seen: set[AggregateQuery] = set()
+        duplicates: set[AggregateQuery] = set()
+        for plot in self.plots():
+            for line in plot.series:
+                if line.query in seen:
+                    duplicates.add(line.query)
+                seen.add(line.query)
+        return duplicates

@@ -1,0 +1,136 @@
+"""Greedy selection of series multiplots.
+
+Structurally a simplification of the bar-plot case: every plot over the
+same x-axis has the same width (the x categories fix it), so the knapsack
+constraint degenerates into a per-screen plot budget and the classical
+cardinality greedy applies (the paper's "fixed width" variant).  Series
+within a plot are prefix-highlighted by probability (Theorem 2 transfers:
+the cost model is the same function of counts).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import UserCostModel
+from repro.core.greedy.submodular import maximize_cardinality
+from repro.core.model import ScreenGeometry
+from repro.errors import PlanningError
+from repro.nlq.candidates import CandidateQuery
+from repro.nlq.templates import QueryTemplate, templates_of
+from repro.sqldb.database import Database
+from repro.timeseries.model import (
+    Series,
+    SeriesMultiplot,
+    SeriesPlot,
+    SeriesQuery,
+)
+
+
+@dataclass(frozen=True)
+class SeriesSolution:
+    multiplot: SeriesMultiplot
+    expected_cost: float
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class _PlotItem:
+    plot: SeriesPlot
+    row: int
+
+
+@dataclass
+class SeriesPlanner:
+    """Plans series multiplots for a fixed x-axis column."""
+
+    geometry: ScreenGeometry = field(default_factory=ScreenGeometry)
+    cost_model: UserCostModel = field(default_factory=UserCostModel)
+    max_series_per_plot: int = 4
+    """Readability cap: overlaying more lines than this is unreadable
+    regardless of screen width."""
+
+    def plan(self, database: Database, seed: SeriesQuery,
+             candidates: list[CandidateQuery]) -> SeriesSolution:
+        start = time.perf_counter()
+        x_values = np.unique(
+            database.table(seed.base.table).column(seed.x_column))
+        plot_width_units = self._plot_width_units(len(x_values))
+        if plot_width_units > self.geometry.width_units:
+            raise PlanningError(
+                f"a single series plot over {len(x_values)} x-values does "
+                "not fit the screen width")
+        per_row = max(1, int(self.geometry.width_units
+                             // plot_width_units))
+        budget = per_row * self.geometry.num_rows
+
+        colored_plots = self._plot_candidates(seed, candidates)
+        items = [_PlotItem(plot, row)
+                 for plot in colored_plots
+                 for row in range(self.geometry.num_rows)]
+
+        def gain(selection: tuple[_PlotItem, ...]) -> float:
+            templates = [item.plot.template for item in selection]
+            if len(set(templates)) != len(templates):
+                return float("-inf")
+            for row in range(self.geometry.num_rows):
+                if sum(1 for item in selection
+                       if item.row == row) > per_row:
+                    return float("-inf")
+            multiplot = _assemble(selection, self.geometry.num_rows)
+            return self.cost_model.miss_cost - \
+                self.cost_model.expected_cost(multiplot, candidates)
+
+        selected = maximize_cardinality(items, gain, budget)
+        multiplot = _assemble(tuple(selected), self.geometry.num_rows)
+        return SeriesSolution(
+            multiplot=multiplot,
+            expected_cost=self.cost_model.expected_cost(multiplot,
+                                                        candidates),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _plot_width_units(self, num_x_values: int) -> float:
+        """Width of one series plot: axis labels plus padding."""
+        label_pixels = num_x_values * self.geometry.char_width_pixels * 4
+        return ((label_pixels + self.geometry.plot_padding_pixels)
+                / self.geometry.bar_width_pixels)
+
+    def _plot_candidates(self, seed: SeriesQuery,
+                         candidates: list[CandidateQuery],
+                         ) -> list[SeriesPlot]:
+        groups: dict[QueryTemplate, list[CandidateQuery]] = {}
+        for candidate in candidates:
+            for template in templates_of(candidate.query):
+                groups.setdefault(template, []).append(candidate)
+        plots: list[SeriesPlot] = []
+        for template, members in groups.items():
+            members.sort(key=lambda c: (-c.probability,
+                                        c.query.to_sql()))
+            limit = min(len(members), self.max_series_per_plot)
+            for prefix in range(1, limit + 1):
+                for highlighted in range(0, prefix + 1):
+                    series = tuple(
+                        Series(
+                            query=member.query,
+                            probability=member.probability,
+                            label=template.x_label(member.query),
+                            highlighted=index < highlighted,
+                        )
+                        for index, member in enumerate(members[:prefix]))
+                    plots.append(SeriesPlot(template, seed.x_column,
+                                            series))
+        return plots
+
+
+def _assemble(selection: tuple[_PlotItem, ...],
+              num_rows: int) -> SeriesMultiplot:
+    rows: list[list[SeriesPlot]] = [[] for _ in range(num_rows)]
+    for item in selection:
+        rows[item.row].append(item.plot)
+    return SeriesMultiplot(tuple(tuple(row) for row in rows))

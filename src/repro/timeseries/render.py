@@ -1,0 +1,130 @@
+"""Rendering series multiplots: terminal sparklines and SVG polylines."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.timeseries.model import SeriesMultiplot, SeriesPlot
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_LINE_COLORS = ("#4878a8", "#e49444", "#6a9f58", "#a87cb4", "#8a8a8a")
+_HIGHLIGHT_COLOR = "#d62728"
+
+
+def render_series_text(multiplot: SeriesMultiplot,
+                       headline: str | None = None) -> str:
+    """Terminal rendering: one sparkline per series."""
+    lines: list[str] = []
+    if headline:
+        lines.append(headline)
+        lines.append("=" * min(len(headline), 78))
+    for row_index, row in enumerate(multiplot.rows):
+        for plot in row:
+            lines.extend(_render_plot_text(plot, row_index))
+            lines.append("")
+    if not lines:
+        return "(empty series multiplot)\n"
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_plot_text(plot: SeriesPlot, row_index: int) -> list[str]:
+    lines = [f"[row {row_index}] {plot.title}"]
+    label_width = min(max((len(line.label) for line in plot.series),
+                          default=0), 24)
+    for line in plot.series:
+        label = line.label[:label_width].ljust(label_width)
+        marker = "[*]" if line.highlighted else "   "
+        if not line.points:
+            lines.append(f"  {marker} {label} (no result)")
+            continue
+        values = [value for _, value in line.points]
+        lines.append(f"  {marker} {label} {_sparkline(values)} "
+                     f"[{min(values):,.1f} .. {max(values):,.1f}]"
+                     + ("  <-- likely" if line.highlighted else ""))
+    if plot.series and plot.series[0].points:
+        first_x = plot.series[0].points[0][0]
+        last_x = plot.series[0].points[-1][0]
+        pad = " " * (label_width + 6)
+        lines.append(f"{pad} x: {first_x} .. {last_x}")
+    return lines
+
+
+def _sparkline(values: list[float]) -> str:
+    low = min(values)
+    span = max(values) - low
+    if span <= 0:
+        return _SPARK_LEVELS[3] * len(values)
+    return "".join(
+        _SPARK_LEVELS[int((value - low) / span * (len(_SPARK_LEVELS) - 1))]
+        for value in values)
+
+
+def render_series_svg(multiplot: SeriesMultiplot, width: int = 1200,
+                      row_height: int = 260,
+                      headline: str | None = None) -> str:
+    """Dependency-free SVG with one polyline per series."""
+    num_rows = max(1, len([row for row in multiplot.rows]))
+    headline_height = 28 if headline else 0
+    height = num_rows * row_height + headline_height
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if headline:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="19" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="15" fill="#222">'
+            f'{escape(headline)}</text>')
+    for row_index, row in enumerate(multiplot.rows):
+        if not row:
+            continue
+        plot_width = width / len(row)
+        for plot_index, plot in enumerate(row):
+            x0 = plot_index * plot_width
+            y0 = row_index * row_height + headline_height
+            parts.extend(_render_plot_svg(plot, x0, y0, plot_width,
+                                          row_height))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _render_plot_svg(plot: SeriesPlot, x0: float, y0: float,
+                     width: float, height: float) -> list[str]:
+    parts = [
+        f'<rect x="{x0 + 2:.1f}" y="{y0 + 2:.1f}" '
+        f'width="{width - 4:.1f}" height="{height - 4:.1f}" '
+        f'fill="none" stroke="#ccc"/>',
+        f'<text x="{x0 + width / 2:.1f}" y="{y0 + 16:.1f}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="11" '
+        f'fill="#222">{escape(plot.title[:int(width / 7)])}</text>',
+    ]
+    all_values = [value for line in plot.series
+                  for _, value in line.points]
+    if not all_values:
+        return parts
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    chart_top = y0 + 28
+    chart_height = height - 48
+    color_cycle = 0
+    for line in plot.series:
+        if not line.points:
+            continue
+        n = len(line.points)
+        step = (width - 30) / max(n - 1, 1)
+        coordinates = []
+        for index, (_, value) in enumerate(line.points):
+            x = x0 + 15 + index * step
+            y = chart_top + chart_height * (1 - (value - low) / span)
+            coordinates.append(f"{x:.1f},{y:.1f}")
+        if line.highlighted:
+            color, stroke_width = _HIGHLIGHT_COLOR, 2.5
+        else:
+            color = _LINE_COLORS[color_cycle % len(_LINE_COLORS)]
+            stroke_width = 1.5
+            color_cycle += 1
+        parts.append(
+            f'<polyline points="{" ".join(coordinates)}" fill="none" '
+            f'stroke="{color}" stroke-width="{stroke_width}"/>')
+    return parts

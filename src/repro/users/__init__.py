@@ -1,0 +1,30 @@
+"""Simulated users — the crowd-worker/participant substitute.
+
+The paper calibrates its cost model with an AMT study and evaluates MUVE
+against a baseline with a lab study.  Offline we simulate the *process*
+those studies measure: users scan multiplots in random order, red bars
+first, paying a per-bar reading cost and a per-plot understanding cost,
+with multiplicative lognormal noise (Section 4's modelling assumptions,
+executed stochastically).  The study harness then applies the paper's own
+statistical analysis (per-feature means, Pearson correlation, 95% CIs) to
+the simulated observations.
+"""
+
+from repro.users.baseline import DropdownBaselineUser
+from repro.users.model import ReaderParameters
+from repro.users.simulator import ReadingOutcome, SimulatedUser
+from repro.users.study import (
+    FeatureSweepResult,
+    UserStudy,
+    calibrate_cost_model,
+)
+
+__all__ = [
+    "DropdownBaselineUser",
+    "FeatureSweepResult",
+    "ReaderParameters",
+    "ReadingOutcome",
+    "SimulatedUser",
+    "UserStudy",
+    "calibrate_cost_model",
+]

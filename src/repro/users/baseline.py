@@ -1,0 +1,63 @@
+"""The DataTone-style disambiguation baseline (Figure 12's comparator).
+
+The paper's baseline "lets users resolve ambiguities by choosing correct
+columns and constants via a drop down menu (showing likely alternatives)".
+A simulated baseline user therefore pays, per ambiguous query element: a
+dropdown-open action, a scan over the listed alternatives until the correct
+entry (alternatives ordered by likelihood, so the expected scan length
+follows the candidate distribution), and a click.  After all elements are
+resolved the single result is displayed and read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.users.model import ReaderParameters
+
+
+@dataclass(frozen=True)
+class DropdownTask:
+    """One ambiguous element: how many options, where the correct one is."""
+
+    num_options: int
+    correct_position: int  # 0-based position in the dropdown
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.correct_position < self.num_options:
+            raise ValueError("correct_position outside the dropdown")
+
+
+class DropdownBaselineUser:
+    """Simulates disambiguation through per-element dropdown menus."""
+
+    def __init__(self, parameters: ReaderParameters | None = None,
+                 seed: int = 0,
+                 dropdown_open_ms: float = 900.0) -> None:
+        self.parameters = parameters or ReaderParameters()
+        self.dropdown_open_ms = dropdown_open_ms
+        self._rng = np.random.default_rng(seed)
+
+    def disambiguate(self, tasks: list[DropdownTask]) -> float:
+        """Total time (ms) to resolve *tasks* and read the final result."""
+        params = self.parameters
+        elapsed = 0.0
+        for task in tasks:
+            elapsed += self.dropdown_open_ms * self._noise()
+            # Scan entries top-down until the correct one.
+            entries_read = task.correct_position + 1
+            elapsed += entries_read * params.bar_read_ms * self._noise()
+            elapsed += params.click_ms * self._noise()
+        # Read the single final result (one plot, one bar).
+        elapsed += params.plot_read_ms * self._noise()
+        elapsed += params.bar_read_ms * self._noise()
+        return elapsed
+
+    def _noise(self) -> float:
+        sigma = self.parameters.noise_sigma
+        if sigma == 0.0:
+            return 1.0
+        return float(self._rng.lognormal(mean=-sigma * sigma / 2.0,
+                                         sigma=sigma))

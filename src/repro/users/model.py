@@ -1,0 +1,29 @@
+"""Parameters of the simulated reading process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReaderParameters:
+    """Ground-truth timing parameters of simulated users (milliseconds).
+
+    These are the *generative* parameters; the cost-model calibration in
+    :func:`repro.users.study.calibrate_cost_model` must recover
+    ``bar_read_ms`` and ``plot_read_ms`` (up to noise) from observed
+    disambiguation times — that recovery is itself a test of the study
+    pipeline.
+    """
+
+    bar_read_ms: float = 400.0
+    plot_read_ms: float = 1800.0
+    click_ms: float = 350.0
+    requery_ms: float = 30_000.0
+    noise_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if min(self.bar_read_ms, self.plot_read_ms, self.click_ms) < 0:
+            raise ValueError("reading times must be non-negative")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")

@@ -1,0 +1,99 @@
+"""Satisfaction ratings for the second user study (Figure 13).
+
+Participants rated processing methods 1-10 for "latency" and "clarity"
+after watching all visualization variants for the same query.  The
+simulated rater maps observable properties of an update sequence onto the
+same scales:
+
+* **Latency** — a logistic-shaped penalty on the time until the first
+  useful visualization appears (users judge perceived responsiveness, so
+  the first update dominates).
+* **Clarity** — starts from a high base and pays penalties for churn
+  (visualizations replacing each other, the ILP-Inc effect) and for
+  values that later change (the approximate-then-precise effect).
+
+Both get per-rater lognormal noise, and ratings are clipped to [1, 10].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.execution.engine import VisualizationUpdate
+
+
+@dataclass(frozen=True)
+class RatingModel:
+    """Parameters of the simulated rater."""
+
+    latency_half_seconds: float = 1.5
+    """First-response time at which the latency rating drops to ~5.5."""
+
+    churn_penalty: float = 1.2
+    """Clarity points lost per update that *replaces* shown content
+    (the displayed query set changes non-monotonically, as under
+    incremental re-optimisation)."""
+
+    addition_penalty: float = 0.3
+    """Clarity points lost per update that only *adds* content (e.g. a new
+    plot appearing under incremental plotting)."""
+
+    approximation_penalty: float = 0.5
+    """Clarity points lost when an approximate update precedes the final."""
+
+    noise_sigma: float = 0.15
+
+
+class SimulatedRater:
+    """Produces 1-10 ratings for one update sequence."""
+
+    def __init__(self, model: RatingModel | None = None,
+                 seed: int = 0) -> None:
+        self.model = model or RatingModel()
+        self._rng = np.random.default_rng(seed)
+
+    def rate_latency(self, updates: Sequence[VisualizationUpdate]) -> float:
+        """Perceived-responsiveness rating in [1, 10]."""
+        if not updates:
+            return 1.0
+        first = updates[0].elapsed_seconds
+        half = self.model.latency_half_seconds
+        raw = 1.0 + 9.0 / (1.0 + first / half)
+        return self._clip(raw * self._noise())
+
+    def rate_clarity(self, updates: Sequence[VisualizationUpdate]) -> float:
+        """Visual-stability rating in [1, 10].
+
+        Each transition is classified: if the newly shown query set
+        contains the previous one, content was only added (mild penalty);
+        otherwise plots were replaced or dropped (heavy penalty — the
+        "sequence of changing plots" effect the paper blames for ILP-Inc's
+        low clarity score).
+        """
+        if not updates:
+            return 1.0
+        raw = 9.5
+        for previous, current in zip(updates, updates[1:]):
+            before = previous.multiplot.displayed_queries()
+            after = current.multiplot.displayed_queries()
+            if before <= after:
+                raw -= self.model.addition_penalty
+            else:
+                raw -= self.model.churn_penalty
+        if any(update.approximate for update in updates):
+            raw -= self.model.approximation_penalty
+        return self._clip(raw * self._noise())
+
+    def _noise(self) -> float:
+        sigma = self.model.noise_sigma
+        if sigma == 0.0:
+            return 1.0
+        return float(self._rng.lognormal(mean=-sigma * sigma / 2.0,
+                                         sigma=sigma))
+
+    @staticmethod
+    def _clip(value: float) -> float:
+        return float(min(10.0, max(1.0, value)))

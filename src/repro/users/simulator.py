@@ -1,0 +1,116 @@
+"""The simulated disambiguation process (Section 4's behavioural model).
+
+A simulated user receives a multiplot and a target query and scans for the
+target's bar, plot by plot:
+
+1. *Red phase* — the plots containing highlighted bars are visited in a
+   uniformly random order; within each, the red bars are read in a
+   uniformly random order.  Understanding a plot's semantics (title /
+   template) is paid once, on first visit.
+2. *Plain phase* — if the target was not among the red bars, all plots are
+   visited in a fresh random order and their non-highlighted bars read
+   (plots already understood in the red phase are not paid again).
+3. If the target is absent entirely, the user finishes scanning and must
+   re-ask the query (the ``requery_ms`` penalty).
+
+Every elementary reading step is perturbed by multiplicative, mean-one
+lognormal noise.  Under equal plot sizes this process has exactly the
+expectations of the Section 4.2 model: ``(b_R + 1)/2`` red bars and
+``(p_R + 1)/2`` red plots for a highlighted target, all reds plus half the
+remainder otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import Multiplot
+from repro.sqldb.query import AggregateQuery
+from repro.users.model import ReaderParameters
+
+
+@dataclass(frozen=True)
+class ReadingOutcome:
+    """One simulated disambiguation attempt."""
+
+    milliseconds: float
+    found: bool
+    target_was_highlighted: bool
+    bars_read: int
+    plots_read: int
+
+
+class SimulatedUser:
+    """Stochastic plot-by-plot reader over multiplots."""
+
+    def __init__(self, parameters: ReaderParameters | None = None,
+                 seed: int = 0) -> None:
+        self.parameters = parameters or ReaderParameters()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def disambiguate(self, multiplot: Multiplot,
+                     target: AggregateQuery) -> ReadingOutcome:
+        """Scan *multiplot* for *target*; returns the time spent."""
+        params = self.parameters
+        rng = self._rng
+
+        plots = list(multiplot.plots())
+        red_bars = [[bar.query for bar in plot.bars if bar.highlighted]
+                    for plot in plots]
+        plain_bars = [[bar.query for bar in plot.bars
+                       if not bar.highlighted] for plot in plots]
+
+        elapsed = 0.0
+        bars_read = 0
+        plots_understood: set[int] = set()
+        target_highlighted = multiplot.highlights(target)
+
+        def visit(plot_order: list[int],
+                  bars_per_plot: list[list[AggregateQuery]]) -> bool:
+            nonlocal elapsed, bars_read
+            for plot_index in plot_order:
+                queries = list(bars_per_plot[plot_index])
+                if not queries:
+                    continue
+                if plot_index not in plots_understood:
+                    plots_understood.add(plot_index)
+                    elapsed += params.plot_read_ms * self._noise()
+                rng.shuffle(queries)
+                for query in queries:
+                    elapsed += params.bar_read_ms * self._noise()
+                    bars_read += 1
+                    if query == target:
+                        return True
+            return False
+
+        red_plot_order = [i for i, bars in enumerate(red_bars) if bars]
+        rng.shuffle(red_plot_order)
+        found = visit(red_plot_order, red_bars)
+        if not found:
+            plain_plot_order = [i for i, bars in enumerate(plain_bars)
+                                if bars]
+            rng.shuffle(plain_plot_order)
+            found = visit(plain_plot_order, plain_bars)
+        if found:
+            elapsed += params.click_ms * self._noise()
+        else:
+            elapsed += params.requery_ms
+        return ReadingOutcome(
+            milliseconds=elapsed,
+            found=found,
+            target_was_highlighted=target_highlighted,
+            bars_read=bars_read,
+            plots_read=len(plots_understood),
+        )
+
+    def _noise(self) -> float:
+        sigma = self.parameters.noise_sigma
+        if sigma == 0.0:
+            return 1.0
+        # Mean-one lognormal so noise does not bias averages.
+        return float(self._rng.lognormal(mean=-sigma * sigma / 2.0,
+                                         sigma=sigma))

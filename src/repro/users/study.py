@@ -1,0 +1,245 @@
+"""The Section 4.1 user study, simulated (Figure 3 and Table 1).
+
+The paper's AMT study shows crowd workers multiplots with 12 results and
+measures the time until they click the correct bar, sweeping four
+visualization features: target bar position, target plot position, number
+of red bars, number of plots.  Here each "HIT" is answered by a
+:class:`~repro.users.simulator.SimulatedUser`; the same aggregation (means
+per level, Pearson correlation with p-values) then reproduces the figure
+and the table.
+
+:func:`calibrate_cost_model` closes the loop of Section 4.2: it recovers
+the ``c_B``/``c_P`` reading costs from observed times by least squares
+against the model's expected read counts, yielding the
+:class:`~repro.core.cost_model.UserCostModel` the planners optimise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import UserCostModel
+from repro.core.model import Bar, Multiplot, Plot
+from repro.nlq.templates import QueryTemplate
+from repro.sqldb.expressions import AggregateCall, AggregateFunction
+from repro.sqldb.query import AggregateQuery, Predicate
+from repro.stats import MeanCI, PearsonResult, mean_ci, pearson
+from repro.users.model import ReaderParameters
+from repro.users.simulator import ReadingOutcome, SimulatedUser
+
+_STUDY_TEMPLATE = QueryTemplate(
+    kind="pred_value",
+    table="study",
+    agg_func=AggregateFunction.COUNT,
+    agg_column=None,
+    fixed_predicates=(),
+    anchor="option",
+)
+
+
+def _study_query(index: int) -> AggregateQuery:
+    return AggregateQuery(
+        "study",
+        AggregateCall(AggregateFunction.COUNT, None),
+        (Predicate("option", f"value_{index:02d}"),),
+    )
+
+
+def build_study_multiplot(bars_per_plot: list[int],
+                          highlighted: set[int] = frozenset(),
+                          num_rows: int = 1) -> Multiplot:
+    """A synthetic multiplot with the given plot sizes.
+
+    Bars are numbered consecutively across plots; indices in *highlighted*
+    are drawn red.  Plots are distributed round-robin over *num_rows*.
+    """
+    plots: list[Plot] = []
+    bar_index = 0
+    for count in bars_per_plot:
+        bars = []
+        for _ in range(count):
+            query = _study_query(bar_index)
+            bars.append(Bar(
+                query=query,
+                probability=1.0 / max(1, sum(bars_per_plot)),
+                label=_STUDY_TEMPLATE.x_label(query),
+                highlighted=bar_index in highlighted,
+                value=float(10 + bar_index),
+            ))
+            bar_index += 1
+        plots.append(Plot(_STUDY_TEMPLATE, tuple(bars)))
+    rows: list[list[Plot]] = [[] for _ in range(num_rows)]
+    for index, plot in enumerate(plots):
+        rows[index % num_rows].append(plot)
+    return Multiplot(tuple(tuple(row) for row in rows))
+
+
+@dataclass(frozen=True)
+class FeatureSweepResult:
+    """Observations of one feature sweep plus the paper's statistics."""
+
+    feature: str
+    observations: tuple[tuple[float, float], ...]  # (level, time ms)
+    outcomes: tuple[ReadingOutcome, ...] = field(default=(), repr=False)
+    multiplot_stats: tuple[tuple[int, int, int, int], ...] = field(
+        default=(), repr=False)  # (bars, red bars, plots, red plots)
+    target_highlighted: tuple[bool, ...] = field(default=(), repr=False)
+
+    def levels(self) -> list[float]:
+        return sorted({level for level, _ in self.observations})
+
+    def mean_time(self, level: float) -> MeanCI:
+        times = [t for lv, t in self.observations if lv == level]
+        return mean_ci(times)
+
+    def correlation(self) -> PearsonResult:
+        xs = [level for level, _ in self.observations]
+        ys = [t for _, t in self.observations]
+        return pearson(xs, ys)
+
+
+class UserStudy:
+    """Runs the four feature sweeps of Section 4.1 with simulated workers."""
+
+    def __init__(self, parameters: ReaderParameters | None = None,
+                 workers_per_task: int = 20, seed: int = 0) -> None:
+        self.parameters = parameters or ReaderParameters()
+        self.workers_per_task = workers_per_task
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _measure(self, feature: str,
+                 tasks: list[tuple[float, Multiplot, AggregateQuery]],
+                 ) -> FeatureSweepResult:
+        observations: list[tuple[float, float]] = []
+        outcomes: list[ReadingOutcome] = []
+        stats: list[tuple[int, int, int, int]] = []
+        target_flags: list[bool] = []
+        worker_counter = 0
+        for level, multiplot, target in tasks:
+            for _ in range(self.workers_per_task):
+                user = SimulatedUser(self.parameters,
+                                     seed=self._seed * 100_003
+                                     + worker_counter)
+                worker_counter += 1
+                outcome = user.disambiguate(multiplot, target)
+                observations.append((level, outcome.milliseconds))
+                outcomes.append(outcome)
+                stats.append((multiplot.num_bars,
+                              multiplot.num_highlighted_bars,
+                              multiplot.num_plots,
+                              multiplot.num_plots_with_highlight))
+                target_flags.append(multiplot.highlights(target))
+        return FeatureSweepResult(
+            feature=feature,
+            observations=tuple(observations),
+            outcomes=tuple(outcomes),
+            multiplot_stats=tuple(stats),
+            target_highlighted=tuple(target_flags),
+        )
+
+    # -- the four sweeps of Figure 3 ------------------------------------
+
+    def bar_position_sweep(self, num_bars: int = 12,
+                           positions: list[int] | None = None,
+                           ) -> FeatureSweepResult:
+        """Target bar position within a single plot (Hypothesis 1)."""
+        positions = positions or list(range(num_bars))
+        tasks = []
+        multiplot = build_study_multiplot([num_bars])
+        for position in positions:
+            tasks.append((float(position + 1), multiplot,
+                          _study_query(position)))
+        return self._measure("bar position", tasks)
+
+    def plot_position_sweep(self, num_plots: int = 6,
+                            bars_per_plot: int = 2,
+                            num_rows: int = 2) -> FeatureSweepResult:
+        """Target plot position within a multiplot (Hypothesis 2)."""
+        multiplot = build_study_multiplot(
+            [bars_per_plot] * num_plots, num_rows=num_rows)
+        tasks = []
+        for plot_position in range(num_plots):
+            target = _study_query(plot_position * bars_per_plot)
+            tasks.append((float(plot_position + 1), multiplot, target))
+        return self._measure("plot position", tasks)
+
+    def red_bars_sweep(self, num_bars: int = 12,
+                       red_counts: list[int] | None = None,
+                       ) -> FeatureSweepResult:
+        """Number of highlighted bars, target highlighted (Hypothesis 3)."""
+        red_counts = red_counts or [1, 2, 3, 4, 5, 6]
+        tasks = []
+        for count in red_counts:
+            multiplot = build_study_multiplot(
+                [num_bars], highlighted=set(range(count)))
+            tasks.append((float(count), multiplot, _study_query(0)))
+        return self._measure("red bars", tasks)
+
+    def num_plots_sweep(self, total_bars: int = 12,
+                        plot_counts: list[int] | None = None,
+                        ) -> FeatureSweepResult:
+        """Number of plots at fixed total bar count (Hypothesis 4)."""
+        plot_counts = plot_counts or [1, 2, 3, 4, 6]
+        tasks = []
+        for count in plot_counts:
+            base = total_bars // count
+            sizes = [base + (1 if i < total_bars % count else 0)
+                     for i in range(count)]
+            multiplot = build_study_multiplot(sizes)
+            tasks.append((float(count), multiplot, _study_query(0)))
+        return self._measure("num plots", tasks)
+
+    def run_all(self) -> dict[str, FeatureSweepResult]:
+        """All four sweeps (Figure 3) keyed by feature name."""
+        return {
+            "bar_position": self.bar_position_sweep(),
+            "plot_position": self.plot_position_sweep(),
+            "red_bars": self.red_bars_sweep(),
+            "num_plots": self.num_plots_sweep(),
+        }
+
+
+def calibrate_cost_model(sweeps: dict[str, FeatureSweepResult],
+                         miss_cost: float | None = None,
+                         ) -> UserCostModel:
+    """Fit ``c_B``/``c_P`` from study observations (Section 4.2).
+
+    For every observation we know the multiplot composition and whether the
+    target was red, so the model predicts the *expected* number of bars and
+    plots read (e.g. ``(b_R + 1) / 2`` bars when the target is red).  Least
+    squares of observed time on those two predictors (plus an intercept for
+    the click) recovers the reading costs.
+    """
+    rows: list[tuple[float, float]] = []
+    times: list[float] = []
+    for sweep in sweeps.values():
+        for (time_obs, stats, red) in zip(
+                (t for _, t in sweep.observations),
+                sweep.multiplot_stats, sweep.target_highlighted):
+            b, b_r, p, p_r = stats
+            if red:
+                expected_bars = (b_r + 1) / 2.0
+                expected_plots = (p_r + 1) / 2.0
+            else:
+                expected_bars = b_r + (b - b_r + 1) / 2.0
+                expected_plots = p_r + (p - p_r + 1) / 2.0
+            expected_plots = min(expected_plots, float(p))
+            rows.append((expected_bars, expected_plots))
+            times.append(time_obs)
+    design = np.column_stack([
+        np.array([r[0] for r in rows]),
+        np.array([r[1] for r in rows]),
+        np.ones(len(rows)),
+    ])
+    solution, *_ = np.linalg.lstsq(design, np.asarray(times), rcond=None)
+    bar_cost = max(1.0, float(solution[0]))
+    plot_cost = max(1.0, float(solution[1]))
+    return UserCostModel(
+        bar_cost=bar_cost,
+        plot_cost=plot_cost,
+        miss_cost=miss_cost if miss_cost is not None else 30_000.0,
+    )

@@ -1,0 +1,20 @@
+"""Multiplot rendering: pixel layout, SVG output, terminal output.
+
+The paper's prototype renders multiplots in a browser; here we provide a
+dependency-free SVG renderer (for files/notebooks) and a terminal renderer
+(for the examples), both driven by the same pixel layout that the planner's
+:class:`~repro.core.model.ScreenGeometry` constraints describe.
+"""
+
+from repro.viz.layout import BarBox, MultiplotLayout, PlotBox, layout_multiplot
+from repro.viz.svg import render_svg
+from repro.viz.text import render_text
+
+__all__ = [
+    "BarBox",
+    "MultiplotLayout",
+    "PlotBox",
+    "layout_multiplot",
+    "render_svg",
+    "render_text",
+]

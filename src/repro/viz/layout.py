@@ -1,0 +1,118 @@
+"""Pixel layout of a multiplot under a :class:`ScreenGeometry`.
+
+The planner reasons in bar-width units; renderers need rectangles.  This
+module converts a planned multiplot into absolute pixel boxes: one
+:class:`PlotBox` per plot (title strip plus chart area) containing one
+:class:`BarBox` per bar, scaled within the plot to the plot's own value
+range (each plot has its own y-axis, like the paper's prototype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Bar, Multiplot, Plot, ScreenGeometry
+from repro.errors import VisualizationError
+
+_TITLE_HEIGHT_FRACTION = 0.18
+_BAR_GAP_FRACTION = 0.15
+
+
+@dataclass(frozen=True)
+class BarBox:
+    """One bar's rectangle plus its metadata."""
+
+    bar: Bar
+    x: float
+    y: float
+    width: float
+    height: float
+
+
+@dataclass(frozen=True)
+class PlotBox:
+    """One plot's frame, title area and bar rectangles."""
+
+    plot: Plot
+    x: float
+    y: float
+    width: float
+    height: float
+    title_height: float
+    bars: tuple[BarBox, ...]
+
+
+@dataclass(frozen=True)
+class MultiplotLayout:
+    """The complete pixel layout."""
+
+    width: float
+    height: float
+    plots: tuple[PlotBox, ...]
+
+
+def layout_multiplot(multiplot: Multiplot,
+                     geometry: ScreenGeometry) -> MultiplotLayout:
+    """Compute pixel boxes for *multiplot*.
+
+    Raises :class:`VisualizationError` when the multiplot does not fit the
+    geometry — planners guarantee fit, so a failure here means a caller
+    bypassed planning.
+    """
+    if not geometry.fits(multiplot):
+        raise VisualizationError(
+            "multiplot exceeds the screen geometry it is rendered for")
+    plot_boxes: list[PlotBox] = []
+    row_height = geometry.row_height_pixels
+    for row_index, row in enumerate(multiplot.rows):
+        x_cursor = 0.0
+        y = row_index * row_height
+        for plot in row:
+            width = geometry.plot_units(plot) * geometry.bar_width_pixels
+            plot_boxes.append(
+                _layout_plot(plot, x_cursor, y, width, row_height,
+                             geometry))
+            x_cursor += width
+    total_height = max(1, len(multiplot.rows)) * row_height
+    return MultiplotLayout(
+        width=float(geometry.width_pixels),
+        height=float(total_height),
+        plots=tuple(plot_boxes),
+    )
+
+
+def _layout_plot(plot: Plot, x: float, y: float, width: float,
+                 height: float, geometry: ScreenGeometry) -> PlotBox:
+    title_height = height * _TITLE_HEIGHT_FRACTION
+    chart_top = y + title_height
+    chart_height = height - title_height
+    base_width = (geometry.plot_base_units(plot.template)
+                  * geometry.bar_width_pixels)
+    bars_left = x + min(base_width, width)
+
+    values = [bar.value for bar in plot.bars if bar.value is not None]
+    max_value = max((abs(v) for v in values), default=0.0)
+    boxes: list[BarBox] = []
+    bar_width = geometry.bar_width_pixels
+    gap = bar_width * _BAR_GAP_FRACTION
+    for index, bar in enumerate(plot.bars):
+        if bar.value is None or max_value == 0.0:
+            bar_height = 0.0
+        else:
+            bar_height = chart_height * 0.9 * abs(bar.value) / max_value
+        boxes.append(BarBox(
+            bar=bar,
+            x=bars_left + index * bar_width + gap / 2,
+            y=chart_top + chart_height - bar_height,
+            width=bar_width - gap,
+            height=bar_height,
+        ))
+    return PlotBox(
+        plot=plot,
+        x=x,
+        y=y,
+        width=width,
+        height=height,
+        title_height=title_height,
+        bars=tuple(boxes),
+    )

@@ -1,0 +1,96 @@
+"""Dependency-free SVG rendering of multiplots.
+
+Produces a self-contained SVG document mirroring the paper's prototype
+output (Figure 2): a grid of titled bar plots, likely results marked up in
+red, x-axis labels naming the placeholder substitutions.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.core.model import Multiplot, ScreenGeometry
+from repro.viz.layout import layout_multiplot
+
+_HIGHLIGHT_COLOR = "#d62728"  # the paper's markup red
+_BAR_COLOR = "#4878a8"
+_FRAME_COLOR = "#cccccc"
+_TEXT_COLOR = "#222222"
+
+
+def render_svg(multiplot: Multiplot, geometry: ScreenGeometry,
+               headline: str | None = None) -> str:
+    """Render *multiplot* as an SVG string.
+
+    ``headline`` is the common-elements line above the plots (Figure 2b).
+    """
+    layout = layout_multiplot(multiplot, geometry)
+    headline_height = 28.0 if headline else 0.0
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{layout.width:.0f}" '
+        f'height="{layout.height + headline_height:.0f}" '
+        f'viewBox="0 0 {layout.width:.0f} '
+        f'{layout.height + headline_height:.0f}">',
+        f'<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if headline:
+        parts.append(
+            f'<text x="{layout.width / 2:.1f}" y="19" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="15" fill="{_TEXT_COLOR}">'
+            f'{escape(headline)}</text>')
+    for plot_box in layout.plots:
+        y_offset = plot_box.y + headline_height
+        parts.append(
+            f'<rect x="{plot_box.x + 2:.1f}" y="{y_offset + 2:.1f}" '
+            f'width="{plot_box.width - 4:.1f}" '
+            f'height="{plot_box.height - 4:.1f}" fill="none" '
+            f'stroke="{_FRAME_COLOR}"/>')
+        parts.append(
+            f'<text x="{plot_box.x + plot_box.width / 2:.1f}" '
+            f'y="{y_offset + plot_box.title_height * 0.7:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="11" fill="{_TEXT_COLOR}">'
+            f'{escape(plot_box.plot.title)}</text>')
+        for bar_box in plot_box.bars:
+            color = (_HIGHLIGHT_COLOR if bar_box.bar.highlighted
+                     else _BAR_COLOR)
+            if bar_box.height > 0:
+                parts.append(
+                    f'<rect x="{bar_box.x:.1f}" '
+                    f'y="{bar_box.y + headline_height:.1f}" '
+                    f'width="{bar_box.width:.1f}" '
+                    f'height="{bar_box.height:.1f}" fill="{color}"/>')
+            label_y = y_offset + plot_box.height - 6
+            parts.append(
+                f'<text x="{bar_box.x + bar_box.width / 2:.1f}" '
+                f'y="{label_y:.1f}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="9" '
+                f'fill="{_TEXT_COLOR}">'
+                f'{escape(_shorten(bar_box.bar.label))}</text>')
+            if bar_box.bar.value is not None and bar_box.height > 0:
+                parts.append(
+                    f'<text x="{bar_box.x + bar_box.width / 2:.1f}" '
+                    f'y="{bar_box.y + headline_height - 3:.1f}" '
+                    f'text-anchor="middle" font-family="sans-serif" '
+                    f'font-size="9" fill="{_TEXT_COLOR}">'
+                    f'{_format_value(bar_box.bar.value)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _shorten(label: str, limit: int = 9) -> str:
+    if len(label) <= limit:
+        return label
+    return label[: limit - 1] + "…"
+
+
+def _format_value(value: float) -> str:
+    if abs(value) >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if abs(value) >= 1_000:
+        return f"{value / 1_000:.1f}k"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

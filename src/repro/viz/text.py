@@ -1,0 +1,51 @@
+"""Terminal rendering of multiplots (for the runnable examples).
+
+Each plot prints its title, then one line per bar with a unicode block
+gauge scaled to the plot's value range; highlighted bars are wrapped in
+``[ ]`` and tagged ``<-- likely`` like the red markup of the prototype.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Multiplot, Plot
+
+_GAUGE_WIDTH = 30
+
+
+def render_text(multiplot: Multiplot, headline: str | None = None) -> str:
+    """Render *multiplot* as a printable string."""
+    lines: list[str] = []
+    if headline:
+        lines.append(headline)
+        lines.append("=" * min(len(headline), 78))
+    for row_index, row in enumerate(multiplot.rows):
+        if not row:
+            continue
+        for plot in row:
+            lines.extend(_render_plot(plot, row_index))
+            lines.append("")
+    if not lines:
+        return "(empty multiplot)\n"
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_plot(plot: Plot, row_index: int) -> list[str]:
+    lines = [f"[row {row_index}] {plot.title}"]
+    values = [abs(bar.value) for bar in plot.bars if bar.value is not None]
+    max_value = max(values, default=0.0)
+    label_width = max((len(bar.label) for bar in plot.bars), default=0)
+    label_width = min(label_width, 24)
+    for bar in plot.bars:
+        label = bar.label[:label_width].ljust(label_width)
+        if bar.value is None:
+            gauge = "(no result)"
+            value_text = ""
+        else:
+            filled = (0 if max_value == 0 else
+                      round(_GAUGE_WIDTH * abs(bar.value) / max_value))
+            gauge = "█" * filled + "·" * (_GAUGE_WIDTH - filled)
+            value_text = f" {bar.value:,.2f}"
+        marker = "[*]" if bar.highlighted else "   "
+        suffix = "  <-- likely" if bar.highlighted else ""
+        lines.append(f"  {marker} {label} {gauge}{value_text}{suffix}")
+    return lines

@@ -1,0 +1,71 @@
+"""Shared fixtures: small databases, candidate sets, planning problems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.datasets import make_nyc311_table
+from repro.nlq.candidates import CandidateGenerator, CandidateQuery
+from repro.sqldb.database import Database
+from repro.sqldb.query import AggregateQuery
+from repro.sqldb.types import DataType
+
+
+@pytest.fixture()
+def emp_db() -> Database:
+    """A tiny hand-built table with known contents."""
+    db = Database(seed=0)
+    db.create_table("emp", [
+        ("dept", DataType.TEXT),
+        ("city", DataType.TEXT),
+        ("salary", DataType.FLOAT),
+        ("age", DataType.INT),
+    ])
+    db.insert_rows("emp", [
+        ("sales", "nyc", 100.0, 30),
+        ("sales", "boston", 120.0, 40),
+        ("eng", "nyc", 150.0, 35),
+        ("eng", "sf", 200.0, 28),
+        ("hr", "nyc", 90.0, 50),
+        ("hr", "boston", 95.0, 44),
+    ])
+    return db
+
+
+@pytest.fixture(scope="session")
+def nyc_db() -> Database:
+    """A synthetic 311 table, session-scoped for speed (read-only!)."""
+    db = Database(seed=1)
+    db.register_table(make_nyc311_table(num_rows=4000, seed=7))
+    return db
+
+
+@pytest.fixture(scope="session")
+def nyc_candidates(nyc_db: Database) -> tuple[CandidateQuery, ...]:
+    """A realistic 20-candidate distribution for planning tests."""
+    seed = AggregateQuery.build(
+        "nyc311", "avg", "resolution_hours",
+        {"borough": "Brooklyn", "complaint_type": "Noise"})
+    generator = CandidateGenerator(nyc_db, "nyc311")
+    return tuple(generator.candidates(seed, 20))
+
+
+@pytest.fixture()
+def small_problem(nyc_candidates) -> MultiplotSelectionProblem:
+    """A single-row planning problem of moderate size."""
+    return MultiplotSelectionProblem(
+        nyc_candidates,
+        geometry=ScreenGeometry(width_pixels=1125, num_rows=1))
+
+
+@pytest.fixture()
+def tiny_problem(nyc_candidates) -> MultiplotSelectionProblem:
+    """A very small problem every backend solves to optimality quickly."""
+    top = nyc_candidates[:6]
+    total = sum(c.probability for c in top)
+    rescaled = tuple(CandidateQuery(c.query, c.probability / total)
+                     for c in top)
+    return MultiplotSelectionProblem(
+        rescaled, geometry=ScreenGeometry(width_pixels=700, num_rows=1))

@@ -1,0 +1,55 @@
+"""Shared builders for core-package tests: synthetic plots/multiplots."""
+
+from __future__ import annotations
+
+from repro.core.model import Bar, Multiplot, Plot
+from repro.nlq.candidates import CandidateQuery
+from repro.nlq.templates import QueryTemplate
+from repro.sqldb.expressions import AggregateFunction
+from repro.sqldb.query import AggregateQuery, Predicate
+
+TEMPLATE = QueryTemplate(
+    kind="pred_value",
+    table="t",
+    agg_func=AggregateFunction.COUNT,
+    agg_column=None,
+    fixed_predicates=(),
+    anchor="k",
+)
+
+TEMPLATE_B = QueryTemplate(
+    kind="pred_value",
+    table="t",
+    agg_func=AggregateFunction.COUNT,
+    agg_column=None,
+    fixed_predicates=(Predicate("fixed", "yes"),),
+    anchor="k",
+)
+
+
+def query(index: int, template: QueryTemplate = TEMPLATE) -> AggregateQuery:
+    return template.instantiate(f"value_{index:02d}")
+
+
+def candidate(index: int, probability: float,
+              template: QueryTemplate = TEMPLATE) -> CandidateQuery:
+    return CandidateQuery(query(index, template), probability)
+
+
+def plot(indices: list[int], highlighted: set[int] = frozenset(),
+         template: QueryTemplate = TEMPLATE,
+         probability: float = 0.05) -> Plot:
+    bars = tuple(
+        Bar(
+            query=query(i, template),
+            probability=probability,
+            label=f"value_{i:02d}",
+            highlighted=i in highlighted,
+        )
+        for i in indices
+    )
+    return Plot(template, bars)
+
+
+def multiplot(rows: list[list[Plot]]) -> Multiplot:
+    return Multiplot(tuple(tuple(row) for row in rows))

@@ -1,0 +1,96 @@
+"""Tests for incremental ILP optimisation and the planner façade."""
+
+import pytest
+
+from repro.core.ilp import IlpSolver, incremental_solve
+from repro.core.model import ScreenGeometry
+from repro.core.planner import VisualizationPlanner
+from repro.core.problem import MultiplotSelectionProblem
+from repro.errors import PlanningError, SolverError
+from tests.core.helpers import candidate
+
+
+def make_problem(n=6, width=900, rows=1) -> MultiplotSelectionProblem:
+    weights = [2.0 ** -i for i in range(n)]
+    total = sum(weights)
+    return MultiplotSelectionProblem(
+        tuple(candidate(i, w / total) for i, w in enumerate(weights)),
+        geometry=ScreenGeometry(width_pixels=width, num_rows=rows))
+
+
+class TestIncrementalSolve:
+    def test_yields_at_least_one_step(self):
+        steps = list(incremental_solve(make_problem(), total_budget=2.0))
+        assert steps
+
+    def test_timeouts_grow_exponentially(self):
+        steps = list(incremental_solve(
+            make_problem(n=10, rows=2), initial_timeout=0.0625,
+            growth_factor=2.0, total_budget=1.0))
+        timeouts = [s.timeout_seconds for s in steps]
+        for earlier, later in zip(timeouts, timeouts[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_costs_never_increase_across_improved_steps(self):
+        steps = list(incremental_solve(make_problem(n=10, rows=2),
+                                       total_budget=2.0))
+        improved = [s.solution.expected_cost for s in steps if s.improved]
+        for earlier, later in zip(improved, improved[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_stops_after_optimal(self):
+        steps = list(incremental_solve(make_problem(n=4),
+                                       total_budget=30.0))
+        assert steps[-1].solution.optimal
+
+    def test_first_step_marked_improved(self):
+        steps = list(incremental_solve(make_problem(), total_budget=2.0))
+        assert steps[0].improved
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            list(incremental_solve(make_problem(), initial_timeout=0.0))
+        with pytest.raises(SolverError):
+            list(incremental_solve(make_problem(), growth_factor=1.0))
+
+    def test_budget_bounds_cumulative_time(self):
+        steps = list(incremental_solve(make_problem(n=12, rows=3),
+                                       total_budget=0.5))
+        assert steps[-1].cumulative_seconds <= 0.5 + 1e-9
+
+
+class TestVisualizationPlanner:
+    def test_greedy_strategy(self):
+        planner = VisualizationPlanner(strategy="greedy")
+        result = planner.plan(make_problem())
+        assert result.solver_name == "greedy"
+        assert not result.timed_out
+
+    def test_ilp_strategy(self):
+        planner = VisualizationPlanner(strategy="ilp",
+                                       timeout_seconds=10.0)
+        result = planner.plan(make_problem())
+        assert result.solver_name.startswith("ilp")
+
+    def test_best_strategy_never_worse_than_greedy(self):
+        problem = make_problem()
+        best = VisualizationPlanner(strategy="best",
+                                    timeout_seconds=10.0).plan(problem)
+        greedy = VisualizationPlanner(strategy="greedy").plan(problem)
+        assert best.expected_cost <= greedy.expected_cost + 1e-9
+
+    def test_unknown_strategy(self):
+        with pytest.raises(PlanningError):
+            VisualizationPlanner(strategy="magic")
+
+    def test_plan_feasible(self):
+        problem = make_problem(rows=2)
+        result = VisualizationPlanner(strategy="best",
+                                      timeout_seconds=5.0).plan(problem)
+        assert problem.is_feasible(result.multiplot)
+
+    def test_bnb_backend_selectable(self, tiny_problem):
+        planner = VisualizationPlanner(strategy="ilp", ilp_backend="bnb",
+                                       timeout_seconds=30.0)
+        result = planner.plan(tiny_problem)
+        assert result.solver_name == "ilp-bnb"

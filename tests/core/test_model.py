@@ -1,0 +1,126 @@
+"""Tests for plots, multiplots and screen geometry."""
+
+import pytest
+
+from repro.core.model import Bar, Multiplot, ScreenGeometry
+from repro.errors import PlanningError
+from tests.core.helpers import TEMPLATE, multiplot, plot, query
+
+
+class TestPlot:
+    def test_counts(self):
+        p = plot([0, 1, 2], highlighted={0, 1})
+        assert p.num_bars == 3
+        assert p.num_highlighted == 2
+        assert p.has_highlight
+
+    def test_no_highlight(self):
+        assert not plot([0, 1]).has_highlight
+
+    def test_duplicate_query_rejected(self):
+        bar = Bar(query(0), 0.1, "x")
+        with pytest.raises(PlanningError):
+            from repro.core.model import Plot
+            Plot(TEMPLATE, (bar, bar))
+
+    def test_bar_for(self):
+        p = plot([0, 1])
+        assert p.bar_for(query(1)) is not None
+        assert p.bar_for(query(9)) is None
+
+    def test_probability_mass(self):
+        p = plot([0, 1, 2], probability=0.1)
+        assert p.probability_mass() == pytest.approx(0.3)
+
+    def test_title_comes_from_template(self):
+        assert plot([0]).title == TEMPLATE.title()
+
+
+class TestMultiplot:
+    def test_empty(self):
+        mp = Multiplot.empty(3)
+        assert mp.num_plots == 0
+        assert mp.num_bars == 0
+        assert len(mp.rows) == 3
+
+    def test_aggregate_counts(self):
+        mp = multiplot([[plot([0, 1], {0}), plot([2, 3])],
+                        [plot([4], {4})]])
+        assert mp.num_plots == 3
+        assert mp.num_bars == 5
+        assert mp.num_highlighted_bars == 2
+        assert mp.num_plots_with_highlight == 2
+
+    def test_shows_and_highlights(self):
+        mp = multiplot([[plot([0, 1], {0})]])
+        assert mp.shows(query(0)) and mp.shows(query(1))
+        assert mp.highlights(query(0))
+        assert not mp.highlights(query(1))
+        assert not mp.shows(query(7))
+
+    def test_displayed_queries(self):
+        mp = multiplot([[plot([0, 1])], [plot([2])]])
+        assert mp.displayed_queries() == {query(0), query(1), query(2)}
+
+    def test_duplicate_queries_detected(self):
+        # The same query result appearing in two plots is redundant.
+        mp = multiplot([[plot([0, 1]), plot([1, 2])]])
+        assert mp.duplicate_queries() == {query(1)}
+
+    def test_with_value(self):
+        bar = Bar(query(0), 0.1, "x")
+        assert bar.value is None
+        assert bar.with_value(3.5).value == 3.5
+
+
+class TestScreenGeometry:
+    def test_width_units(self):
+        geometry = ScreenGeometry(width_pixels=600, bar_width_pixels=60)
+        assert geometry.width_units == 10.0
+
+    def test_plot_base_units_grow_with_title(self):
+        from tests.core.helpers import TEMPLATE_B
+        geometry = ScreenGeometry()
+        # TEMPLATE_B's title carries an extra predicate, hence is longer.
+        assert geometry.plot_base_units(TEMPLATE_B) > \
+            geometry.plot_base_units(TEMPLATE)
+
+    def test_plot_units_add_bars(self):
+        geometry = ScreenGeometry()
+        assert geometry.plot_units(plot([0, 1, 2])) == pytest.approx(
+            geometry.plot_base_units(TEMPLATE) + 3)
+
+    def test_max_bars(self):
+        geometry = ScreenGeometry(width_pixels=1200)
+        capacity = geometry.max_bars(TEMPLATE)
+        assert capacity == int(geometry.width_units
+                               - geometry.plot_base_units(TEMPLATE))
+
+    def test_fits_respects_width(self):
+        geometry = ScreenGeometry(width_pixels=400, bar_width_pixels=60)
+        wide = multiplot([[plot(list(range(12)))]])
+        assert not geometry.fits(wide)
+        narrow = multiplot([[plot([0])]])
+        assert geometry.fits(narrow)
+
+    def test_fits_respects_rows(self):
+        geometry = ScreenGeometry(num_rows=1)
+        two_rows = multiplot([[plot([0])], [plot([1])]])
+        assert not geometry.fits(two_rows)
+
+    def test_fits_empty(self):
+        assert ScreenGeometry().fits(Multiplot.empty(1))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(PlanningError):
+            ScreenGeometry(width_pixels=0)
+        with pytest.raises(PlanningError):
+            ScreenGeometry(num_rows=0)
+        with pytest.raises(PlanningError):
+            ScreenGeometry(bar_width_pixels=-1)
+
+    def test_row_units_used(self):
+        geometry = ScreenGeometry()
+        row = (plot([0]), plot([1, 2]))
+        assert geometry.row_units_used(row) == pytest.approx(
+            geometry.plot_units(row[0]) + geometry.plot_units(row[1]))

@@ -1,0 +1,148 @@
+"""Tests for the synthetic dataset generators and workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    DATASET_GENERATORS,
+    make_ads_table,
+    make_dob_table,
+    make_flights_table,
+    make_nyc311_table,
+)
+from repro.datasets.workload import WorkloadGenerator
+from repro.sqldb.database import Database
+from repro.sqldb.expressions import AggregateFunction
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_row_count_and_schema(self, name):
+        table = DATASET_GENERATORS[name](num_rows=500, seed=0)
+        assert table.num_rows == 500
+        assert table.schema.name == name
+        assert table.schema.text_columns()
+        assert table.schema.numeric_columns()
+
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_deterministic_per_seed(self, name):
+        t1 = DATASET_GENERATORS[name](num_rows=200, seed=42)
+        t2 = DATASET_GENERATORS[name](num_rows=200, seed=42)
+        assert list(t1.rows()) == list(t2.rows())
+
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_seed_changes_data(self, name):
+        t1 = DATASET_GENERATORS[name](num_rows=200, seed=1)
+        t2 = DATASET_GENERATORS[name](num_rows=200, seed=2)
+        assert list(t1.rows()) != list(t2.rows())
+
+    def test_zipf_skew_present(self):
+        table = make_nyc311_table(num_rows=5000, seed=0)
+        values, counts = np.unique(table.column("complaint_type"),
+                                   return_counts=True)
+        # The most common complaint must dominate the least common one.
+        assert counts.max() > 5 * counts.min()
+
+    def test_nyc311_queryable(self):
+        db = Database()
+        db.register_table(make_nyc311_table(num_rows=1000, seed=0))
+        count = db.execute(
+            "SELECT COUNT(*) FROM nyc311 WHERE borough = 'Brooklyn'"
+        ).scalar()
+        assert 0 < count < 1000
+
+    def test_dob_proposed_at_least_existing(self):
+        table = make_dob_table(num_rows=1000, seed=0)
+        existing = table.column("existing_stories")
+        proposed = table.column("proposed_stories")
+        assert (proposed >= existing).all()
+
+    def test_ads_impressions_exceed_clicks(self):
+        table = make_ads_table(num_rows=1000, seed=0)
+        assert (table.column("impressions")
+                >= table.column("clicks")).all()
+
+    def test_flights_cancelled_is_binary(self):
+        table = make_flights_table(num_rows=1000, seed=0)
+        assert set(np.unique(table.column("cancelled"))) <= {0, 1}
+
+    def test_custom_table_name(self):
+        table = make_flights_table(num_rows=10, seed=0, name="flights_1pct")
+        assert table.schema.name == "flights_1pct"
+
+    def test_phonetically_confusable_vocabulary(self):
+        """The point of the synthetic data: confusable value pairs exist."""
+        from repro.phonetics.index import phonetic_similarity
+        table = make_nyc311_table(num_rows=2000, seed=0)
+        values = np.unique(table.column("complaint_type")).tolist()
+        best = max(
+            phonetic_similarity(a, b)
+            for i, a in enumerate(values) for b in values[i + 1:])
+        assert best > 0.8
+
+
+class TestWorkloadGenerator:
+    @pytest.fixture()
+    def table(self) -> Table:
+        return make_nyc311_table(num_rows=1000, seed=0)
+
+    def test_queries_reference_real_schema(self, table):
+        generator = WorkloadGenerator(table, seed=0)
+        for query in generator.random_queries(20):
+            assert query.table == "nyc311"
+            for predicate in query.predicates:
+                assert table.schema.has_column(predicate.column)
+            if query.aggregate.column is not None:
+                assert table.schema.column(
+                    query.aggregate.column).dtype.is_numeric
+
+    def test_predicate_values_exist_in_data(self, table):
+        generator = WorkloadGenerator(table, seed=1)
+        db = Database()
+        db.register_table(table)
+        for query in generator.random_queries(10):
+            count_query = query.to_sql().replace(
+                query.aggregate.to_sql(), "COUNT(*)")
+            assert db.execute(count_query).scalar() >= 0
+
+    def test_exact_predicates(self, table):
+        generator = WorkloadGenerator(table, seed=2)
+        for query in generator.random_queries(10, exact_predicates=1):
+            assert len(query.predicates) == 1
+
+    def test_max_predicates_respected(self, table):
+        generator = WorkloadGenerator(table, seed=3)
+        for query in generator.random_queries(30, max_predicates=2):
+            assert 1 <= len(query.predicates) <= 2
+
+    def test_no_duplicate_predicate_columns(self, table):
+        generator = WorkloadGenerator(table, seed=4)
+        for query in generator.random_queries(30):
+            columns = [p.column for p in query.predicates]
+            assert len(columns) == len(set(columns))
+
+    def test_deterministic_per_seed(self, table):
+        q1 = WorkloadGenerator(table, seed=9).random_queries(5)
+        q2 = WorkloadGenerator(table, seed=9).random_queries(5)
+        assert q1 == q2
+
+    def test_count_queries_have_no_column(self, table):
+        generator = WorkloadGenerator(table, seed=5)
+        for query in generator.random_queries(50):
+            if query.aggregate.func == AggregateFunction.COUNT:
+                assert query.aggregate.column is None
+
+    def test_exact_predicates_too_many_raises(self, table):
+        generator = WorkloadGenerator(table, seed=6)
+        with pytest.raises(ValueError):
+            generator.random_query(exact_predicates=99)
+
+    def test_requires_text_and_numeric_columns(self):
+        schema = TableSchema("only_numbers",
+                             (ColumnSchema("v", DataType.INT),))
+        table = Table.from_rows(schema, [(1,), (2,)])
+        with pytest.raises(ValueError):
+            WorkloadGenerator(table)

@@ -1,0 +1,77 @@
+"""Property-based test: merged execution is semantically transparent.
+
+For arbitrary generated candidate sets, running them through the merge
+planner must produce exactly the same per-query results as running each
+query alone — the core correctness contract of Section 8.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_nyc311_table
+from repro.execution.merging import plan_execution
+from repro.sqldb.database import Database
+from repro.sqldb.query import AggregateQuery
+
+_DB = Database(seed=0)
+_DB.register_table(make_nyc311_table(num_rows=1500, seed=9))
+_TABLE = _DB.table("nyc311")
+
+_BOROUGHS = ["Brooklyn", "Bronx", "Manhattan", "Queens", "Staten Island",
+             "Atlantis"]  # includes a value absent from the data
+_AGENCIES = ["NYPD", "HPD", "DOT", "XYZ"]
+_FUNCS = ["count", "sum", "avg", "min", "max"]
+_MEASURES = ["resolution_hours", "num_calls"]
+
+
+@st.composite
+def query_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    queries = []
+    for _ in range(n):
+        func = draw(st.sampled_from(_FUNCS))
+        column = (None if func == "count"
+                  else draw(st.sampled_from(_MEASURES)))
+        predicates = {}
+        if draw(st.booleans()):
+            predicates["borough"] = draw(st.sampled_from(_BOROUGHS))
+        if draw(st.booleans()):
+            predicates["agency"] = draw(st.sampled_from(_AGENCIES))
+        queries.append(AggregateQuery.build("nyc311", func, column,
+                                            predicates))
+    return queries
+
+
+@given(query_sets())
+@settings(max_examples=40, deadline=None)
+def test_merged_results_equal_separate(queries):
+    merged = plan_execution(_DB, queries, merge=True).run(_DB)
+    separate = plan_execution(_DB, queries, merge=False).run(_DB)
+    assert set(merged) == set(separate)
+    for query, value in separate.items():
+        if value is None:
+            assert merged[query] is None, query.to_sql()
+        else:
+            assert merged[query] == pytest.approx(value), query.to_sql()
+
+
+@given(query_sets())
+@settings(max_examples=20, deadline=None)
+def test_merged_cost_never_exceeds_separate(queries):
+    """The planner only merges when the optimizer says it pays off, so
+    the merged plan's estimated cost can never exceed the separate one."""
+    merged = plan_execution(_DB, queries, merge=True)
+    separate = plan_execution(_DB, queries, merge=False)
+    assert merged.estimated_cost <= separate.estimated_cost + 1e-9
+
+
+@given(query_sets())
+@settings(max_examples=20, deadline=None)
+def test_every_query_answered_exactly_once(queries):
+    plan = plan_execution(_DB, queries, merge=True)
+    covered = [q for group in plan.groups for q in group.queries]
+    assert len(covered) == len(set(covered))
+    assert set(covered) == set(queries)

@@ -1,0 +1,152 @@
+"""Smoke tests for the experiment harnesses at miniature scale.
+
+The benchmarks run these at full scale and assert the paper's shapes;
+here we verify the harness mechanics (columns, coverage, invariants) with
+tiny configurations, so a refactor cannot silently break an experiment.
+"""
+
+import pytest
+
+from repro.datasets import make_dob_table, make_nyc311_table
+from repro.experiments.processing import (
+    figure7_query_merging,
+    figure8_processing_bound,
+)
+from repro.experiments.scaling import (
+    METHOD_NAMES,
+    figure9_interactivity,
+    figure10_initial_error,
+    figure11_ftime_ttime,
+    run_scaling_experiment,
+)
+from repro.experiments.solvers import figure6_solver_sweep
+from repro.experiments.studies import (
+    figure3_perception_time,
+    figure12_muve_vs_baseline,
+    figure13_method_ratings,
+    table1_correlations,
+)
+from repro.sqldb.database import Database
+
+
+@pytest.fixture(scope="module")
+def mini_db() -> Database:
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=1200, seed=7))
+    db.register_table(make_dob_table(num_rows=1200, seed=11))
+    return db
+
+
+class TestStudyHarnesses:
+    def test_figure3_tables(self):
+        tables = figure3_perception_time(workers_per_task=4, seed=0)
+        assert set(tables) == {"bar_position", "plot_position",
+                               "red_bars", "num_plots"}
+        for table in tables.values():
+            assert table.rows
+            assert table.columns[1] == "mean_ms"
+
+    def test_table1_columns_and_note(self):
+        table = table1_correlations(workers_per_task=6, seed=0)
+        assert len(table.rows) == 4
+        assert any("calibrated" in note for note in table.notes)
+
+    def test_figure12_row_per_dataset(self, mini_db):
+        table = figure12_muve_vs_baseline(mini_db, ["nyc311", "dob"],
+                                          users=2, queries_per_user=2,
+                                          seed=0)
+        assert [row[0] for row in table.rows] == ["nyc311", "dob"]
+        for row in table.rows:
+            assert row[1] > 0 and row[3] > 0
+
+    def test_figure13_methods_covered(self, mini_db):
+        table = figure13_method_ratings(mini_db, {"nyc311": "small"},
+                                        raters=3, seed=0)
+        methods = {row[1] for row in table.rows}
+        assert {"default", "inc-plot", "app-5%", "ilp-inc"} <= methods
+        for row in table.rows:
+            assert 1.0 <= row[2] <= 10.0
+            assert 1.0 <= row[4] <= 10.0
+
+
+class TestSolverHarness:
+    def test_figure6_sweep_levels(self, mini_db):
+        table = figure6_solver_sweep(mini_db, "nyc311", parameter="rows",
+                                     num_queries=2, timeout=0.5, seed=0)
+        assert table.column("rows") == [1, 2, 3]
+        for ratio in table.column("ilp_timeout_ratio"):
+            assert 0.0 <= ratio <= 1.0
+
+    def test_figure6_unknown_parameter(self, mini_db):
+        with pytest.raises(ValueError):
+            figure6_solver_sweep(mini_db, "nyc311", parameter="bogus")
+
+
+class TestProcessingHarnesses:
+    def test_figure7_modes(self, mini_db):
+        table = figure7_query_merging(mini_db, "dob", num_queries=2,
+                                      num_candidates=10, seed=0)
+        assert [row[0] for row in table.rows] == ["merged", "separate"]
+        merged_cost, separate_cost = (table.rows[0][3], table.rows[1][3])
+        assert merged_cost <= separate_cost
+
+    def test_figure8_methods_present(self, mini_db):
+        table = figure8_processing_bound(mini_db, "nyc311",
+                                         num_queries=2,
+                                         budget_factors=(0.5,),
+                                         pixels=900, seed=0)
+        methods = [row[0] for row in table.rows]
+        assert "greedy" in methods
+        assert "ILP(D-Cost)" in methods
+
+
+class TestScalingHarness:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return run_scaling_experiment(
+            fractions=(0.5, 1.0), full_rows=4000, num_queries=2,
+            num_candidates=8, methods=("greedy", "app-5%"),
+            ilp_timeout=0.25, io_millis_per_page=0.0, seed=0)
+
+    def test_run_matrix_complete(self, runs):
+        assert len(runs) == 2 * 2 * 2  # fractions x queries x methods
+
+    def test_f_time_bounded_by_t_time(self, runs):
+        for run in runs:
+            assert run.f_time <= run.t_time + 1e-9
+
+    def test_figure9_table(self, runs):
+        table = figure9_interactivity(runs, thresholds=(0.05, 0.5))
+        assert len(table.rows) == 4  # 2 fractions x 2 methods
+        for row in table.rows:
+            assert row[2] >= row[3]  # tighter threshold missed more
+
+    def test_figure10_only_approximate_methods(self, runs):
+        table = figure10_initial_error(runs)
+        assert all(row[1].startswith("app") for row in table.rows)
+
+    def test_figure11_table(self, runs):
+        table = figure11_ftime_ttime(runs)
+        assert len(table.rows) == 4
+        for row in table.rows:
+            assert row[2] <= row[3] + 1e-6
+
+    def test_unknown_method_rejected(self, mini_db):
+        from repro.core.model import ScreenGeometry
+        from repro.core.problem import MultiplotSelectionProblem
+        from repro.experiments.scaling import run_method
+        from repro.nlq.candidates import CandidateGenerator
+        from repro.sqldb.query import AggregateQuery
+        seed = AggregateQuery.build("nyc311", "count", None,
+                                    {"borough": "Queens"})
+        candidates = tuple(CandidateGenerator(
+            mini_db, "nyc311").candidates(seed, 5))
+        problem = MultiplotSelectionProblem(
+            candidates, geometry=ScreenGeometry())
+        with pytest.raises(ValueError):
+            run_method(mini_db, "warp-drive", problem, seed, 1.0)
+
+    def test_method_names_constant_consistent(self):
+        assert set(METHOD_NAMES) == {
+            "greedy", "ilp", "ilp-inc", "inc-plot", "app-1%", "app-5%",
+            "app-d"}

@@ -1,0 +1,42 @@
+"""Tests for the one-call experiment runner."""
+
+import os
+
+import pytest
+
+from repro.experiments import run_all_experiments
+
+
+class TestRunAllExperiments:
+    @pytest.fixture(scope="class")
+    def results(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("results")
+        return str(directory), run_all_experiments(
+            output_dir=str(directory), scale=0.1, seed=0)
+
+    def test_every_figure_present(self, results):
+        _, tables = results
+        expected = {"table1", "fig6_candidates", "fig6_rows",
+                    "fig6_pixels", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13"}
+        assert expected <= set(tables)
+        assert any(key.startswith("fig3_") for key in tables)
+
+    def test_tables_have_rows(self, results):
+        _, tables = results
+        for name, table in tables.items():
+            assert table.rows, name
+
+    def test_files_written(self, results):
+        directory, tables = results
+        for name in tables:
+            assert os.path.exists(os.path.join(directory, f"{name}.txt"))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            run_all_experiments(scale=0.0)
+
+    def test_progress_callback_called(self):
+        messages = []
+        run_all_experiments(scale=0.05, progress=messages.append)
+        assert any("figure 6" in message for message in messages)

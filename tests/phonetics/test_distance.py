@@ -1,0 +1,119 @@
+"""Tests for Jaro/Jaro-Winkler/Levenshtein similarities."""
+
+import pytest
+
+from repro.phonetics.distance import (
+    damerau_levenshtein,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein_similarity,
+)
+
+
+class TestJaro:
+    def test_identical_strings(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("abc", "") == 0.0
+
+    def test_completely_different(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_known_value_martha_marhta(self):
+        # Classic textbook example: 6 matches, 1 transposition.
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_known_value_dixon_dicksonx(self):
+        assert jaro("DIXON", "DICKSONX") == pytest.approx(0.766667, abs=1e-5)
+
+    def test_symmetry(self):
+        assert jaro("dwayne", "duane") == jaro("duane", "dwayne")
+
+    def test_single_characters(self):
+        assert jaro("a", "a") == 1.0
+        assert jaro("a", "b") == 0.0
+
+
+class TestJaroWinkler:
+    def test_known_value_martha_marhta(self):
+        assert jaro_winkler("MARTHA", "MARHTA") == pytest.approx(
+            0.961111, abs=1e-5)
+
+    def test_prefix_boost_over_jaro(self):
+        base = jaro("prefixed", "prefixes")
+        boosted = jaro_winkler("prefixed", "prefixes")
+        assert boosted > base
+
+    def test_no_common_prefix_equals_jaro(self):
+        assert jaro_winkler("abcd", "xbcd") == jaro("abcd", "xbcd")
+
+    def test_prefix_capped_at_four(self):
+        # Identical 4-char and 6-char prefixes get the same boost factor.
+        four = jaro_winkler("abcdXX", "abcdYY")
+        jaro_four = jaro("abcdXX", "abcdYY")
+        assert four == pytest.approx(
+            jaro_four + 4 * 0.1 * (1 - jaro_four))
+
+    def test_invalid_prefix_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    def test_result_bounded(self):
+        assert 0.0 <= jaro_winkler("smith", "smithson") <= 1.0
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("same", "same") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_classic_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "bat") == 1
+
+    def test_insertion(self):
+        assert levenshtein("cat", "cats") == 1
+
+    def test_symmetry(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_once(self):
+        assert damerau_levenshtein("ca", "ac") == 1
+        assert levenshtein("ca", "ac") == 2
+
+    def test_equal_strings(self):
+        assert damerau_levenshtein("abc", "abc") == 0
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("abcdef", "badcfe"), ("hello", "ehllo"), ("ab", "ba")]
+        for s1, s2 in pairs:
+            assert damerau_levenshtein(s1, s2) <= levenshtein(s1, s2)
+
+    def test_empty_cases(self):
+        assert damerau_levenshtein("", "xyz") == 3
+        assert damerau_levenshtein("xyz", "") == 3
+
+
+class TestNormalizedSimilarity:
+    def test_both_empty(self):
+        assert normalized_levenshtein_similarity("", "") == 1.0
+
+    def test_identical(self):
+        assert normalized_levenshtein_similarity("word", "word") == 1.0
+
+    def test_disjoint(self):
+        assert normalized_levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_in_unit_interval(self):
+        value = normalized_levenshtein_similarity("kitten", "sitting")
+        assert 0.0 < value < 1.0

@@ -1,0 +1,117 @@
+"""Tests for the PhoneticIndex (Lucene substitute)."""
+
+import pytest
+
+from repro.phonetics.index import (
+    PhoneticIndex,
+    ScoredTerm,
+    phonetic_similarity,
+)
+
+VOCAB = ["Brooklyn", "Bronx", "Manhattan", "Queens", "Staten Island",
+         "Noise", "Heating", "Sewer", "Rodent", "Graffiti"]
+
+
+class TestPhoneticSimilarity:
+    def test_identical_is_one(self):
+        assert phonetic_similarity("Brooklyn", "Brooklyn") == pytest.approx(
+            1.0)
+
+    def test_symmetric(self):
+        assert phonetic_similarity("Brooklyn", "Bronx") == pytest.approx(
+            phonetic_similarity("Bronx", "Brooklyn"))
+
+    def test_homophones_score_near_one(self):
+        assert phonetic_similarity("flour", "flower") > 0.85
+
+    def test_homophones_not_exactly_one(self):
+        # The surface component breaks the tie with exact matches.
+        assert phonetic_similarity("flour", "flower") < 1.0
+
+    def test_dissimilar_scores_low(self):
+        assert phonetic_similarity("Brooklyn", "Graffiti") < 0.6
+
+    def test_bounded(self):
+        for a in VOCAB:
+            for b in VOCAB:
+                assert 0.0 <= phonetic_similarity(a, b) <= 1.0
+
+    def test_invalid_surface_weight(self):
+        with pytest.raises(ValueError):
+            phonetic_similarity("a", "b", surface_weight=1.0)
+
+
+class TestPhoneticIndex:
+    def test_len_and_contains(self):
+        index = PhoneticIndex(VOCAB)
+        assert len(index) == len(VOCAB)
+        assert "Brooklyn" in index
+        assert "Paris" not in index
+
+    def test_add_idempotent(self):
+        index = PhoneticIndex()
+        index.add("Queens")
+        index.add("Queens")
+        assert len(index) == 1
+
+    def test_add_rejects_non_strings(self):
+        index = PhoneticIndex()
+        with pytest.raises(TypeError):
+            index.add(42)
+
+    def test_codes_of_unknown_term(self):
+        index = PhoneticIndex(VOCAB)
+        with pytest.raises(KeyError):
+            index.codes("Paris")
+
+    def test_most_similar_self_first(self):
+        index = PhoneticIndex(VOCAB)
+        top = index.most_similar("Brooklyn", k=3)
+        assert top[0].term == "Brooklyn"
+        assert top[0].score == pytest.approx(1.0)
+
+    def test_most_similar_excludes_self(self):
+        index = PhoneticIndex(VOCAB)
+        top = index.most_similar("Brooklyn", k=3, include_self=False)
+        assert all(st.term != "Brooklyn" for st in top)
+
+    def test_brooklyn_finds_bronx(self):
+        index = PhoneticIndex(VOCAB)
+        top = index.most_similar("Brooklyn", k=2, include_self=False)
+        assert top[0].term == "Bronx"
+
+    def test_k_limits_results(self):
+        index = PhoneticIndex(VOCAB)
+        assert len(index.most_similar("Noise", k=4)) == 4
+
+    def test_k_larger_than_vocabulary(self):
+        index = PhoneticIndex(["a", "b"])
+        assert len(index.most_similar("a", k=10)) == 2
+
+    def test_invalid_k(self):
+        index = PhoneticIndex(VOCAB)
+        with pytest.raises(ValueError):
+            index.most_similar("Noise", k=0)
+
+    def test_results_sorted_descending(self):
+        index = PhoneticIndex(VOCAB)
+        scores = [st.score for st in index.most_similar("Heating", k=10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_tie_break(self):
+        index = PhoneticIndex(["aaa", "aab"])
+        first = index.most_similar("aa", k=2)
+        second = index.most_similar("aa", k=2)
+        assert first == second
+
+    def test_probe_not_in_vocabulary(self):
+        index = PhoneticIndex(VOCAB)
+        top = index.most_similar("Brookline", k=1)
+        assert top[0].term == "Brooklyn"
+
+    def test_scored_term_ordering(self):
+        assert ScoredTerm(0.9, "a") > ScoredTerm(0.5, "b")
+
+    def test_iteration(self):
+        index = PhoneticIndex(VOCAB)
+        assert set(index) == set(VOCAB)

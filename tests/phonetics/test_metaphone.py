@@ -1,0 +1,121 @@
+"""Tests for the Double Metaphone codec."""
+
+import pytest
+
+from repro.phonetics.metaphone import double_metaphone, metaphone_codes
+
+
+class TestBasicEncoding:
+    def test_empty_string(self):
+        assert double_metaphone("") == ("", "")
+
+    def test_non_alphabetic_only(self):
+        assert double_metaphone("123 !?") == ("", "")
+
+    def test_case_insensitive(self):
+        assert double_metaphone("Smith") == double_metaphone("SMITH")
+        assert double_metaphone("smith") == double_metaphone("SMITH")
+
+    def test_output_alphabet(self):
+        allowed = set("0AFHJKLMNPRSTX")
+        for word in ["jumble", "xylophone", "czar", "through", "wharf",
+                     "judge", "pneumonia", "psychology"]:
+            primary, alternate = double_metaphone(word)
+            assert set(primary) <= allowed, (word, primary)
+            assert set(alternate) <= allowed, (word, alternate)
+
+    def test_max_length_respected(self):
+        primary, _ = double_metaphone("supercalifragilistic", max_length=4)
+        assert len(primary) <= 4
+
+
+class TestPhoneticEquivalences:
+    """Homophones and near-homophones must share a code."""
+
+    @pytest.mark.parametrize("a, b", [
+        ("Smith", "Smyth"),
+        ("Catherine", "Katherine"),
+        ("Stephen", "Steven"),
+        ("Philip", "Filip"),
+        ("Jon", "John"),
+        ("Thomas", "Tomas"),
+        ("flower", "flour"),
+        ("night", "knight"),
+        ("write", "rite"),
+    ])
+    def test_shared_code(self, a, b):
+        codes_a = set(code for code in double_metaphone(a) if code)
+        codes_b = set(code for code in double_metaphone(b) if code)
+        assert codes_a & codes_b, (a, codes_a, b, codes_b)
+
+
+class TestSpecificRules:
+    def test_initial_silent_letters(self):
+        # KN-, GN-, PN-, WR-, PS- drop the first letter.
+        assert double_metaphone("knight")[0].startswith("N")
+        assert double_metaphone("gnome")[0].startswith("N")
+        assert double_metaphone("pneumonia")[0].startswith("N")
+        assert double_metaphone("wrack")[0].startswith("R")
+        assert double_metaphone("psalm")[0].startswith("S")
+
+    def test_initial_x_sounds_like_s(self):
+        assert double_metaphone("Xavier")[0].startswith("S")
+
+    def test_ph_sounds_like_f(self):
+        assert "F" in double_metaphone("phone")[0]
+
+    def test_tion_sounds_like_x(self):
+        assert "X" in double_metaphone("nation")[0]
+
+    def test_th_encodes_zero(self):
+        assert "0" in double_metaphone("think")[0]
+
+    def test_thomas_is_plain_t(self):
+        # "thomas" is in the TH -> T exception list.
+        assert double_metaphone("thomas")[0].startswith("T")
+
+    def test_caesar_starts_soft(self):
+        assert double_metaphone("caesar")[0].startswith("S")
+
+    def test_chianti_hard_ch(self):
+        assert double_metaphone("chianti")[0].startswith("K")
+
+    def test_michael_primary_k(self):
+        primary, alternate = double_metaphone("michael")
+        assert primary.startswith("MK")
+        assert alternate.startswith("MX")
+
+    def test_jose_alternate_h(self):
+        primary, alternate = double_metaphone("jose")
+        assert {primary[:1], alternate[:1]} >= {"H"} or "H" in (
+            primary[:1] + alternate[:1])
+
+    def test_dumb_final_b_suppressed_after_m(self):
+        primary, _ = double_metaphone("dumb")
+        assert primary == "TM"
+
+    def test_school_k_sound(self):
+        assert "SK" in double_metaphone("school")[0]
+
+    def test_alternate_differs_for_slavic_names(self):
+        primary, alternate = double_metaphone("filipowicz")
+        assert alternate != ""
+        assert primary != alternate
+
+
+class TestMetaphoneCodes:
+    def test_single_word_no_alternate(self):
+        codes = metaphone_codes("smith")
+        assert codes[0] == "SM0"
+        assert len(codes) == 2  # smith has the XMT alternate
+
+    def test_multi_word_joined_with_space(self):
+        codes = metaphone_codes("new york")
+        assert " " in codes[0]
+
+    def test_empty_input(self):
+        assert metaphone_codes("") == ("",)
+
+    def test_multiword_comparable_parts(self):
+        primary = metaphone_codes("staten island")[0]
+        assert len(primary.split(" ")) == 2

@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the phonetics substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phonetics.distance import (
+    damerau_levenshtein,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+)
+from repro.phonetics.metaphone import double_metaphone
+from repro.phonetics.nysiis import nysiis
+from repro.phonetics.soundex import soundex
+
+words = st.text(alphabet=string.ascii_letters, max_size=24)
+short_words = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                      max_size=12)
+
+
+@given(words, words)
+def test_jaro_bounded_and_symmetric(a, b):
+    value = jaro(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == jaro(b, a)
+
+
+@given(words)
+def test_jaro_identity(a):
+    assert jaro(a, a) == 1.0
+
+
+@given(words, words)
+def test_jaro_winkler_dominates_jaro(a, b):
+    assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+    assert jaro_winkler(a, b) <= 1.0 + 1e-12
+
+
+@given(words, words)
+def test_levenshtein_metric_axioms(a, b):
+    distance = levenshtein(a, b)
+    assert distance >= 0
+    assert distance == levenshtein(b, a)
+    assert (distance == 0) == (a == b)
+    assert distance <= max(len(a), len(b))
+
+
+@settings(max_examples=50)
+@given(words, words, words)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@given(words, words)
+def test_damerau_bounded_by_levenshtein(a, b):
+    assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+    assert damerau_levenshtein(a, b) >= 0
+
+
+@given(st.text(max_size=30))
+def test_double_metaphone_total_function(text):
+    """The codec never raises and always returns strings over its alphabet."""
+    primary, alternate = double_metaphone(text)
+    allowed = set("0AFHJKLMNPRSTX ")
+    assert set(primary) <= allowed
+    assert set(alternate) <= allowed
+
+
+@given(short_words)
+def test_double_metaphone_case_invariant(word):
+    assert double_metaphone(word.lower()) == double_metaphone(word.upper())
+
+
+@given(short_words)
+def test_double_metaphone_alternate_never_equals_primary(word):
+    primary, alternate = double_metaphone(word)
+    if alternate:
+        assert alternate != primary
+
+
+@given(short_words)
+def test_soundex_shape(word):
+    code = soundex(word)
+    assert len(code) == 4
+    assert code[0].isalpha()
+    assert all(c.isdigit() or c == "0" for c in code[1:])
+
+
+@given(short_words)
+def test_nysiis_total_and_bounded(word):
+    code = nysiis(word, max_length=8)
+    assert len(code) <= 8
+    assert code.isalpha()
+
+
+@given(short_words)
+def test_nysiis_deterministic(word):
+    assert nysiis(word) == nysiis(word)

@@ -1,0 +1,68 @@
+"""Tests for the Soundex and NYSIIS codecs."""
+
+import pytest
+
+from repro.phonetics.nysiis import nysiis
+from repro.phonetics.soundex import soundex
+
+
+class TestSoundex:
+    @pytest.mark.parametrize("name, code", [
+        ("Robert", "R163"),
+        ("Rupert", "R163"),
+        ("Ashcraft", "A261"),
+        ("Ashcroft", "A261"),
+        ("Tymczak", "T522"),
+        ("Pfister", "P236"),
+        ("Honeyman", "H555"),
+    ])
+    def test_archive_reference_values(self, name, code):
+        # Reference values from the U.S. National Archives specification.
+        assert soundex(name) == code
+
+    def test_empty(self):
+        assert soundex("") == ""
+
+    def test_padding(self):
+        assert soundex("Lee") == "L000"
+
+    def test_case_insensitive(self):
+        assert soundex("SMITH") == soundex("smith")
+
+    def test_custom_length(self):
+        assert len(soundex("Washington", length=6)) == 6
+
+    def test_hw_skipped_between_same_codes(self):
+        # c and k map to 2; separated by h they still merge (Tymczak rule
+        # family).
+        assert soundex("Ashcraft") == soundex("Ashcroft")
+
+
+class TestNysiis:
+    @pytest.mark.parametrize("a, b", [
+        ("John", "Jon"),
+        ("Stephen", "Stevan"),
+        ("Knight", "Night"),
+    ])
+    def test_similar_names_collide(self, a, b):
+        assert nysiis(a) == nysiis(b)
+
+    def test_empty(self):
+        assert nysiis("") == ""
+
+    def test_mac_prefix(self):
+        assert nysiis("MacDonald").startswith("MC")
+
+    def test_phillip_reference_value(self):
+        # Reference NYSIIS: PHILLIP -> FALAP (PH->FF, doubled letters
+        # collapse, vowels flatten to A).
+        assert nysiis("Phillip") == "FALAP"
+
+    def test_terminal_s_trimmed(self):
+        assert not nysiis("Jacobs").endswith("S")
+
+    def test_max_length(self):
+        assert len(nysiis("Wolfeschlegelstein", max_length=6)) <= 6
+
+    def test_only_letters_considered(self):
+        assert nysiis("O'Brien") == nysiis("OBrien")

@@ -1,0 +1,122 @@
+"""Tests for CSV loading and type inference."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sqldb.csv_loader import (
+    infer_column_type,
+    load_csv,
+    load_csv_text,
+)
+from repro.sqldb.database import Database
+from repro.sqldb.types import DataType
+
+SAMPLE = """borough,complaint type,hours,calls
+Brooklyn,Noise,12.5,3
+Bronx,Heating,8.0,1
+Queens,Noise,4.25,2
+"""
+
+
+class TestTypeInference:
+    def test_all_ints(self):
+        assert infer_column_type(["1", "2", "30"]) == DataType.INT
+
+    def test_mixed_numeric_is_float(self):
+        assert infer_column_type(["1", "2.5"]) == DataType.FLOAT
+
+    def test_scientific_notation(self):
+        assert infer_column_type(["1e3", "2.5"]) == DataType.FLOAT
+
+    def test_text(self):
+        assert infer_column_type(["a", "2"]) == DataType.TEXT
+
+    def test_empty_cell_forces_text(self):
+        assert infer_column_type(["1", "", "3"]) == DataType.TEXT
+
+    def test_no_values_is_text(self):
+        assert infer_column_type([]) == DataType.TEXT
+
+    def test_negative_and_padded(self):
+        assert infer_column_type([" -3 ", "7"]) == DataType.INT
+
+
+class TestLoadCsvText:
+    def test_schema_inferred(self):
+        table = load_csv_text(SAMPLE, "complaints")
+        assert table.schema.column("borough").dtype == DataType.TEXT
+        assert table.schema.column("hours").dtype == DataType.FLOAT
+        assert table.schema.column("calls").dtype == DataType.INT
+        assert table.num_rows == 3
+
+    def test_header_normalised(self):
+        table = load_csv_text(SAMPLE, "complaints")
+        assert table.schema.has_column("complaint_type")
+
+    def test_weird_headers(self):
+        text = "First Name!,2020 Count,,First Name!\nA,1,x,B\n"
+        table = load_csv_text(text, "t")
+        names = table.schema.column_names
+        assert names[0] == "first_name"
+        assert names[1] == "c_2020_count"
+        assert names[2] == "column_2"
+        assert names[3] == "first_name_"  # deduplicated
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CatalogError):
+            load_csv_text("", "t")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(CatalogError, match="row 3"):
+            load_csv_text("a,b\n1,2\n3\n", "t")
+
+    def test_quoted_values_with_commas(self):
+        text = 'name,value\n"Doe, Jane",5\n'
+        table = load_csv_text(text, "t")
+        assert table.column("name")[0] == "Doe, Jane"
+
+    def test_custom_delimiter(self):
+        table = load_csv_text("a;b\n1;x\n", "t", delimiter=";")
+        assert table.schema.column("a").dtype == DataType.INT
+
+    def test_queryable_end_to_end(self):
+        db = Database()
+        db.register_table(load_csv_text(SAMPLE, "complaints"))
+        result = db.execute(
+            "SELECT AVG(hours) FROM complaints "
+            "WHERE complaint_type = 'Noise'")
+        assert result.scalar() == pytest.approx((12.5 + 4.25) / 2)
+
+    def test_muve_over_csv_data(self):
+        """The full adoption path: CSV in, multiplot out."""
+        from repro import Muve, VisualizationPlanner
+        rows = ["borough,complaint,hours"]
+        for i in range(60):
+            borough = ["Brooklyn", "Bronx", "Queens"][i % 3]
+            complaint = ["Noise", "Heating"][i % 2]
+            rows.append(f"{borough},{complaint},{(i % 7) + 1}.0")
+        db = Database()
+        db.register_table(load_csv_text("\n".join(rows), "service"))
+        muve = Muve(db, "service",
+                    planner=VisualizationPlanner(strategy="greedy"))
+        response = muve.ask("average hours for borough Brooklyn")
+        assert response.multiplot.num_bars > 0
+
+
+class TestLoadCsvFile:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(SAMPLE, encoding="utf-8")
+        table = load_csv(str(path), "complaints")
+        assert table.num_rows == 3
+
+
+class TestDatabaseLoadCsv:
+    def test_database_convenience(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(SAMPLE, encoding="utf-8")
+        db = Database()
+        schema = db.load_csv(str(path), "complaints")
+        assert schema.name == "complaints"
+        assert db.execute(
+            "SELECT COUNT(*) FROM complaints").scalar() == 3.0

@@ -1,0 +1,186 @@
+"""Tests for expression evaluation and aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sqldb.expressions import (
+    AggregateCall,
+    AggregateFunction,
+    And,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Not,
+    Or,
+    format_literal,
+)
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = TableSchema("t", (
+        ColumnSchema("city", DataType.TEXT),
+        ColumnSchema("score", DataType.FLOAT),
+        ColumnSchema("age", DataType.INT),
+    ))
+    return Table.from_rows(schema, [
+        ("nyc", 1.0, 30),
+        ("sf", 2.0, 40),
+        ("nyc", 3.0, 50),
+        ("la", 4.0, 60),
+    ])
+
+
+class TestComparison:
+    def test_text_equality(self, table):
+        mask = Comparison("city", ComparisonOp.EQ, "nyc").evaluate(table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_text_inequality(self, table):
+        mask = Comparison("city", ComparisonOp.NE, "nyc").evaluate(table)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_numeric_ranges(self, table):
+        assert Comparison("age", ComparisonOp.GT, 40).evaluate(
+            table).tolist() == [False, False, True, True]
+        assert Comparison("age", ComparisonOp.LE, 40).evaluate(
+            table).tolist() == [True, True, False, False]
+
+    def test_text_ordered_comparison(self, table):
+        mask = Comparison("city", ComparisonOp.LT, "nyc").evaluate(table)
+        assert mask.tolist() == [False, False, False, True]
+
+    def test_bind_coerces_int_to_float_column(self, table):
+        bound = Comparison("score", ComparisonOp.EQ, 2).bind(table.schema)
+        assert isinstance(bound.value, float)
+        assert bound.evaluate(table).tolist() == [False, True, False, False]
+
+    def test_bind_rejects_type_mismatch(self, table):
+        with pytest.raises(TypeMismatchError):
+            Comparison("age", ComparisonOp.EQ, "thirty").bind(table.schema)
+
+    def test_to_sql(self):
+        assert Comparison("a", ComparisonOp.GE, 5).to_sql() == "a >= 5"
+
+
+class TestInList:
+    def test_text_membership(self, table):
+        mask = InList("city", ("nyc", "la")).evaluate(table)
+        assert mask.tolist() == [True, False, True, True]
+
+    def test_numeric_membership(self, table):
+        mask = InList("age", (30, 60)).evaluate(table)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_empty_list_matches_nothing(self, table):
+        assert not InList("city", ()).evaluate(table).any()
+
+    def test_to_sql(self):
+        sql = InList("city", ("a", "b")).to_sql()
+        assert sql == "city IN ('a', 'b')"
+
+
+class TestBooleanCombinators:
+    def test_and(self, table):
+        expr = And((Comparison("city", ComparisonOp.EQ, "nyc"),
+                    Comparison("age", ComparisonOp.GT, 40)))
+        assert expr.evaluate(table).tolist() == [False, False, True, False]
+
+    def test_empty_and_is_true(self, table):
+        assert And(()).evaluate(table).all()
+
+    def test_or(self, table):
+        expr = Or((Comparison("city", ComparisonOp.EQ, "sf"),
+                   Comparison("age", ComparisonOp.EQ, 60)))
+        assert expr.evaluate(table).tolist() == [False, True, False, True]
+
+    def test_empty_or_is_false(self, table):
+        assert not Or(()).evaluate(table).any()
+
+    def test_not(self, table):
+        expr = Not(Comparison("city", ComparisonOp.EQ, "nyc"))
+        assert expr.evaluate(table).tolist() == [False, True, False, True]
+
+    def test_referenced_columns(self, table):
+        expr = And((Comparison("city", ComparisonOp.EQ, "nyc"),
+                    Or((Comparison("age", ComparisonOp.GT, 1),
+                        Comparison("score", ComparisonOp.LT, 2.0)))))
+        assert expr.referenced_columns() == {"city", "age", "score"}
+
+    def test_nested_to_sql_parenthesizes(self):
+        expr = And((Or((Comparison("a", ComparisonOp.EQ, 1),
+                        Comparison("b", ComparisonOp.EQ, 2))),
+                    Comparison("c", ComparisonOp.EQ, 3)))
+        assert expr.to_sql() == "(a = 1 OR b = 2) AND c = 3"
+
+
+class TestAggregates:
+    def test_count_star(self, table):
+        assert AggregateCall(AggregateFunction.COUNT, None).compute(
+            table) == 4.0
+
+    def test_count_column(self, table):
+        assert AggregateCall(AggregateFunction.COUNT, "city").compute(
+            table) == 4.0
+
+    def test_sum(self, table):
+        assert AggregateCall(AggregateFunction.SUM, "score").compute(
+            table) == 10.0
+
+    def test_avg(self, table):
+        assert AggregateCall(AggregateFunction.AVG, "age").compute(
+            table) == 45.0
+
+    def test_min_max_numeric(self, table):
+        assert AggregateCall(AggregateFunction.MIN, "score").compute(
+            table) == 1.0
+        assert AggregateCall(AggregateFunction.MAX, "age").compute(
+            table) == 60.0
+
+    def test_min_max_text(self, table):
+        assert AggregateCall(AggregateFunction.MIN, "city").compute(
+            table) == "la"
+        assert AggregateCall(AggregateFunction.MAX, "city").compute(
+            table) == "sf"
+
+    def test_sum_on_text_rejected_at_bind(self, table):
+        with pytest.raises(TypeMismatchError):
+            AggregateCall(AggregateFunction.SUM, "city").bind(table.schema)
+
+    def test_empty_count_is_zero(self, table):
+        empty = table.select_rows(np.zeros(4, dtype=bool))
+        assert AggregateCall(AggregateFunction.COUNT, None).compute(
+            empty) == 0.0
+
+    def test_empty_avg_raises(self, table):
+        empty = table.select_rows(np.zeros(4, dtype=bool))
+        with pytest.raises(ExecutionError):
+            AggregateCall(AggregateFunction.AVG, "score").compute(empty)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(TypeMismatchError):
+            AggregateCall(AggregateFunction.SUM, None)
+
+    def test_to_sql(self):
+        assert AggregateCall(AggregateFunction.COUNT, None).to_sql() == \
+            "COUNT(*)"
+        assert AggregateCall(AggregateFunction.AVG, "x").to_sql() == "AVG(x)"
+
+
+class TestFormatLiteral:
+    def test_string_quoted_and_escaped(self):
+        assert format_literal("it's") == "'it''s'"
+
+    def test_bool(self):
+        assert format_literal(True) == "TRUE"
+        assert format_literal(False) == "FALSE"
+
+    def test_integral_float(self):
+        assert format_literal(5.0) == "5.0"
+
+    def test_int(self):
+        assert format_literal(7) == "7"

@@ -1,0 +1,246 @@
+"""Tests for the extended SQL surface: ORDER BY, LIMIT, DISTINCT
+aggregates, BETWEEN and LIKE."""
+
+import pytest
+
+from repro.errors import ExecutionError, SqlSyntaxError, TypeMismatchError
+from repro.sqldb.parser import parse
+
+
+class TestBetween:
+    def test_parse_and_execute(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE age BETWEEN 30 AND 44")
+        assert result.scalar() == 4.0  # 30, 40, 35, 44
+
+    def test_inclusive_bounds(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE age BETWEEN 28 AND 28")
+        assert result.scalar() == 1.0
+
+    def test_between_combined_with_and(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE age BETWEEN 30 AND 50 "
+            "AND city = 'nyc'")
+        assert result.scalar() == 3.0
+
+    def test_text_between_lexicographic(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept BETWEEN 'a' AND 'f'")
+        assert result.scalar() == 2.0  # the two "eng" rows
+
+    def test_between_needs_column(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT COUNT(*) FROM t WHERE 1 BETWEEN 0 AND 2")
+
+    def test_to_sql_roundtrip(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 5")
+        assert stmt.where.to_sql() == "x BETWEEN 1 AND 5"
+
+
+class TestLike:
+    def test_prefix_pattern(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept LIKE 's%'")
+        assert result.scalar() == 2.0
+
+    def test_underscore_single_char(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept LIKE '_r'")
+        assert result.scalar() == 2.0  # hr
+
+    def test_infix_pattern(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE city LIKE '%osto%'")
+        assert result.scalar() == 2.0  # boston
+
+    def test_no_wildcards_is_equality(self, emp_db):
+        like = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept LIKE 'eng'").scalar()
+        eq = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept = 'eng'").scalar()
+        assert like == eq
+
+    def test_case_sensitive(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept LIKE 'ENG'")
+        assert result.scalar() == 0.0
+
+    def test_regex_metacharacters_escaped(self, emp_db):
+        # '.' must match a literal dot, not any character.
+        result = emp_db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept LIKE '.ng'")
+        assert result.scalar() == 0.0
+
+    def test_like_on_numeric_rejected(self, emp_db):
+        with pytest.raises(TypeMismatchError):
+            emp_db.execute("SELECT COUNT(*) FROM emp WHERE age LIKE '3%'")
+
+    def test_like_needs_string_pattern(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT COUNT(*) FROM t WHERE x LIKE 5")
+
+
+class TestDistinctAggregates:
+    def test_count_distinct(self, emp_db):
+        result = emp_db.execute("SELECT COUNT(DISTINCT dept) FROM emp")
+        assert result.scalar() == 3.0
+
+    def test_count_distinct_with_filter(self, emp_db):
+        result = emp_db.execute(
+            "SELECT COUNT(DISTINCT city) FROM emp WHERE dept = 'sales'")
+        assert result.scalar() == 2.0
+
+    def test_sum_distinct(self, emp_db):
+        emp_db.insert_rows("emp", [("sales", "nyc", 100.0, 30)])
+        # salary 100 now appears twice; SUM(DISTINCT) counts it once.
+        distinct_sum = emp_db.execute(
+            "SELECT SUM(DISTINCT salary) FROM emp").scalar()
+        plain_sum = emp_db.execute(
+            "SELECT SUM(salary) FROM emp").scalar()
+        assert plain_sum - distinct_sum == 100.0
+
+    def test_count_distinct_per_group(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(DISTINCT city) FROM emp GROUP BY dept")
+        as_map = {row[0]: row[1] for row in result.rows}
+        assert as_map == {"sales": 2.0, "eng": 2.0, "hr": 2.0}
+
+    def test_distinct_star_rejected(self):
+        with pytest.raises((SqlSyntaxError, TypeMismatchError)):
+            parse("SELECT COUNT(DISTINCT *) FROM t")
+
+    def test_result_column_name(self, emp_db):
+        result = emp_db.execute("SELECT COUNT(DISTINCT dept) FROM emp")
+        assert result.columns == ("count(distinct dept)",)
+
+
+class TestOrderByLimit:
+    def test_order_by_group_key(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+        assert [row[0] for row in result.rows] == ["eng", "hr", "sales"]
+
+    def test_order_by_desc(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "ORDER BY dept DESC")
+        assert [row[0] for row in result.rows] == ["sales", "hr", "eng"]
+
+    def test_order_by_aggregate(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, SUM(salary) FROM emp GROUP BY dept "
+            "ORDER BY SUM(salary) DESC")
+        sums = [row[1] for row in result.rows]
+        assert sums == sorted(sums, reverse=True)
+
+    def test_order_by_two_keys(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, city, COUNT(*) FROM emp GROUP BY dept, city "
+            "ORDER BY dept ASC, city DESC")
+        assert result.rows[0][:2] == ("eng", "sf")
+
+    def test_limit(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "ORDER BY dept LIMIT 2")
+        assert len(result.rows) == 2
+        assert result.rows[0][0] == "eng"
+
+    def test_limit_zero(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept LIMIT 0")
+        assert result.rows == ()
+
+    def test_limit_exceeding_rows(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept LIMIT 99")
+        assert len(result.rows) == 3
+
+    def test_order_by_unknown_target(self, emp_db):
+        with pytest.raises(ExecutionError):
+            emp_db.execute(
+                "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+                "ORDER BY salary")
+
+    def test_fractional_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT COUNT(*) FROM t LIMIT 2.5")
+
+    def test_top_k_pattern(self, emp_db):
+        """The analytics staple: top-k groups by measure."""
+        result = emp_db.execute(
+            "SELECT city, SUM(salary) FROM emp GROUP BY city "
+            "ORDER BY SUM(salary) DESC LIMIT 1")
+        assert result.rows[0][0] == "nyc"
+
+
+class TestExplainExtended:
+    def test_sort_node_in_plan(self, emp_db):
+        plan = emp_db.explain(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+        assert plan.kind == "Sort"
+        assert "Sort Key: dept" in plan.render()
+
+    def test_limit_node_caps_rows(self, emp_db):
+        plan = emp_db.explain(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept LIMIT 2")
+        assert plan.kind == "Limit"
+        assert plan.cost.rows <= 2
+
+    def test_order_by_increases_cost(self, emp_db):
+        plain = emp_db.estimated_cost(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        sorted_cost = emp_db.estimated_cost(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+        assert sorted_cost > plain
+
+
+class TestHaving:
+    def test_filters_groups_by_count(self, emp_db):
+        emp_db.insert_rows("emp", [("sales", "nyc", 110.0, 31)])
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "HAVING COUNT(*) > 2 ORDER BY dept")
+        assert [row[0] for row in result.rows] == ["sales"]
+
+    def test_filter_on_group_key(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "HAVING dept = 'eng'")
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "eng"
+
+    def test_conjunction_of_conditions(self, emp_db):
+        # Every HAVING target must appear in the SELECT list (strict mode).
+        result = emp_db.execute(
+            "SELECT dept, SUM(salary), COUNT(*) FROM emp GROUP BY dept "
+            "HAVING SUM(salary) > 200 AND COUNT(*) >= 2")
+        depts = {row[0] for row in result.rows}
+        # sales: 220, eng: 350, hr: 185 -> only sales and eng pass >200.
+        assert depts == {"sales", "eng"}
+
+    def test_having_with_aggregate_not_in_select(self, emp_db):
+        # The HAVING aggregate must be in the result columns; our subset
+        # requires it in the SELECT list (like many engines' strict mode).
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            emp_db.execute(
+                "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+                "HAVING SUM(salary) > 100")
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT COUNT(*) FROM t HAVING COUNT(*) > 1")
+
+    def test_having_before_order_and_limit(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "HAVING COUNT(*) >= 2 ORDER BY dept DESC LIMIT 1")
+        assert result.rows[0][0] == "sales"
+
+    def test_having_on_empty_result(self, emp_db):
+        result = emp_db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "HAVING COUNT(*) > 99")
+        assert result.rows == ()

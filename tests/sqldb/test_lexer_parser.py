@@ -1,0 +1,187 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqldb.expressions import (
+    AggregateFunction,
+    And,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Not,
+    Or,
+)
+from repro.sqldb.lexer import TokenType, tokenize
+from repro.sqldb.parser import parse
+
+
+class TestLexer:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT from WHERE")
+        assert [t.text for t in tokens[:3]] == ["select", "from", "where"]
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("MyColumn")
+        assert tokens[0].type == TokenType.IDENT
+        assert tokens[0].text == "MyColumn"
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type == TokenType.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_escape(self):
+        tokens = tokenize("\"\"".replace('"', "'") * 0 + "'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 -7")
+        assert [t.text for t in tokens[:4]] == ["42", "3.14", "1e3", "-7"]
+
+    def test_symbols_normalised(self):
+        tokens = tokenize("a != b")
+        assert tokens[1].text == "<>"
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("<= >= <>")
+        assert [t.text for t in tokens[:3]] == ["<=", ">=", "<>"]
+
+    def test_junk_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type == TokenType.END
+
+
+class TestParserBasics:
+    def test_simple_count(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert stmt.table == "t"
+        assert stmt.aggregates[0].func == AggregateFunction.COUNT
+        assert stmt.aggregates[0].column is None
+        assert stmt.where is None
+
+    def test_aggregate_with_column(self):
+        stmt = parse("SELECT AVG(salary) FROM emp")
+        assert stmt.aggregates[0].func == AggregateFunction.AVG
+        assert stmt.aggregates[0].column == "salary"
+
+    def test_multiple_aggregates(self):
+        stmt = parse("SELECT MIN(a), MAX(a), SUM(b) FROM t")
+        assert len(stmt.aggregates) == 3
+
+    def test_where_equality(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE dept = 'sales'")
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.where.column == "dept"
+        assert stmt.where.op == ComparisonOp.EQ
+        assert stmt.where.value == "sales"
+
+    def test_where_and_chain(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert isinstance(stmt.where, And)
+        assert len(stmt.where.children) == 3
+
+    def test_where_or(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2")
+        assert isinstance(stmt.where, Or)
+
+    def test_precedence_and_binds_tighter(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.children[1], And)
+
+    def test_parentheses(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.children[0], Or)
+
+    def test_not(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_in_list(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM t WHERE city IN ('nyc', 'sf', 'la')")
+        assert isinstance(stmt.where, InList)
+        assert stmt.where.values == ("nyc", "sf", "la")
+
+    def test_flipped_comparison(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE 5 < age")
+        assert stmt.where.column == "age"
+        assert stmt.where.op == ComparisonOp.GT
+
+    def test_numeric_literals(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE x = 2.5")
+        assert stmt.where.value == 2.5
+
+    def test_boolean_literal(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE flag = TRUE")
+        assert stmt.where.value is True
+
+    def test_group_by(self):
+        stmt = parse("SELECT dept, COUNT(*) FROM t GROUP BY dept")
+        assert stmt.group_by == ("dept",)
+        assert stmt.select_columns == ("dept",)
+
+    def test_group_by_multiple(self):
+        stmt = parse(
+            "SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert stmt.group_by == ("a", "b")
+
+    def test_tablesample(self):
+        stmt = parse("SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (5)")
+        assert stmt.sample_fraction == pytest.approx(0.05)
+
+    def test_tablesample_with_where(self):
+        stmt = parse("SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (1.5) "
+                     "WHERE a = 1")
+        assert stmt.sample_fraction == pytest.approx(0.015)
+        assert stmt.where is not None
+
+    def test_explain_prefix(self):
+        stmt = parse("EXPLAIN SELECT COUNT(*) FROM t")
+        assert stmt.explain
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT COUNT(*) FROM t;").table == "t"
+
+    def test_case_insensitive_keywords(self):
+        stmt = parse("select count(*) from t where a = 1")
+        assert stmt.table == "t"
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM t",
+        "SELECT COUNT(*)",
+        "SELECT COUNT(*) FROM",
+        "SELECT COUNT(*) FROM t WHERE",
+        "SELECT COUNT(*) FROM t WHERE a =",
+        "SELECT COUNT(*) FROM t WHERE a = 1 extra",
+        "SELECT COUNT(*) FROM t WHERE a IN ()",
+        "SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (0)",
+        "SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (150)",
+        "SELECT a FROM t",  # non-aggregate without GROUP BY
+        "SELECT COUNT(*) FROM t WHERE a = b",  # column-to-column
+        "SELECT COUNT(*) FROM t WHERE 1 = 2",  # no column at all
+        "SELECT COUNT(*) FROM t WHERE 1 IN (2)",  # IN needs a column
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse("SELECT COUNT(*) FROM t WHERE a = 1 trailing")
+        assert excinfo.value.position is not None

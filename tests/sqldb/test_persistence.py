@@ -1,0 +1,71 @@
+"""Round-trip tests for database persistence."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sqldb.persistence import load_database, save_database
+from repro.sqldb.types import DataType
+
+
+class TestRoundTrip:
+    def test_rows_and_schema_preserved(self, emp_db, tmp_path):
+        save_database(emp_db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        original = emp_db.table("emp")
+        restored = loaded.table("emp")
+        assert restored.schema == original.schema
+        assert list(restored.rows()) == list(original.rows())
+
+    def test_queries_agree_after_reload(self, emp_db, tmp_path):
+        save_database(emp_db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        sql = "SELECT dept, AVG(salary) FROM emp GROUP BY dept ORDER BY dept"
+        assert loaded.execute(sql).rows == emp_db.execute(sql).rows
+
+    def test_text_of_digits_stays_text(self, tmp_path):
+        from repro.sqldb.database import Database
+        db = Database()
+        db.create_table("codes", [("code", DataType.TEXT),
+                                  ("n", DataType.INT)])
+        db.insert_rows("codes", [("007", 1), ("42", 2)])
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        values = list(loaded.table("codes").column("code"))
+        assert values == ["007", "42"]  # no lossy int round-trip
+
+    def test_multiple_tables(self, tmp_path):
+        from repro.datasets import make_ads_table, make_nyc311_table
+        from repro.sqldb.database import Database
+        db = Database()
+        db.register_table(make_nyc311_table(num_rows=50, seed=1))
+        db.register_table(make_ads_table(num_rows=30, seed=2))
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.table("nyc311").num_rows == 50
+        assert loaded.table("ads").num_rows == 30
+
+    def test_io_simulation_carried_by_parameter(self, emp_db, tmp_path):
+        save_database(emp_db, str(tmp_path))
+        loaded = load_database(str(tmp_path), io_millis_per_page=0.5)
+        assert loaded.io_millis_per_page == 0.5
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(CatalogError, match="manifest"):
+            load_database(str(tmp_path))
+
+    def test_tampered_header_rejected(self, emp_db, tmp_path):
+        save_database(emp_db, str(tmp_path))
+        csv_path = tmp_path / "emp.csv"
+        content = csv_path.read_text().splitlines()
+        content[0] = "wrong,header,entirely,x"
+        csv_path.write_text("\n".join(content))
+        with pytest.raises(CatalogError, match="header"):
+            load_database(str(tmp_path))
+
+    def test_ragged_row_rejected(self, emp_db, tmp_path):
+        save_database(emp_db, str(tmp_path))
+        csv_path = tmp_path / "emp.csv"
+        with open(csv_path, "a", encoding="utf-8") as handle:
+            handle.write("only,three,cells\n")
+        with pytest.raises(CatalogError, match="row"):
+            load_database(str(tmp_path))

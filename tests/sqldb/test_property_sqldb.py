@@ -1,0 +1,137 @@
+"""Property-based tests for the SQL engine.
+
+The central invariant: the vectorized engine must agree with a naive
+row-at-a-time Python evaluation on arbitrary generated tables and queries.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb.database import Database
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.statistics import TableStatistics
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+_CITIES = ["nyc", "sf", "la", "boston", "austin"]
+_DEPTS = ["sales", "eng", "hr"]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_CITIES),
+        st.sampled_from(_DEPTS),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    min_size=0, max_size=60,
+)
+
+
+def build_db(rows) -> Database:
+    db = Database(seed=0)
+    schema = TableSchema("t", (
+        ColumnSchema("city", DataType.TEXT),
+        ColumnSchema("dept", DataType.TEXT),
+        ColumnSchema("v", DataType.INT),
+    ))
+    db.register_table(Table.from_rows(schema, rows))
+    return db
+
+
+@given(rows_strategy, st.sampled_from(_CITIES))
+def test_count_filter_matches_python(rows, city):
+    db = build_db(rows)
+    result = db.execute(
+        f"SELECT COUNT(*) FROM t WHERE city = '{city}'").scalar()
+    expected = sum(1 for r in rows if r[0] == city)
+    assert result == expected
+
+
+@given(rows_strategy, st.sampled_from(_CITIES), st.sampled_from(_DEPTS))
+def test_conjunction_matches_python(rows, city, dept):
+    db = build_db(rows)
+    result = db.execute(
+        f"SELECT COUNT(*) FROM t WHERE city = '{city}' "
+        f"AND dept = '{dept}'").scalar()
+    expected = sum(1 for r in rows if r[0] == city and r[1] == dept)
+    assert result == expected
+
+
+@given(rows_strategy, st.integers(min_value=-100, max_value=100))
+def test_sum_with_range_matches_python(rows, threshold):
+    db = build_db(rows)
+    matching = [r[2] for r in rows if r[2] >= threshold]
+    if not matching:
+        result = db.execute(
+            f"SELECT COUNT(*) FROM t WHERE v >= {threshold}").scalar()
+        assert result == 0
+        return
+    result = db.execute(
+        f"SELECT SUM(v) FROM t WHERE v >= {threshold}").scalar()
+    assert result == sum(matching)
+
+
+@given(rows_strategy)
+def test_group_by_partitions_rows(rows):
+    """Group counts must sum to the table size and match Python groupby."""
+    db = build_db(rows)
+    result = db.execute("SELECT city, COUNT(*) FROM t GROUP BY city")
+    as_map = {row[0]: row[1] for row in result.rows}
+    assert sum(as_map.values()) == len(rows)
+    for city in set(r[0] for r in rows):
+        assert as_map[city] == sum(1 for r in rows if r[0] == city)
+
+
+@given(rows_strategy)
+def test_in_list_equals_disjunction(rows):
+    db = build_db(rows)
+    via_in = db.execute(
+        "SELECT COUNT(*) FROM t WHERE city IN ('nyc', 'sf')").scalar()
+    via_or = db.execute(
+        "SELECT COUNT(*) FROM t WHERE city = 'nyc' OR city = 'sf'"
+    ).scalar()
+    assert via_in == via_or
+
+
+@settings(max_examples=30)
+@given(rows_strategy)
+def test_selectivity_estimates_bounded(rows):
+    if not rows:
+        return
+    db = build_db(rows)
+    stats = TableStatistics(db.table("t"))
+    from repro.sqldb.parser import parse
+    statement = parse("SELECT COUNT(*) FROM t WHERE city = 'nyc' "
+                      "AND v > 0 OR dept = 'hr'")
+    selectivity = stats.selectivity(statement.where)
+    assert 0.0 <= selectivity <= 1.0
+
+
+@settings(max_examples=30)
+@given(rows_strategy)
+def test_mcv_equality_estimates_exact_for_small_tables(rows):
+    """With <=100 distinct values everything is an MCV, so equality
+    selectivities are exact."""
+    if not rows:
+        return
+    db = build_db(rows)
+    stats = TableStatistics(db.table("t"))
+    for city in set(r[0] for r in rows):
+        exact = sum(1 for r in rows if r[0] == city) / len(rows)
+        estimated = stats.column("city").equality_selectivity(city)
+        assert abs(exact - estimated) < 1e-9
+
+
+@given(st.text(alphabet=string.ascii_lowercase + "' ;-", max_size=40))
+def test_parser_never_crashes_unexpectedly(text):
+    """Arbitrary junk either parses or raises SqlSyntaxError — never
+    anything else."""
+    from repro.errors import SqlSyntaxError
+    from repro.sqldb.parser import parse
+    try:
+        parse("SELECT COUNT(*) FROM t WHERE " + text)
+    except SqlSyntaxError:
+        pass

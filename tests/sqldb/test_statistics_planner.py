@@ -1,0 +1,176 @@
+"""Tests for statistics, selectivity estimation and the cost model."""
+
+import pytest
+
+from repro.sqldb.expressions import (
+    And,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Not,
+    Or,
+)
+from repro.sqldb.parser import parse
+from repro.sqldb.planner import plan_select
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.statistics import TableStatistics
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = TableSchema("t", (
+        ColumnSchema("city", DataType.TEXT),
+        ColumnSchema("age", DataType.INT),
+    ))
+    rows = ([("nyc", 20)] * 50 + [("sf", 40)] * 30 + [("la", 60)] * 15
+            + [("boston", 80)] * 5)
+    return Table.from_rows(schema, rows)
+
+
+@pytest.fixture()
+def stats(table) -> TableStatistics:
+    return TableStatistics(table)
+
+
+class TestColumnStatistics:
+    def test_row_count(self, stats):
+        assert stats.num_rows == 100
+
+    def test_n_distinct(self, stats):
+        assert stats.column("city").n_distinct == 4
+        assert stats.column("age").n_distinct == 4
+
+    def test_numeric_bounds(self, stats):
+        age = stats.column("age")
+        assert age.min_value == 20
+        assert age.max_value == 80
+
+    def test_text_has_no_bounds(self, stats):
+        city = stats.column("city")
+        assert city.min_value is None
+        assert city.max_value is None
+
+    def test_mcv_fractions(self, stats):
+        city = stats.column("city")
+        assert city.equality_selectivity("nyc") == pytest.approx(0.50)
+        assert city.equality_selectivity("boston") == pytest.approx(0.05)
+
+    def test_unknown_value_selectivity(self, stats):
+        # All 4 values are in the MCV list, so an unseen value matches 0 rows.
+        assert stats.column("city").equality_selectivity("tokyo") == 0.0
+
+
+class TestSelectivity:
+    def test_equality(self, stats):
+        expr = Comparison("city", ComparisonOp.EQ, "sf")
+        assert stats.selectivity(expr) == pytest.approx(0.30)
+
+    def test_inequality_complements(self, stats):
+        eq = Comparison("city", ComparisonOp.EQ, "sf")
+        ne = Comparison("city", ComparisonOp.NE, "sf")
+        assert stats.selectivity(eq) + stats.selectivity(ne) == \
+            pytest.approx(1.0)
+
+    def test_range_interpolation(self, stats):
+        expr = Comparison("age", ComparisonOp.LT, 50)
+        assert stats.selectivity(expr) == pytest.approx(0.5)
+
+    def test_range_clamped(self, stats):
+        below = Comparison("age", ComparisonOp.LT, 0)
+        above = Comparison("age", ComparisonOp.GT, 200)
+        assert stats.selectivity(below) == 0.0
+        assert stats.selectivity(above) == 0.0
+
+    def test_in_list_sums(self, stats):
+        expr = InList("city", ("nyc", "sf"))
+        assert stats.selectivity(expr) == pytest.approx(0.80)
+
+    def test_in_list_capped_at_one(self, stats):
+        expr = InList("city", ("nyc", "sf", "la", "boston", "nyc"))
+        assert stats.selectivity(expr) <= 1.0
+
+    def test_and_multiplies(self, stats):
+        expr = And((Comparison("city", ComparisonOp.EQ, "nyc"),
+                    Comparison("age", ComparisonOp.EQ, 20)))
+        assert stats.selectivity(expr) == pytest.approx(0.5 * 0.5)
+
+    def test_or_inclusion_exclusion(self, stats):
+        expr = Or((Comparison("city", ComparisonOp.EQ, "nyc"),
+                   Comparison("city", ComparisonOp.EQ, "sf")))
+        assert stats.selectivity(expr) == pytest.approx(0.5 + 0.3 - 0.15)
+
+    def test_not_complements(self, stats):
+        inner = Comparison("city", ComparisonOp.EQ, "nyc")
+        assert stats.selectivity(Not(inner)) == pytest.approx(0.5)
+
+    def test_none_is_one(self, stats):
+        assert stats.selectivity(None) == 1.0
+
+    def test_estimate_rows(self, stats):
+        expr = Comparison("city", ComparisonOp.EQ, "la")
+        assert stats.estimate_rows(expr) == pytest.approx(15.0)
+
+    def test_estimate_groups(self, stats):
+        assert stats.estimate_groups(("city",)) == 4
+        assert stats.estimate_groups(("city", "age")) == 16
+        assert stats.estimate_groups(()) == 1.0
+
+    def test_estimate_groups_capped_by_rows(self, stats):
+        # Independence would give 4*4=16; a bigger fake column list caps
+        # at the row count.
+        assert stats.estimate_groups(("city",) * 8) <= stats.num_rows
+
+
+class TestPlanCosts:
+    def test_plan_shape_scan_under_aggregate(self, table, stats):
+        plan = plan_select(parse("SELECT COUNT(*) FROM t"), table, stats)
+        assert plan.kind == "Aggregate"
+        assert plan.children[0].kind.startswith("Seq Scan")
+
+    def test_filter_increases_cost(self, table, stats):
+        plain = plan_select(parse("SELECT COUNT(*) FROM t"), table, stats)
+        filtered = plan_select(
+            parse("SELECT COUNT(*) FROM t WHERE city = 'nyc'"),
+            table, stats)
+        assert filtered.cost.total > plain.cost.total
+
+    def test_filter_reduces_cardinality(self, table, stats):
+        plan = plan_select(
+            parse("SELECT COUNT(*) FROM t WHERE city = 'la'"), table, stats)
+        scan = plan.children[0]
+        assert scan.cost.rows == pytest.approx(15.0)
+
+    def test_group_by_uses_hash_aggregate(self, table, stats):
+        plan = plan_select(
+            parse("SELECT city, COUNT(*) FROM t GROUP BY city"),
+            table, stats)
+        assert plan.kind == "HashAggregate"
+        assert plan.cost.rows == pytest.approx(4.0)
+
+    def test_merged_query_cheaper_than_separate(self, table, stats):
+        """The core premise of Section 8.1 must hold in the cost model."""
+        merged = plan_select(parse(
+            "SELECT city, COUNT(*) FROM t "
+            "WHERE city IN ('nyc', 'sf', 'la') GROUP BY city"),
+            table, stats)
+        single = plan_select(parse(
+            "SELECT COUNT(*) FROM t WHERE city = 'nyc'"), table, stats)
+        assert merged.cost.total < 3 * single.cost.total
+
+    def test_sample_reduces_cpu_cost(self, table, stats):
+        full = plan_select(parse("SELECT COUNT(*) FROM t"), table, stats)
+        sampled = plan_select(
+            parse("SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (10)"),
+            table, stats)
+        assert sampled.cost.total < full.cost.total
+
+    def test_render_includes_costs(self, table, stats):
+        plan = plan_select(
+            parse("SELECT COUNT(*) FROM t WHERE city = 'nyc'"),
+            table, stats)
+        text = plan.render()
+        assert "Seq Scan on t" in text
+        assert "Filter: city = 'nyc'" in text
+        assert "cost=" in text

@@ -1,0 +1,109 @@
+"""Tests for the engine's type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.sqldb.types import (
+    DataType,
+    coerce_value,
+    common_numeric_type,
+    infer_type,
+    parse_type_name,
+)
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.TEXT.is_numeric
+        assert not DataType.BOOL.is_numeric
+
+    def test_numpy_dtypes(self):
+        assert DataType.INT.numpy_dtype == np.dtype(np.int64)
+        assert DataType.FLOAT.numpy_dtype == np.dtype(np.float64)
+        assert DataType.TEXT.numpy_dtype == np.dtype(object)
+        assert DataType.BOOL.numpy_dtype == np.dtype(bool)
+
+
+class TestParseTypeName:
+    @pytest.mark.parametrize("name, expected", [
+        ("int", DataType.INT),
+        ("INTEGER", DataType.INT),
+        ("bigint", DataType.INT),
+        ("float", DataType.FLOAT),
+        ("double precision", DataType.FLOAT),
+        ("numeric", DataType.FLOAT),
+        ("text", DataType.TEXT),
+        ("VARCHAR", DataType.TEXT),
+        ("boolean", DataType.BOOL),
+        ("  real  ", DataType.FLOAT),
+    ])
+    def test_known_names(self, name, expected):
+        assert parse_type_name(name) == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type_name("blob")
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; must be detected first.
+        assert infer_type(True) == DataType.BOOL
+
+    def test_int(self):
+        assert infer_type(42) == DataType.INT
+
+    def test_numpy_int(self):
+        assert infer_type(np.int64(42)) == DataType.INT
+
+    def test_float(self):
+        assert infer_type(3.14) == DataType.FLOAT
+
+    def test_str(self):
+        assert infer_type("hello") == DataType.TEXT
+
+    def test_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCoerceValue:
+    def test_identity(self):
+        assert coerce_value(5, DataType.INT) == 5
+        assert coerce_value("x", DataType.TEXT) == "x"
+
+    def test_int_widens_to_float(self):
+        result = coerce_value(5, DataType.FLOAT)
+        assert result == 5.0
+        assert isinstance(result, float)
+
+    def test_integral_float_narrows_to_int(self):
+        assert coerce_value(5.0, DataType.INT) == 5
+
+    def test_fractional_float_to_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5.5, DataType.INT)
+
+    def test_string_to_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("5", DataType.INT)
+
+    def test_int_to_text_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5, DataType.TEXT)
+
+
+class TestCommonNumericType:
+    def test_int_int(self):
+        assert common_numeric_type(DataType.INT, DataType.INT) == DataType.INT
+
+    def test_int_float(self):
+        assert common_numeric_type(DataType.INT,
+                                   DataType.FLOAT) == DataType.FLOAT
+
+    def test_text_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(DataType.TEXT, DataType.INT)

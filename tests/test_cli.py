@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args, stdin_text=""):
+    out = io.StringIO()
+    code = main(args, stdin=io.StringIO(stdin_text), stdout=out)
+    return code, out.getvalue()
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "nyc311"
+        assert args.planner == "best"
+        assert args.processing == "default"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "nope"])
+
+    def test_unknown_processing_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--processing", "magic"])
+
+
+class TestOneShotMode:
+    def test_answers_question(self):
+        code, output = run_cli([
+            "--rows", "2000", "--planner", "greedy",
+            "--query", "average resolution hours for borough Brooklyn"])
+        assert code == 0
+        assert "interpreted as: SELECT AVG(resolution_hours)" in output
+        assert "row 0" in output
+
+    def test_other_dataset(self):
+        code, output = run_cli([
+            "--dataset", "ads", "--rows", "2000", "--planner", "greedy",
+            "--query", "total clicks for channel Email"])
+        assert code == 0
+        assert "SUM(clicks)" in output
+
+    def test_voice_mode(self):
+        code, output = run_cli([
+            "--rows", "2000", "--voice", "--wer", "0.3", "--seed", "5",
+            "--planner", "greedy",
+            "--query", "count of requests for borough Queens"])
+        assert code == 0
+        assert "interpreted as:" in output
+
+    def test_svg_output(self, tmp_path):
+        svg_path = tmp_path / "out.svg"
+        code, output = run_cli([
+            "--rows", "2000", "--planner", "greedy",
+            "--svg", str(svg_path),
+            "--query", "average resolution hours for borough Brooklyn"])
+        assert code == 0
+        assert svg_path.exists()
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_untranslatable_question(self):
+        code, output = run_cli(["--rows", "2000", "--planner", "greedy",
+                                "--query", "   "])
+        assert code == 1
+        assert "error:" in output
+
+
+class TestReplMode:
+    def test_quit_immediately(self):
+        code, output = run_cli(["--rows", "2000"], stdin_text="\\quit\n")
+        assert code == 0
+        assert "MUVE on nyc311" in output
+
+    def test_question_then_candidates(self):
+        stdin_text = ("average resolution hours for borough Brooklyn\n"
+                      "\\candidates\n"
+                      "\\quit\n")
+        code, output = run_cli(["--rows", "2000", "--planner", "greedy"],
+                               stdin_text=stdin_text)
+        assert code == 0
+        assert output.count("SELECT AVG") > 1  # answer + candidate list
+
+    def test_raw_sql_command(self):
+        stdin_text = "\\sql SELECT COUNT(*) FROM nyc311\n\\quit\n"
+        code, output = run_cli(["--rows", "2000"], stdin_text=stdin_text)
+        assert code == 0
+        assert "2000.0" in output
+        assert "1 row(s)" in output
+
+    def test_explain_command(self):
+        stdin_text = ("\\explain SELECT COUNT(*) FROM nyc311 "
+                      "WHERE borough = 'Bronx'\n\\quit\n")
+        code, output = run_cli(["--rows", "2000"], stdin_text=stdin_text)
+        assert code == 0
+        assert "Seq Scan on nyc311" in output
+
+    def test_sql_error_does_not_crash_repl(self):
+        stdin_text = "\\sql SELEC oops\nstill alive\n\\quit\n"
+        code, output = run_cli(["--rows", "2000", "--planner", "greedy"],
+                               stdin_text=stdin_text)
+        assert code == 0
+        assert "error:" in output
+
+    def test_candidates_before_any_question(self):
+        code, output = run_cli(["--rows", "2000"],
+                               stdin_text="\\candidates\n\\quit\n")
+        assert code == 0
+        assert "no question asked yet" in output
+
+    def test_unknown_command(self):
+        code, output = run_cli(["--rows", "2000"],
+                               stdin_text="\\frobnicate\n\\quit\n")
+        assert code == 0
+        assert "unknown command" in output
+
+
+class TestTrendMode:
+    def test_one_shot_trend(self):
+        code, output = run_cli([
+            "--dataset", "flights", "--rows", "4000",
+            "--trend",
+            "--query", "average arr delay for carrier Delta by month"])
+        assert code == 0
+        assert "BY month" in output
+
+    def test_trend_repl_command(self):
+        stdin_text = ("\\trend count of flights by carrier\n"
+                      "\\quit\n")
+        code, output = run_cli(
+            ["--dataset", "flights", "--rows", "4000"],
+            stdin_text=stdin_text)
+        assert code == 0
+        assert "BY carrier" in output
+
+    def test_trend_without_by_phrase_errors(self):
+        code, output = run_cli([
+            "--dataset", "flights", "--rows", "4000", "--trend",
+            "--query", "average arr delay for carrier Delta"])
+        assert code == 1
+        assert "error:" in output

@@ -1,0 +1,131 @@
+"""Tests for the browser demo server."""
+
+import http.client
+import json
+
+import pytest
+
+from repro import Database, Muve, ScreenGeometry, VisualizationPlanner
+from repro.datasets import make_nyc311_table
+from repro.demo import MuveDemoServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=2000, seed=5))
+    muve = Muve(db, "nyc311", seed=1,
+                geometry=ScreenGeometry(width_pixels=1400, num_rows=2),
+                planner=VisualizationPlanner(strategy="greedy"))
+    demo = MuveDemoServer(muve, port=0)
+    demo.start()
+    yield demo
+    demo.shutdown()
+
+
+def request(server, method, path, body=None):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    headers = {}
+    payload = None
+    if body is not None:
+        payload = json.dumps(body)
+        headers["Content-Type"] = "application/json"
+    connection.request(method, path, body=payload, headers=headers)
+    response = connection.getresponse()
+    raw = response.read()
+    connection.close()
+    return response.status, raw
+
+
+class TestPages:
+    def test_index_served(self, server):
+        status, raw = request(server, "GET", "/")
+        assert status == 200
+        assert b"MUVE" in raw
+        assert b"<script>" in raw
+
+    def test_unknown_path_404(self, server):
+        status, raw = request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_schema_endpoint(self, server):
+        status, raw = request(server, "GET", "/api/schema")
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["table"] == "nyc311"
+        assert payload["rows"] == 2000
+        names = {c["name"] for c in payload["columns"]}
+        assert "borough" in names
+
+
+class TestAsk:
+    def test_basic_question(self, server):
+        status, raw = request(server, "POST", "/api/ask", {
+            "question": "average resolution hours for borough Brooklyn"})
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["seed_sql"].startswith(
+            "SELECT AVG(resolution_hours)")
+        assert payload["svg"].startswith("<svg")
+        assert payload["candidates"]
+        total = sum(c["probability"] for c in payload["candidates"])
+        assert total == pytest.approx(1.0)
+
+    def test_voice_flag(self, server):
+        status, raw = request(server, "POST", "/api/ask", {
+            "question": "count of requests for borough Queens",
+            "voice": True})
+        assert status == 200
+        payload = json.loads(raw)
+        assert "transcript" in payload
+
+    def test_empty_question_rejected(self, server):
+        status, raw = request(server, "POST", "/api/ask",
+                              {"question": "   "})
+        assert status == 400
+        assert "error" in json.loads(raw)
+
+    def test_invalid_json_rejected(self, server):
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        connection.request("POST", "/api/ask", body=b"not json",
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+    def test_post_to_unknown_path(self, server):
+        status, raw = request(server, "POST", "/api/other",
+                              {"question": "x"})
+        assert status == 404
+
+    def test_text_rendering_included(self, server):
+        status, raw = request(server, "POST", "/api/ask", {
+            "question": "maximum num calls for agency NYPD"})
+        payload = json.loads(raw)
+        assert "row 0" in payload["text"]
+
+
+class TestTrendAsk:
+    def test_trend_question(self):
+        from repro.datasets import make_flights_table
+        db = Database(seed=0)
+        db.register_table(make_flights_table(num_rows=4000, seed=3))
+        muve = Muve(db, "flights",
+                    geometry=ScreenGeometry(width_pixels=2400,
+                                            num_rows=2),
+                    planner=VisualizationPlanner(strategy="greedy"))
+        demo = MuveDemoServer(muve, port=0)
+        demo.start()
+        try:
+            status, raw = request(demo, "POST", "/api/ask", {
+                "question": ("average arr delay for carrier Delta "
+                             "by month"),
+                "trend": True})
+            assert status == 200
+            payload = json.loads(raw)
+            assert "BY month" in payload["seed_sql"]
+            assert "polyline" in payload["svg"]
+        finally:
+            demo.shutdown()

@@ -1,0 +1,150 @@
+"""End-to-end integration tests of the MUVE façade (the Figure 1 pipeline)."""
+
+import pytest
+
+from repro import Database, Muve, ScreenGeometry, VisualizationPlanner
+from repro.datasets import make_nyc311_table
+from repro.execution.progressive import (
+    ApproximateProcessing,
+    IncrementalPlotting,
+)
+
+
+@pytest.fixture(scope="module")
+def muve() -> Muve:
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=3000, seed=5))
+    return Muve(db, "nyc311", seed=1,
+                geometry=ScreenGeometry(width_pixels=1125, num_rows=1),
+                planner=VisualizationPlanner(strategy="greedy"))
+
+
+UTTERANCE = ("what is the average resolution hours for borough Brooklyn "
+             "and complaint type Noise")
+
+
+class TestAskText:
+    def test_response_structure(self, muve):
+        response = muve.ask(UTTERANCE)
+        assert response.seed_query.table == "nyc311"
+        assert len(response.candidates) == 20
+        assert response.updates
+        assert response.updates[-1].final
+
+    def test_probabilities_normalised(self, muve):
+        response = muve.ask(UTTERANCE)
+        assert sum(c.probability
+                   for c in response.candidates) == pytest.approx(1.0)
+
+    def test_multiplot_fits_geometry(self, muve):
+        response = muve.ask(UTTERANCE)
+        assert muve.geometry.fits(response.multiplot)
+
+    def test_seed_query_displayed(self, muve):
+        response = muve.ask(UTTERANCE)
+        assert response.multiplot.shows(response.seed_query)
+
+    def test_final_multiplot_has_values(self, muve):
+        response = muve.ask(UTTERANCE)
+        values = [bar.value for plot in response.multiplot.plots()
+                  for bar in plot.bars]
+        assert any(v is not None for v in values)
+
+    def test_headline_shows_common_elements(self, muve):
+        response = muve.ask(UTTERANCE)
+        assert "nyc311" in response.headline
+
+    def test_text_rendering(self, muve):
+        text = muve.ask(UTTERANCE).to_text()
+        assert "row 0" in text
+
+    def test_svg_rendering(self, muve):
+        import xml.etree.ElementTree as ET
+        svg = muve.ask(UTTERANCE).to_svg()
+        ET.fromstring(svg)  # must be well-formed
+
+
+class TestAskVoice:
+    def test_noisy_transcription_still_answers(self, muve):
+        response = muve.ask_voice(UTTERANCE)
+        assert response.utterance == UTTERANCE
+        assert response.updates[-1].final
+
+    def test_transcript_recorded(self, muve):
+        response = muve.ask_voice(UTTERANCE)
+        assert response.transcript  # may or may not equal the utterance
+
+    def test_recovery_from_misrecognition(self):
+        """The headline robustness property: under word-level ASR noise
+        the correct interpretation is still displayed most of the time.
+
+        MUVE's candidate generation recovers *element-level* confusions
+        (mis-heard values/columns); corruptions of structural words
+        ("for", the aggregate keyword) are out of its scope — hence the
+        moderate noise level and the majority (not unanimity) threshold.
+        """
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=3000, seed=5))
+        muve = Muve(db, "nyc311", seed=7, word_error_rate=0.15,
+                    planner=VisualizationPlanner(strategy="greedy"))
+        from repro.sqldb.query import AggregateQuery
+        intended = AggregateQuery.build(
+            "nyc311", "avg", "resolution_hours", {"borough": "Brooklyn"})
+        hits = 0
+        trials = 10
+        for _ in range(trials):
+            response = muve.ask_voice(
+                "average resolution hours for borough Brooklyn")
+            if response.multiplot.shows(intended):
+                hits += 1
+        assert hits > trials // 2
+
+
+class TestStrategies:
+    def test_incremental_strategy(self, muve):
+        response = muve.ask(UTTERANCE, strategy=IncrementalPlotting())
+        assert len(response.updates) == response.multiplot.num_plots
+
+    def test_approximate_strategy(self, muve):
+        response = muve.ask(
+            UTTERANCE, strategy=ApproximateProcessing(fraction=0.1))
+        assert response.updates[0].approximate
+        assert response.updates[-1].final
+
+
+class TestOtherDatasets:
+    @pytest.mark.parametrize("maker, table, question", [
+        ("make_dob_table", "dob",
+         "average initial cost for borough Queens"),
+        ("make_ads_table", "ads",
+         "total clicks for channel Email and region Midwest"),
+        ("make_flights_table", "flights",
+         "average arr delay for carrier Delta"),
+    ])
+    def test_pipeline_on_each_dataset(self, maker, table, question):
+        import repro.datasets as datasets
+        db = Database(seed=0)
+        db.register_table(getattr(datasets, maker)(num_rows=2000, seed=3))
+        muve = Muve(db, table, seed=2,
+                    planner=VisualizationPlanner(strategy="greedy"))
+        response = muve.ask(question)
+        assert response.updates[-1].final
+        assert response.multiplot.num_bars > 0
+
+
+class TestProcessingAwareFacade:
+    def test_processing_aware_ilp_planning(self):
+        """The Section 8.1 extension wired through the façade: an ILP
+        planner with a processing weight prefers cheaper multiplots."""
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=2000, seed=5))
+        muve = Muve(
+            db, "nyc311", seed=1, processing_aware=True,
+            geometry=ScreenGeometry(width_pixels=900, num_rows=1),
+            planner=VisualizationPlanner(strategy="ilp",
+                                         timeout_seconds=5.0,
+                                         processing_weight=0.001))
+        response = muve.ask(
+            "average resolution hours for borough Brooklyn")
+        assert response.planning.solver_name.startswith("ilp")
+        assert response.multiplot.num_bars > 0

@@ -1,0 +1,78 @@
+"""Tests for multi-turn sessions with query-log priors."""
+
+import pytest
+
+from repro import Database, Muve, ScreenGeometry, VisualizationPlanner
+from repro.datasets import make_nyc311_table
+from repro.errors import ReproError
+from repro.session import MuveSession
+
+QUESTION = "average resolution hours for borough Brooklyn"
+
+
+@pytest.fixture()
+def session() -> MuveSession:
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=2000, seed=5))
+    muve = Muve(db, "nyc311", seed=1,
+                geometry=ScreenGeometry(width_pixels=1125, num_rows=1),
+                planner=VisualizationPlanner(strategy="greedy"))
+    return MuveSession(muve, prior_strength=0.5)
+
+
+class TestSessionFlow:
+    def test_first_turn_passes_through(self, session):
+        response = session.ask(QUESTION)
+        assert session.turns == 1
+        assert sum(c.probability
+                   for c in response.candidates) == pytest.approx(1.0)
+
+    def test_confirm_requires_displayed_query(self, session):
+        from repro.sqldb.query import AggregateQuery
+        session.ask(QUESTION)
+        ghost = AggregateQuery.build("nyc311", "count", None,
+                                     {"borough": "Nowhere"})
+        with pytest.raises(ReproError):
+            session.confirm(ghost)
+
+    def test_confirm_before_any_question(self, session):
+        from repro.sqldb.query import AggregateQuery
+        with pytest.raises(ReproError):
+            session.confirm(AggregateQuery.build("nyc311", "count", None))
+
+    def test_confirmation_boosts_future_probability(self, session):
+        first = session.ask(QUESTION)
+        # The user repeatedly confirms a non-top interpretation.
+        displayed = [c for c in first.candidates
+                     if first.multiplot.shows(c.query)]
+        target = displayed[min(2, len(displayed) - 1)]
+        before = target.probability
+        for _ in range(5):
+            session.confirm(target.query)
+        second = session.ask(QUESTION)
+        after = next(c.probability for c in second.candidates
+                     if c.query == target.query)
+        assert after > before
+
+    def test_prior_turn_still_plans_feasible_multiplot(self, session):
+        first = session.ask(QUESTION)
+        session.confirm(first.candidates[0].query)
+        second = session.ask(QUESTION)
+        assert session.muve.geometry.fits(second.multiplot)
+        assert second.updates[-1].final
+
+    def test_zero_strength_session_never_replans(self):
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=2000, seed=5))
+        muve = Muve(db, "nyc311", seed=1,
+                    planner=VisualizationPlanner(strategy="greedy"))
+        session = MuveSession(muve, prior_strength=0.0)
+        first = session.ask(QUESTION)
+        session.confirm(first.candidates[0].query)
+        second = session.ask(QUESTION)
+        assert [c.probability for c in second.candidates] == \
+            [c.probability for c in first.candidates]
+
+    def test_voice_turns_tracked(self, session):
+        session.ask_voice(QUESTION)
+        assert session.turns == 1

@@ -1,0 +1,127 @@
+"""Tests for the statistics helpers and the experiment-table harness."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ExperimentTable
+from repro.stats import MeanCI, mean_ci, pearson, seeded_rng
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        stats = mean_ci([5.0])
+        assert stats.mean == 5.0
+        assert stats.half_width == 0.0
+        assert stats.n == 1
+
+    def test_known_mean(self):
+        stats = mean_ci([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.low < 2.0 < stats.high
+
+    def test_zero_variance(self):
+        stats = mean_ci([4.0] * 10)
+        assert stats.half_width == 0.0
+
+    def test_interval_covers_true_mean(self):
+        rng = np.random.default_rng(0)
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=30)
+            stats = mean_ci(sample)
+            if stats.low <= 10.0 <= stats.high:
+                covered += 1
+        # 95% CI should cover ~95% of the time; allow slack.
+        assert covered / trials > 0.88
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 5.0, 3.0, 7.0, 2.0]
+        assert mean_ci(data, confidence=0.99).half_width > \
+            mean_ci(data, confidence=0.90).half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_bounds_accessors(self):
+        stats = MeanCI(mean=10.0, half_width=2.0, n=5)
+        assert stats.low == 8.0
+        assert stats.high == 12.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        result = pearson([1, 2, 3, 4], [2, 4, 6, 8])
+        assert result.r == pytest.approx(1.0)
+        assert result.r_squared == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        result = pearson([1, 2, 3], [3, 2, 1])
+        assert result.r == pytest.approx(-1.0)
+
+    def test_independent_data_insignificant(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        result = pearson(x, y)
+        assert abs(result.r) < 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [3, 4])
+
+
+class TestSeededRng:
+    def test_reproducible(self):
+        assert seeded_rng(7).random() == seeded_rng(7).random()
+
+    def test_none_seed_allowed(self):
+        assert 0.0 <= seeded_rng(None).random() < 1.0
+
+
+class TestExperimentTable:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("t", ("a", "b"))
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = ExperimentTable("t", ("a", "b"))
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_render_aligns_and_includes_notes(self):
+        table = ExperimentTable("My Title", ("name", "value"))
+        table.add_row("long-name-here", 3.14159)
+        table.add_row("x", 1_000_000.0)
+        table.add_note("a caveat")
+        rendered = table.render()
+        assert "My Title" in rendered
+        assert "long-name-here" in rendered
+        assert "1,000,000" in rendered
+        assert "note: a caveat" in rendered
+
+    def test_float_formatting(self):
+        table = ExperimentTable("t", ("v",))
+        table.add_row(0.00012)
+        table.add_row(0.0)
+        rendered = table.render()
+        assert "0.0001" in rendered
+
+    def test_save_writes_file(self, tmp_path):
+        table = ExperimentTable("t", ("a",))
+        table.add_row(1)
+        path = table.save(str(tmp_path), "result")
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            assert "t" in handle.read()

@@ -1,0 +1,88 @@
+"""Integration tests for trend questions (translate_trend + ask_trend)."""
+
+import pytest
+
+from repro import Database, Muve, ScreenGeometry
+from repro.datasets import make_flights_table
+from repro.errors import CandidateGenerationError
+from repro.nlq.text_to_sql import TextToSql
+
+
+@pytest.fixture(scope="module")
+def flights_db() -> Database:
+    db = Database(seed=0)
+    db.register_table(make_flights_table(num_rows=6000, seed=3))
+    return db
+
+
+@pytest.fixture(scope="module")
+def muve(flights_db) -> Muve:
+    return Muve(flights_db, "flights",
+                geometry=ScreenGeometry(width_pixels=2400, num_rows=2))
+
+
+class TestTranslateTrend:
+    def test_by_phrase_resolved(self, flights_db):
+        translator = TextToSql(flights_db, "flights")
+        query, x_column = translator.translate_trend(
+            "average arr delay for carrier Delta by month")
+        assert x_column == "month"
+        assert query.aggregate.column == "arr_delay"
+        assert query.predicate_on("carrier").value == "Delta"
+
+    def test_per_phrase(self, flights_db):
+        translator = TextToSql(flights_db, "flights")
+        _, x_column = translator.translate_trend(
+            "count of flights per origin")
+        assert x_column == "origin"
+
+    def test_fuzzy_group_column(self, flights_db):
+        translator = TextToSql(flights_db, "flights")
+        _, x_column = translator.translate_trend(
+            "average dep delay by munth")
+        assert x_column == "month"
+
+    def test_missing_by_phrase_rejected(self, flights_db):
+        translator = TextToSql(flights_db, "flights")
+        with pytest.raises(CandidateGenerationError):
+            translator.translate_trend("average arr delay for Delta")
+
+    def test_dangling_by_rejected(self, flights_db):
+        translator = TextToSql(flights_db, "flights")
+        with pytest.raises(CandidateGenerationError):
+            translator.translate_trend("average arr delay by")
+
+
+class TestAskTrend:
+    def test_end_to_end(self, muve):
+        response = muve.ask_trend(
+            "average arr delay for carrier Delta by month")
+        assert response.x_column == "month"
+        assert response.multiplot.num_plots >= 1
+        assert response.multiplot.shows(response.seed_query)
+
+    def test_points_filled(self, muve):
+        response = muve.ask_trend(
+            "average arr delay for carrier Delta by month")
+        line = response.multiplot.bar_for(response.seed_query)
+        assert line is not None
+        assert len(line.points) > 1
+
+    def test_text_rendering(self, muve):
+        response = muve.ask_trend(
+            "average arr delay for carrier Delta by month")
+        text = response.to_text()
+        assert "BY month" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_svg_rendering(self, muve):
+        import xml.etree.ElementTree as ET
+        response = muve.ask_trend(
+            "average arr delay for carrier Delta by month")
+        ET.fromstring(response.to_svg())
+
+    def test_candidate_probabilities_normalised(self, muve):
+        response = muve.ask_trend(
+            "total distance for carrier United by month")
+        assert sum(c.probability
+                   for c in response.candidates) == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for the simulated satisfaction rater (Figure 13's model)."""
+
+import pytest
+
+from repro.core.model import Multiplot
+from repro.execution.engine import VisualizationUpdate
+from repro.users.ratings import RatingModel, SimulatedRater
+from tests.core.helpers import multiplot, plot
+
+NOISELESS = RatingModel(noise_sigma=0.0)
+
+
+def update(elapsed, plots, final=False, approximate=False):
+    return VisualizationUpdate(
+        elapsed_seconds=elapsed,
+        multiplot=multiplot([plots]) if plots else Multiplot.empty(1),
+        final=final,
+        approximate=approximate,
+        description="test",
+    )
+
+
+class TestLatencyRating:
+    def test_instant_response_near_ten(self):
+        rater = SimulatedRater(NOISELESS, seed=0)
+        score = rater.rate_latency([update(0.0, [plot([0])], final=True)])
+        assert score > 9.5
+
+    def test_slower_first_response_rates_lower(self):
+        rater = SimulatedRater(NOISELESS, seed=0)
+        fast = rater.rate_latency([update(0.2, [plot([0])], final=True)])
+        slow = rater.rate_latency([update(5.0, [plot([0])], final=True)])
+        assert fast > slow
+
+    def test_first_update_dominates(self):
+        """An early approximate update rescues a slow final one."""
+        rater = SimulatedRater(NOISELESS, seed=0)
+        progressive = rater.rate_latency([
+            update(0.1, [plot([0])], approximate=True),
+            update(5.0, [plot([0])], final=True),
+        ])
+        monolithic = rater.rate_latency([
+            update(5.0, [plot([0])], final=True)])
+        assert progressive > monolithic
+
+    def test_empty_updates_minimum(self):
+        assert SimulatedRater(NOISELESS).rate_latency([]) == 1.0
+
+    def test_bounded(self):
+        rater = SimulatedRater(RatingModel(noise_sigma=0.5), seed=3)
+        for elapsed in (0.0, 1.0, 100.0):
+            score = rater.rate_latency(
+                [update(elapsed, [plot([0])], final=True)])
+            assert 1.0 <= score <= 10.0
+
+
+class TestClarityRating:
+    def test_single_update_high(self):
+        rater = SimulatedRater(NOISELESS, seed=0)
+        assert rater.rate_clarity(
+            [update(1.0, [plot([0])], final=True)]) > 9.0
+
+    def test_additive_updates_mild_penalty(self):
+        rater = SimulatedRater(NOISELESS, seed=0)
+        additive = rater.rate_clarity([
+            update(0.1, [plot([0])]),
+            update(0.2, [plot([0]), plot([1])], final=True),
+        ])
+        single = rater.rate_clarity(
+            [update(0.2, [plot([0]), plot([1])], final=True)])
+        assert single - additive == pytest.approx(
+            NOISELESS.addition_penalty, abs=1e-6)
+
+    def test_replacing_updates_heavy_penalty(self):
+        rater = SimulatedRater(NOISELESS, seed=0)
+        replacing = rater.rate_clarity([
+            update(0.1, [plot([0, 1])]),
+            update(0.2, [plot([2, 3])], final=True),  # content replaced
+        ])
+        additive = rater.rate_clarity([
+            update(0.1, [plot([0, 1])]),
+            update(0.2, [plot([0, 1]), plot([2])], final=True),
+        ])
+        assert replacing < additive
+
+    def test_approximation_penalty(self):
+        rater = SimulatedRater(NOISELESS, seed=0)
+        with_approx = rater.rate_clarity([
+            update(0.1, [plot([0])], approximate=True),
+            update(0.2, [plot([0])], final=True),
+        ])
+        without = rater.rate_clarity([
+            update(0.1, [plot([0])]),
+            update(0.2, [plot([0])], final=True),
+        ])
+        assert without - with_approx == pytest.approx(
+            NOISELESS.approximation_penalty, abs=1e-6)
+
+    def test_empty_updates_minimum(self):
+        assert SimulatedRater(NOISELESS).rate_clarity([]) == 1.0
+
+    def test_noise_deterministic_per_seed(self):
+        updates = [update(0.5, [plot([0])], final=True)]
+        a = SimulatedRater(RatingModel(), seed=4).rate_clarity(updates)
+        b = SimulatedRater(RatingModel(), seed=4).rate_clarity(updates)
+        assert a == b

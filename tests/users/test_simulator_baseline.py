@@ -1,0 +1,141 @@
+"""Tests for the simulated reader and the dropdown baseline."""
+
+import numpy as np
+import pytest
+
+from repro.users.baseline import DropdownBaselineUser, DropdownTask
+from repro.users.model import ReaderParameters
+from repro.users.simulator import SimulatedUser
+from repro.users.study import build_study_multiplot, _study_query
+
+NOISELESS = ReaderParameters(noise_sigma=0.0)
+
+
+class TestReaderParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderParameters(bar_read_ms=-1)
+        with pytest.raises(ValueError):
+            ReaderParameters(noise_sigma=-0.1)
+
+
+class TestSimulatedUser:
+    def test_finds_present_target(self):
+        multiplot = build_study_multiplot([4])
+        user = SimulatedUser(NOISELESS, seed=0)
+        outcome = user.disambiguate(multiplot, _study_query(2))
+        assert outcome.found
+        assert outcome.milliseconds > 0
+
+    def test_missing_target_pays_requery(self):
+        multiplot = build_study_multiplot([3])
+        user = SimulatedUser(NOISELESS, seed=0)
+        outcome = user.disambiguate(multiplot, _study_query(99))
+        assert not outcome.found
+        assert outcome.milliseconds >= NOISELESS.requery_ms
+        assert outcome.bars_read == 3  # scans everything before giving up
+
+    def test_red_target_read_before_plain_bars(self):
+        """With the target highlighted, only red bars are ever read."""
+        multiplot = build_study_multiplot([10], highlighted={0, 1})
+        user = SimulatedUser(NOISELESS, seed=1)
+        outcome = user.disambiguate(multiplot, _study_query(0))
+        assert outcome.found
+        assert outcome.bars_read <= 2
+
+    def test_plain_target_reads_all_reds_first(self):
+        multiplot = build_study_multiplot([10], highlighted={0, 1, 2})
+        user = SimulatedUser(NOISELESS, seed=2)
+        outcome = user.disambiguate(multiplot, _study_query(5))
+        assert outcome.found
+        assert outcome.bars_read >= 4  # 3 reds plus at least the target
+
+    def test_noiseless_time_is_process_cost(self):
+        multiplot = build_study_multiplot([1])
+        user = SimulatedUser(NOISELESS, seed=0)
+        outcome = user.disambiguate(multiplot, _study_query(0))
+        expected = (NOISELESS.plot_read_ms + NOISELESS.bar_read_ms
+                    + NOISELESS.click_ms)
+        assert outcome.milliseconds == pytest.approx(expected)
+
+    def test_plot_cost_paid_once_per_plot(self):
+        multiplot = build_study_multiplot([3])
+        user = SimulatedUser(NOISELESS, seed=0)
+        outcome = user.disambiguate(multiplot, _study_query(2))
+        assert outcome.plots_read == 1
+
+    def test_more_plots_cost_more_on_average(self):
+        few = build_study_multiplot([12])
+        many = build_study_multiplot([2] * 6)
+        times_few, times_many = [], []
+        for seed in range(120):
+            times_few.append(SimulatedUser(NOISELESS, seed).disambiguate(
+                few, _study_query(0)).milliseconds)
+            times_many.append(SimulatedUser(NOISELESS, seed).disambiguate(
+                many, _study_query(0)).milliseconds)
+        assert np.mean(times_many) > np.mean(times_few)
+
+    def test_highlighting_speeds_up_target(self):
+        plain = build_study_multiplot([12])
+        marked = build_study_multiplot([12], highlighted={0})
+        times_plain, times_marked = [], []
+        for seed in range(120):
+            times_plain.append(SimulatedUser(NOISELESS, seed).disambiguate(
+                plain, _study_query(0)).milliseconds)
+            times_marked.append(SimulatedUser(NOISELESS, seed).disambiguate(
+                marked, _study_query(0)).milliseconds)
+        assert np.mean(times_marked) < np.mean(times_plain)
+
+    def test_deterministic_per_seed(self):
+        multiplot = build_study_multiplot([6], highlighted={0})
+        a = SimulatedUser(ReaderParameters(), seed=9).disambiguate(
+            multiplot, _study_query(3))
+        b = SimulatedUser(ReaderParameters(), seed=9).disambiguate(
+            multiplot, _study_query(3))
+        assert a == b
+
+    def test_noise_preserves_mean(self):
+        """Mean-one lognormal noise: noisy averages approach noiseless."""
+        multiplot = build_study_multiplot([5])
+        target = _study_query(0)
+        noiseless = SimulatedUser(NOISELESS, seed=0)
+        base_times = [SimulatedUser(NOISELESS, s).disambiguate(
+            multiplot, target).milliseconds for s in range(300)]
+        noisy_params = ReaderParameters(noise_sigma=0.3)
+        noisy_times = [SimulatedUser(noisy_params, s).disambiguate(
+            multiplot, target).milliseconds for s in range(300)]
+        assert np.mean(noisy_times) == pytest.approx(np.mean(base_times),
+                                                     rel=0.1)
+
+
+class TestDropdownBaseline:
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            DropdownTask(num_options=3, correct_position=3)
+
+    def test_more_elements_cost_more(self):
+        user1 = DropdownBaselineUser(NOISELESS, seed=0)
+        user2 = DropdownBaselineUser(NOISELESS, seed=0)
+        one = user1.disambiguate([DropdownTask(5, 0)])
+        two = user2.disambiguate([DropdownTask(5, 0), DropdownTask(5, 0)])
+        assert two > one
+
+    def test_deeper_position_costs_more(self):
+        top = DropdownBaselineUser(NOISELESS, seed=0).disambiguate(
+            [DropdownTask(10, 0)])
+        deep = DropdownBaselineUser(NOISELESS, seed=0).disambiguate(
+            [DropdownTask(10, 9)])
+        assert deep > top
+
+    def test_noiseless_closed_form(self):
+        user = DropdownBaselineUser(NOISELESS, seed=0,
+                                    dropdown_open_ms=900.0)
+        time = user.disambiguate([DropdownTask(4, 1)])
+        expected = (900.0 + 2 * NOISELESS.bar_read_ms + NOISELESS.click_ms
+                    + NOISELESS.plot_read_ms + NOISELESS.bar_read_ms)
+        assert time == pytest.approx(expected)
+
+    def test_no_tasks_still_reads_result(self):
+        user = DropdownBaselineUser(NOISELESS, seed=0)
+        assert user.disambiguate([]) == pytest.approx(
+            NOISELESS.plot_read_ms + NOISELESS.bar_read_ms)

@@ -1,0 +1,112 @@
+"""Tests for the simulated user study and cost-model calibration."""
+
+import pytest
+
+from repro.users.model import ReaderParameters
+from repro.users.study import (
+    UserStudy,
+    build_study_multiplot,
+    calibrate_cost_model,
+)
+
+PARAMS = ReaderParameters(bar_read_ms=400.0, plot_read_ms=1800.0,
+                          noise_sigma=0.2)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    study = UserStudy(PARAMS, workers_per_task=15, seed=3)
+    return study.run_all()
+
+
+class TestStudyMultiplots:
+    def test_bars_distributed(self):
+        mp = build_study_multiplot([3, 4, 5])
+        assert mp.num_plots == 3
+        assert mp.num_bars == 12
+
+    def test_highlights_applied(self):
+        mp = build_study_multiplot([4], highlighted={0, 2})
+        assert mp.num_highlighted_bars == 2
+
+    def test_rows_round_robin(self):
+        mp = build_study_multiplot([1, 1, 1, 1], num_rows=2)
+        assert len(mp.rows) == 2
+        assert all(len(row) == 2 for row in mp.rows)
+
+
+class TestSweeps:
+    def test_all_four_sweeps_present(self, sweeps):
+        assert set(sweeps) == {"bar_position", "plot_position",
+                               "red_bars", "num_plots"}
+
+    def test_observation_counts(self, sweeps):
+        # 12 bar positions x 15 workers.
+        assert len(sweeps["bar_position"].observations) == 12 * 15
+
+    def test_red_bars_significant(self, sweeps):
+        """Hypothesis 3 (paper: p = 0.0005): more red bars -> more time."""
+        result = sweeps["red_bars"].correlation()
+        assert result.r > 0
+        assert result.p_value < 0.01
+
+    def test_num_plots_significant(self, sweeps):
+        """Hypothesis 4 (paper: p = 0.00005)."""
+        result = sweeps["num_plots"].correlation()
+        assert result.r > 0
+        assert result.p_value < 0.01
+
+    def test_bar_position_insignificant(self, sweeps):
+        """Hypotheses 1 rejected (paper: p = 0.72): random reading order
+        decouples time from position."""
+        result = sweeps["bar_position"].correlation()
+        assert result.r_squared < 0.1
+
+    def test_plot_position_insignificant(self, sweeps):
+        result = sweeps["plot_position"].correlation()
+        assert result.r_squared < 0.1
+
+    def test_mean_time_per_level(self, sweeps):
+        sweep = sweeps["num_plots"]
+        levels = sweep.levels()
+        assert levels == sorted(levels)
+        first = sweep.mean_time(levels[0])
+        last = sweep.mean_time(levels[-1])
+        assert last.mean > first.mean
+
+    def test_red_sweep_time_grows_with_level(self, sweeps):
+        sweep = sweeps["red_bars"]
+        means = [sweep.mean_time(level).mean for level in sweep.levels()]
+        assert means[-1] > means[0]
+
+
+class TestCalibration:
+    def test_recovers_reading_costs(self, sweeps):
+        """Calibration must recover the generative c_B/c_P within ~40%."""
+        model = calibrate_cost_model(sweeps)
+        assert model.bar_cost == pytest.approx(PARAMS.bar_read_ms,
+                                               rel=0.4)
+        assert model.plot_cost == pytest.approx(PARAMS.plot_read_ms,
+                                                rel=0.4)
+
+    def test_plot_cost_exceeds_bar_cost(self, sweeps):
+        """The paper's c_P > c_B finding."""
+        model = calibrate_cost_model(sweeps)
+        assert model.plot_cost > model.bar_cost
+
+    def test_custom_miss_cost(self, sweeps):
+        model = calibrate_cost_model(sweeps, miss_cost=5_000.0)
+        assert model.miss_cost == 5_000.0
+
+    def test_calibrated_model_usable_by_planner(self, sweeps,
+                                                nyc_candidates):
+        from repro.core.greedy import GreedySolver
+        from repro.core.model import ScreenGeometry
+        from repro.core.problem import MultiplotSelectionProblem
+        model = calibrate_cost_model(sweeps)
+        problem = MultiplotSelectionProblem(
+            nyc_candidates,
+            geometry=ScreenGeometry(width_pixels=1125),
+            cost_model=model)
+        solution = GreedySolver().solve(problem)
+        assert problem.is_feasible(solution.multiplot)

@@ -1,0 +1,134 @@
+"""Tests for layout, SVG and terminal rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.model import Bar, Multiplot, Plot, ScreenGeometry
+from repro.errors import VisualizationError
+from repro.viz.layout import layout_multiplot
+from repro.viz.svg import render_svg
+from repro.viz.text import render_text
+from tests.core.helpers import TEMPLATE, multiplot, plot, query
+
+
+def valued_plot(values, highlighted=frozenset()):
+    bars = tuple(
+        Bar(query=query(i), probability=0.1, label=f"value_{i:02d}",
+            highlighted=i in highlighted, value=value)
+        for i, value in enumerate(values))
+    return Plot(TEMPLATE, bars)
+
+
+GEOMETRY = ScreenGeometry(width_pixels=1200, num_rows=2)
+
+
+class TestLayout:
+    def test_plot_boxes_within_screen(self):
+        mp = multiplot([[valued_plot([1.0, 2.0, 3.0])],
+                        [valued_plot([5.0])]])
+        layout = layout_multiplot(mp, GEOMETRY)
+        for box in layout.plots:
+            assert box.x >= 0
+            assert box.x + box.width <= layout.width + 1e-6
+
+    def test_rows_stack_vertically(self):
+        mp = multiplot([[valued_plot([1.0])], [valued_plot([2.0])]])
+        layout = layout_multiplot(mp, GEOMETRY)
+        ys = sorted(box.y for box in layout.plots)
+        assert ys[1] == ys[0] + GEOMETRY.row_height_pixels
+
+    def test_bar_heights_proportional(self):
+        mp = multiplot([[valued_plot([1.0, 2.0])]])
+        layout = layout_multiplot(mp, GEOMETRY)
+        bars = layout.plots[0].bars
+        assert bars[1].height == pytest.approx(2 * bars[0].height)
+
+    def test_none_value_has_zero_height(self):
+        mp = multiplot([[valued_plot([1.0, None])]])
+        layout = layout_multiplot(mp, GEOMETRY)
+        assert layout.plots[0].bars[1].height == 0.0
+
+    def test_bars_within_their_plot(self):
+        mp = multiplot([[valued_plot([1.0, 2.0, 3.0])]])
+        layout = layout_multiplot(mp, GEOMETRY)
+        box = layout.plots[0]
+        for bar in box.bars:
+            assert bar.x >= box.x
+            assert bar.x + bar.width <= box.x + box.width + 1e-6
+
+    def test_oversized_multiplot_rejected(self):
+        tight = ScreenGeometry(width_pixels=200, bar_width_pixels=60)
+        mp = multiplot([[valued_plot([1.0] * 10)]])
+        with pytest.raises(VisualizationError):
+            layout_multiplot(mp, tight)
+
+    def test_empty_multiplot(self):
+        layout = layout_multiplot(Multiplot.empty(1), GEOMETRY)
+        assert layout.plots == ()
+
+
+class TestSvg:
+    def test_valid_xml(self):
+        mp = multiplot([[valued_plot([1.0, 2.0], {0})]])
+        svg = render_svg(mp, GEOMETRY, headline="COUNT(*) FROM t")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_highlight_color_present(self):
+        mp = multiplot([[valued_plot([1.0, 2.0], {0})]])
+        svg = render_svg(mp, GEOMETRY)
+        assert "#d62728" in svg
+
+    def test_no_highlight_no_red(self):
+        mp = multiplot([[valued_plot([1.0, 2.0])]])
+        svg = render_svg(mp, GEOMETRY)
+        assert "#d62728" not in svg
+
+    def test_headline_escaped(self):
+        mp = multiplot([[valued_plot([1.0])]])
+        svg = render_svg(mp, GEOMETRY, headline="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_bar_count_matches(self):
+        mp = multiplot([[valued_plot([1.0, 2.0, 3.0], {1})]])
+        svg = render_svg(mp, GEOMETRY)
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bar_rects = [el for el in root.iter(f"{ns}rect")
+                     if el.get("fill") in ("#4878a8", "#d62728")]
+        assert len(bar_rects) == 3
+
+    def test_title_text_present(self):
+        mp = multiplot([[valued_plot([1.0])]])
+        svg = render_svg(mp, GEOMETRY)
+        assert "k = ?" in svg
+
+
+class TestText:
+    def test_contains_title_and_labels(self):
+        mp = multiplot([[valued_plot([1.0, 2.0], {0})]])
+        text = render_text(mp, headline="HEAD")
+        assert "HEAD" in text
+        assert "k = ?" in text
+        assert "value_00" in text
+
+    def test_highlight_marker(self):
+        mp = multiplot([[valued_plot([1.0, 2.0], {0})]])
+        text = render_text(mp)
+        assert "[*]" in text
+        assert "<-- likely" in text
+
+    def test_missing_value_rendered(self):
+        mp = multiplot([[valued_plot([1.0, None])]])
+        assert "(no result)" in render_text(mp)
+
+    def test_empty_multiplot(self):
+        assert "empty" in render_text(Multiplot.empty(2))
+
+    def test_gauge_scales(self):
+        mp = multiplot([[valued_plot([1.0, 10.0])]])
+        lines = render_text(mp).splitlines()
+        small = next(line for line in lines if "value_00" in line)
+        large = next(line for line in lines if "value_01" in line)
+        assert large.count("█") > small.count("█")
