@@ -1,0 +1,24 @@
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: check fast concurrency bench
+
+# The gating suite: the full test tree (tier 1), then the concurrency
+# and caching suites once more on their own.  Test-order randomisation
+# is disabled so failures bisect deterministically.
+check:
+	$(PYTEST) -x -q -p no:randomly
+	$(PYTEST) -q -p no:randomly tests/test_concurrency.py tests/caching
+
+# Fast development loop: everything except the paper-experiment
+# regeneration suite (marked `slow`).
+fast:
+	$(PYTEST) -q -p no:randomly -m "not slow"
+
+# Just the concurrent-serving surface: shared-pipeline hammering,
+# cache semantics, parallel HTTP requests.
+concurrency:
+	$(PYTEST) -q -p no:randomly tests/test_concurrency.py \
+		tests/caching tests/test_demo_server.py
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only

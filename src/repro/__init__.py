@@ -19,6 +19,7 @@ Quickstart::
     print(response.to_text())
 """
 
+from repro.caching import LruCache, PlanCache, QueryResultCache
 from repro.core.cost_model import UserCostModel
 from repro.core.model import Multiplot, Plot, ScreenGeometry
 from repro.core.planner import VisualizationPlanner
@@ -35,12 +36,15 @@ __all__ = [
     "AggregateQuery",
     "CandidateQuery",
     "Database",
+    "LruCache",
     "Multiplot",
     "MultiplotSelectionProblem",
     "Muve",
     "MuveResponse",
     "MuveSession",
+    "PlanCache",
     "Plot",
+    "QueryResultCache",
     "ScreenGeometry",
     "UserCostModel",
     "VisualizationPlanner",

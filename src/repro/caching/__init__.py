@@ -1,0 +1,23 @@
+"""Thread-safe caching for the concurrent serving path.
+
+The package provides three layers:
+
+* :class:`LruCache` — a generic thread-safe LRU with single-flight
+  computation and hit/miss/eviction counters.
+* :func:`normalize_sql` — lexical SQL canonicalisation for cache keys.
+* :class:`QueryResultCache` / :class:`PlanCache` — the two domain caches
+  wired into :class:`~repro.execution.engine.MuveExecutor` and
+  :class:`~repro.core.planner.VisualizationPlanner`.
+"""
+
+from repro.caching.caches import PlanCache, QueryResultCache
+from repro.caching.lru import CacheStats, LruCache
+from repro.caching.sql import normalize_sql
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "PlanCache",
+    "QueryResultCache",
+    "normalize_sql",
+]

@@ -1,0 +1,105 @@
+"""The two serving-path caches: query results and planner outputs.
+
+Both wrap :class:`~repro.caching.lru.LruCache` with a domain-specific key
+function and share its thread-safety and single-flight guarantees.  Cached
+values are immutable objects (:class:`~repro.sqldb.database.QueryResult`,
+:class:`~repro.core.planner.PlannerResult`), so handing the same instance
+to many threads is safe by construction.
+
+Invalidation story: the demo serves read-only tables, so neither cache
+expires entries on its own.  Anything that mutates a table
+(``insert_rows``/``drop_table``) must call :meth:`QueryResultCache.clear`
+and :meth:`PlanCache.clear` — :class:`~repro.muve.Muve` exposes
+``invalidate_caches()`` for exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.caching.lru import CacheStats, LruCache
+from repro.caching.sql import normalize_sql
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards for type hints
+    from repro.core.problem import MultiplotSelectionProblem
+    from repro.sqldb.database import QueryResult
+
+
+class QueryResultCache:
+    """Query results keyed on normalised SQL text.
+
+    Wired into the execution layer: every merged-group statement the
+    executor would run is first looked up here, so a repeated question (or
+    a different question whose candidates merge into the same group SQL)
+    skips the engine entirely.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._cache = LruCache(capacity)
+
+    def get_or_execute(self, sql: str,
+                       execute: Callable[[str], "QueryResult"],
+                       ) -> "QueryResult":
+        """The cached result of *sql*, running *execute* once on a miss."""
+        return self._cache.get_or_compute(normalize_sql(sql),
+                                          lambda: execute(sql))
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class PlanCache:
+    """Planner outputs keyed on (candidate set, geometry, budget).
+
+    Multiplot planning is deterministic given the problem (both solvers
+    break ties lexicographically), so the planner result for a repeated
+    candidate distribution can be reused wholesale.  The key captures
+    everything that feeds the solvers: each candidate's SQL and
+    probability, the screen geometry, the user cost model, the optional
+    processing costs/budget, and the processing groups of the
+    processing-aware extension.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._cache = LruCache(capacity)
+
+    @staticmethod
+    def problem_key(problem: "MultiplotSelectionProblem",
+                    processing_groups=None) -> Hashable:
+        """A hashable identity of a planning problem instance."""
+        candidates = tuple(
+            (candidate.query.to_sql(), round(candidate.probability, 12))
+            for candidate in problem.candidates)
+        groups_key = None
+        if processing_groups is not None:
+            groups_key = tuple(sorted(
+                (group.cost, tuple(sorted(group.candidate_indices)))
+                for group in processing_groups))
+        return (candidates,
+                astuple(problem.geometry),
+                astuple(problem.cost_model),
+                problem.processing_costs,
+                problem.processing_budget,
+                groups_key)
+
+    def get_or_plan(self, key: Hashable, plan: Callable[[], object]):
+        """The cached planner result for *key*, planning once on a miss."""
+        return self._cache.get_or_compute(key, plan)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

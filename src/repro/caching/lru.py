@@ -1,0 +1,168 @@
+"""A thread-safe LRU cache with single-flight computation.
+
+The cache is the concurrency workhorse of the serving path: many threads
+answer questions against one shared :class:`~repro.muve.Muve`, and most of
+their work (query execution, multiplot planning) is deterministic given its
+inputs.  :class:`LruCache` lets those threads share results safely:
+
+* All bookkeeping (the ordered map, hit/miss/eviction counters) is guarded
+  by one internal lock; ``get``/``put`` never block on user code.
+* :meth:`get_or_compute` adds *single-flight* semantics: when several
+  threads miss on the same key at once, exactly one computes the value
+  while the others wait on it — a stampede of identical questions costs
+  one execution, not N.
+* ``capacity=0`` disables storage entirely (every lookup is a miss) while
+  keeping the API intact, so callers never need ``if cache is not None``
+  pyramids around a feature flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0.0 when unused)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """Least-recently-used cache safe for concurrent readers and writers.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently *used* entry is
+        evicted first.  A capacity of 0 turns the cache into a pass-through
+        (nothing is stored, every request is a miss).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._inflight: dict[Hashable, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> Iterator[Hashable]:
+        """Current keys, least recently used first (snapshot)."""
+        with self._lock:
+            return iter(list(self._data.keys()))
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              size=len(self._data),
+                              capacity=self._capacity)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for *key* (refreshing recency), else *default*."""
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite *key*, evicting the LRU entry when full."""
+        with self._lock:
+            self._store(key, value)
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Any:
+        """The cached value for *key*, computing (once) on a miss.
+
+        Concurrent callers missing on the same key coalesce: one thread
+        runs *compute* (outside the cache lock), the rest block until the
+        value lands and then read it.  If the leader raises, one waiter is
+        promoted to retry — an exception never wedges the key.
+        """
+        while True:
+            with self._lock:
+                if key in self._data:
+                    self._hits += 1
+                    self._data.move_to_end(key)
+                    return self._data[key]
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    self._misses += 1
+                    break
+            event.wait()
+            # Re-check: the leader either stored the value (hit on the next
+            # pass), failed (we become the new leader), or the capacity is
+            # 0 (we recompute ourselves).
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                pending = self._inflight.pop(key, None)
+            if pending is not None:
+                pending.set()
+            raise
+        with self._lock:
+            self._store(key, value)
+            pending = self._inflight.pop(key, None)
+        if pending is not None:
+            pending.set()
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        """Insert under the held lock, applying the capacity bound."""
+        if self._capacity == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+            self._evictions += 1

@@ -1,0 +1,62 @@
+"""SQL text normalisation for cache keys.
+
+Two textual spellings of the same statement — different whitespace,
+different keyword/identifier casing — must map to one cache entry, while
+string literals (predicate constants like ``'Brooklyn'``) must keep their
+exact case: ``borough = 'Brooklyn'`` and ``borough = 'brooklyn'`` are
+different queries.
+
+The normaliser is purely lexical (it never parses), so it is cheap enough
+to run on every cache lookup and safe on any SQL dialect the engine
+accepts.
+"""
+
+from __future__ import annotations
+
+
+def normalize_sql(sql: str) -> str:
+    """A canonical form of *sql* for use as a cache key.
+
+    Outside single-quoted literals: whitespace runs collapse to one space
+    and all characters are lower-cased.  Inside literals every character
+    (including the ``''`` escape) is preserved verbatim.  A trailing
+    semicolon and surrounding whitespace are dropped.
+    """
+    out: list[str] = []
+    in_literal = False
+    pending_space = False
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if in_literal:
+            out.append(ch)
+            if ch == "'":
+                if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                    out.append("'")
+                    i += 2
+                    continue
+                in_literal = False
+            i += 1
+            continue
+        if ch == "'":
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            in_literal = True
+            out.append(ch)
+            i += 1
+            continue
+        if ch.isspace():
+            pending_space = True
+            i += 1
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+        i += 1
+    normalized = "".join(out)
+    while normalized.endswith(";"):
+        normalized = normalized[:-1].rstrip()
+    return normalized

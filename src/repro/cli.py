@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                         const=8000, default=None,
                         help="start the browser demo server instead of "
                              "the REPL (default port 8000)")
+    parser.add_argument("--load-test", metavar="N", type=int, default=None,
+                        help="issue N questions against one shared "
+                             "pipeline and report latency/cache stats "
+                             "(uses --query when given, else a built-in "
+                             "question mix)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="concurrent threads for --load-test "
+                             "(default: 1)")
     return parser
 
 
@@ -92,6 +100,75 @@ def make_muve(args: argparse.Namespace) -> Muve:
     return Muve(database, args.dataset, geometry=geometry,
                 planner=planner, max_candidates=args.candidates,
                 word_error_rate=args.wer, seed=args.seed)
+
+
+def _load_test_questions(muve: Muve, args: argparse.Namespace,
+                         count: int) -> list[str]:
+    """The question mix for --load-test: --query verbatim, or a cycled
+    pool of spoken workload queries over the loaded table."""
+    if args.query is not None:
+        return [args.query] * count
+    from repro.datasets.workload import WorkloadGenerator
+    from repro.experiments.robustness import _speak
+    table = muve.database.table(muve.table_name)
+    workload = WorkloadGenerator(table, seed=args.seed)
+    pool = [_speak(workload.random_query(exact_predicates=1))
+            for _ in range(min(count, 20))]
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def run_load_test(muve: Muve, args: argparse.Namespace, out) -> int:
+    """Hammer one shared pipeline from --workers threads; print stats."""
+    import concurrent.futures
+    import time as _time
+
+    count = args.load_test
+    if count <= 0:
+        print("error: --load-test expects a positive request count",
+              file=out)
+        return 2
+    workers = max(1, args.workers)
+    questions = _load_test_questions(muve, args, count)
+    latencies: list[float] = []
+    errors = 0
+
+    def one(question: str) -> float:
+        begin = _time.perf_counter()
+        if args.voice:
+            muve.ask_voice(question)
+        else:
+            muve.ask(question)
+        return _time.perf_counter() - begin
+
+    started = _time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers) as executor:
+        for future in concurrent.futures.as_completed(
+                executor.submit(one, question) for question in questions):
+            try:
+                latencies.append(future.result())
+            except ReproError:
+                errors += 1
+    wall = _time.perf_counter() - started
+
+    latencies.sort()
+    def percentile(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1,
+                             int(p * len(latencies)))]
+    print(f"{len(latencies)} ok, {errors} failed in {wall:.2f} s "
+          f"({len(latencies) / wall:.1f} req/s, {workers} worker(s))",
+          file=out)
+    if latencies:
+        print(f"latency ms: p50 {percentile(0.50) * 1000:.1f}  "
+              f"p95 {percentile(0.95) * 1000:.1f}  "
+              f"max {latencies[-1] * 1000:.1f}", file=out)
+    for name, counters in muve.cache_stats().items():
+        print(f"cache {name}: {counters['hits']:.0f} hits / "
+              f"{counters['misses']:.0f} misses "
+              f"(hit rate {counters['hit_rate']:.0%})", file=out)
+    return 0 if errors == 0 else 1
 
 
 def _answer(muve: Muve, text: str, args: argparse.Namespace,
@@ -170,6 +247,9 @@ def main(argv: Sequence[str] | None = None, *, stdin=None,
         print(f"error: {exc}", file=out)
         return 2
     strategy = _STRATEGIES[args.processing]()
+
+    if args.load_test is not None:
+        return run_load_test(muve, args, out)
 
     if args.serve is not None:
         from repro.demo import MuveDemoServer

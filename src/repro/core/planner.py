@@ -9,12 +9,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.greedy import GreedySolver
 from repro.core.ilp import IlpSolver, ProcessingGroup
 from repro.core.model import Multiplot
 from repro.core.problem import MultiplotSelectionProblem
 from repro.errors import PlanningError, SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.caching import PlanCache
 
 
 @dataclass(frozen=True)
@@ -38,17 +42,25 @@ class VisualizationPlanner:
     * ``"ilp"`` — Section 5 ILP only, honouring ``timeout_seconds``.
     * ``"best"`` — run both and keep the lower-cost multiplot (falling
       back to greedy when the ILP fails outright).
+
+    The planner holds no per-request state, so one instance may plan for
+    many threads concurrently.  An optional ``plan_cache``
+    (:class:`~repro.caching.PlanCache`) memoises results per problem
+    identity — repeated candidate distributions (the common case for
+    repeated questions) skip both solvers entirely.
     """
 
     def __init__(self, strategy: str = "best",
                  timeout_seconds: float = 1.0,
                  ilp_backend: str = "highs",
                  greedy_epsilon: float = 0.1,
-                 processing_weight: float = 0.0) -> None:
+                 processing_weight: float = 0.0,
+                 plan_cache: "PlanCache | None" = None) -> None:
         if strategy not in ("greedy", "ilp", "best"):
             raise PlanningError(f"unknown strategy {strategy!r}")
         self.strategy = strategy
         self.timeout_seconds = timeout_seconds
+        self.plan_cache = plan_cache
         self._greedy = GreedySolver(epsilon=greedy_epsilon)
         self._ilp = IlpSolver(backend=ilp_backend,
                               timeout_seconds=timeout_seconds,
@@ -57,7 +69,18 @@ class VisualizationPlanner:
     def plan(self, problem: MultiplotSelectionProblem,
              processing_groups: list[ProcessingGroup] | None = None,
              ) -> PlannerResult:
-        """Plan a multiplot for *problem*."""
+        """Plan a multiplot for *problem* (through the cache when set)."""
+        if self.plan_cache is None:
+            return self._plan_uncached(problem, processing_groups)
+        key = (self.strategy, self.timeout_seconds, self._ilp.backend,
+               self._greedy.epsilon,
+               self.plan_cache.problem_key(problem, processing_groups))
+        return self.plan_cache.get_or_plan(
+            key, lambda: self._plan_uncached(problem, processing_groups))
+
+    def _plan_uncached(self, problem: MultiplotSelectionProblem,
+                       processing_groups: list[ProcessingGroup] | None,
+                       ) -> PlannerResult:
         if self.strategy == "greedy":
             return self._plan_greedy(problem)
         if self.strategy == "ilp":

@@ -4,12 +4,19 @@ Endpoints:
 
 * ``GET /`` — the single-page UI.
 * ``GET /api/schema`` — table name and columns (for autocomplete/help).
+* ``GET /api/stats`` — cache hit/miss counters of the serving path.
 * ``POST /api/ask`` — body ``{"question": str, "voice": bool,
   "trend": bool}``; returns transcript, seed SQL, planner info, the
   candidate distribution, the rendered SVG and the terminal rendering.
 
-The server runs on a background thread (``ThreadingHTTPServer``); MUVE
-calls are serialised with a lock since the pipeline is not thread-safe.
+The server runs on a background thread (``ThreadingHTTPServer``) and
+handles requests **concurrently**: the MUVE pipeline is thread-safe
+(randomness is derived per call, lazy caches are locked, planner and
+executor hold no per-request state), so no server-wide lock is needed.
+Answers are additionally memoised in a response cache keyed on
+``(question, voice, trend)`` — the pipeline is deterministic per question,
+so a repeated question is served straight from memory, and a stampede of
+identical questions computes once (single-flight).
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.caching import LruCache
 from repro.demo.page import PAGE
 from repro.errors import ReproError
 from repro.muve import Muve
@@ -27,9 +35,10 @@ class MuveDemoServer:
     """Serves one :class:`Muve` instance to a browser."""
 
     def __init__(self, muve: Muve, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 response_cache_size: int = 128) -> None:
         self.muve = muve
-        self._lock = threading.Lock()
+        self._responses = LruCache(response_cache_size)
         handler = _make_handler(self)
         self._http = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -71,25 +80,29 @@ class MuveDemoServer:
             raise ReproError("empty question")
         voice = bool(payload.get("voice", False))
         trend = bool(payload.get("trend", False))
-        with self._lock:
-            if trend:
-                response = self.muve.ask_trend(question)
-                return {
-                    "transcript": response.transcript,
-                    "seed_sql": (f"{response.seed_query.to_sql()} "
-                                 f"BY {response.x_column}"),
-                    "planner": "series planner (cardinality greedy)",
-                    "candidates": [
-                        {"sql": c.query.to_sql(),
-                         "probability": c.probability}
-                        for c in response.candidates],
-                    "svg": response.to_svg(),
-                    "text": response.to_text(),
-                }
-            if voice:
-                response = self.muve.ask_voice(question)
-            else:
-                response = self.muve.ask(question)
+        return self._responses.get_or_compute(
+            (question, voice, trend),
+            lambda: self._answer(question, voice, trend))
+
+    def _answer(self, question: str, voice: bool, trend: bool) -> dict:
+        if trend:
+            response = self.muve.ask_trend(question)
+            return {
+                "transcript": response.transcript,
+                "seed_sql": (f"{response.seed_query.to_sql()} "
+                             f"BY {response.x_column}"),
+                "planner": "series planner (cardinality greedy)",
+                "candidates": [
+                    {"sql": c.query.to_sql(),
+                     "probability": c.probability}
+                    for c in response.candidates],
+                "svg": response.to_svg(),
+                "text": response.to_text(),
+            }
+        if voice:
+            response = self.muve.ask_voice(question)
+        else:
+            response = self.muve.ask(question)
         planning = response.planning
         return {
             "transcript": response.transcript,
@@ -113,6 +126,17 @@ class MuveDemoServer:
                 {"name": column.name, "type": column.dtype.value}
                 for column in table.schema.columns],
         }
+
+    def handle_stats(self) -> dict:
+        snapshot = self._responses.stats
+        stats = {
+            "responses": {
+                "hits": snapshot.hits, "misses": snapshot.misses,
+                "evictions": snapshot.evictions, "size": snapshot.size,
+                "hit_rate": snapshot.hit_rate},
+        }
+        stats.update(self.muve.cache_stats())
+        return stats
 
 
 def _make_handler(server: MuveDemoServer):
@@ -138,6 +162,8 @@ def _make_handler(server: MuveDemoServer):
                            "text/html; charset=utf-8")
             elif self.path == "/api/schema":
                 self._send_json(200, server.handle_schema())
+            elif self.path == "/api/stats":
+                self._send_json(200, server.handle_stats())
             else:
                 self._send_json(404, {"error": "not found"})
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.ilp import IlpSolver, incremental_solve
 from repro.core.model import Multiplot
@@ -17,6 +17,9 @@ from repro.execution.progressive import (
 from repro.execution.merging import plan_execution
 from repro.sqldb.database import Database
 from repro.sqldb.query import AggregateQuery
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.caching import QueryResultCache
 
 
 @dataclass(frozen=True)
@@ -41,11 +44,19 @@ class VisualizationUpdate:
 
 
 class MuveExecutor:
-    """Runs the queries behind a planned multiplot with a chosen strategy."""
+    """Runs the queries behind a planned multiplot with a chosen strategy.
 
-    def __init__(self, database: Database, merge: bool = True) -> None:
+    One executor instance may serve many threads: it holds no per-request
+    state, and the optional ``result_cache`` (a thread-safe
+    :class:`~repro.caching.QueryResultCache`) lets concurrent requests
+    share the results of identical merged-group statements.
+    """
+
+    def __init__(self, database: Database, merge: bool = True,
+                 result_cache: "QueryResultCache | None" = None) -> None:
         self._database = database
         self._merge = merge
+        self.result_cache = result_cache
 
     def run(self, multiplot: Multiplot,
             strategy: ProcessingStrategy | None = None,
@@ -59,7 +70,8 @@ class MuveExecutor:
         """Yield updates as the strategy produces them."""
         strategy = strategy or DefaultProcessing()
         yield from strategy.updates(self._database, multiplot,
-                                    merge=self._merge)
+                                    merge=self._merge,
+                                    cache=self.result_cache)
 
     def run_incremental_ilp(self, problem: MultiplotSelectionProblem,
                             solver: IlpSolver | None = None,
@@ -89,7 +101,8 @@ class MuveExecutor:
             if missing:
                 plan = plan_execution(self._database, missing,
                                       merge=self._merge)
-                cache.update(plan.run(self._database))
+                cache.update(plan.run(self._database,
+                                      cache=self.result_cache))
             updates.append(VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
                 multiplot=_fill_values(multiplot, cache),

@@ -19,9 +19,12 @@ merge by multi-aggregate select.  ``pred_column`` templates do not merge
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.caching import QueryResultCache
 from repro.nlq.templates import QueryTemplate, templates_of
 from repro.sqldb.database import Database
 from repro.sqldb.expressions import format_literal
@@ -54,6 +57,7 @@ class ExecutionPlan:
 
     def run(self, database: Database,
             sample_fraction: float | None = None,
+            cache: "QueryResultCache | None" = None,
             ) -> dict[AggregateQuery, float | None]:
         """Execute every group; returns per-query results.
 
@@ -61,6 +65,9 @@ class ExecutionPlan:
         does not occur in the data) maps to ``0.0`` for COUNT/SUM and
         ``None`` (SQL NULL) otherwise.  ``sample_fraction`` appends a
         ``TABLESAMPLE`` clause to every group for approximate processing.
+        ``cache`` short-circuits group execution on normalised-SQL hits
+        (sampled statements carry their fraction in the SQL text, so exact
+        and approximate runs never share an entry).
         """
         results: dict[AggregateQuery, float | None] = {}
         for group in self.groups:
@@ -68,7 +75,10 @@ class ExecutionPlan:
             if sample_fraction is not None and sample_fraction < 1.0:
                 sql = _with_sample(sql, sample_fraction)
             try:
-                outcome = database.execute(sql)
+                if cache is not None:
+                    outcome = cache.get_or_execute(sql, database.execute)
+                else:
+                    outcome = database.execute(sql)
             except ExecutionError:
                 # Aggregate over zero qualifying rows (SQL NULL): report
                 # every member query as missing/zero.

@@ -16,6 +16,7 @@ Every strategy turns a planned multiplot into a sequence of
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Iterator
 
@@ -27,6 +28,7 @@ from repro.sqldb.query import AggregateQuery
 from repro.sqldb.sampling import scale_aggregate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.caching import QueryResultCache
     from repro.execution.engine import VisualizationUpdate
 
 
@@ -56,12 +58,19 @@ def _fill_values(multiplot: Multiplot,
 
 
 class ProcessingStrategy:
-    """Interface: yield visualization updates for a planned multiplot."""
+    """Interface: yield visualization updates for a planned multiplot.
+
+    Strategies are stateless per call (any instance may serve many threads
+    at once); ``cache`` optionally short-circuits group execution through a
+    shared :class:`~repro.caching.QueryResultCache`.
+    """
 
     name = "abstract"
 
     def updates(self, database: Database, multiplot: Multiplot,
-                merge: bool = True) -> Iterator["VisualizationUpdate"]:
+                merge: bool = True,
+                cache: "QueryResultCache | None" = None,
+                ) -> Iterator["VisualizationUpdate"]:
         raise NotImplementedError
 
 
@@ -71,12 +80,14 @@ class DefaultProcessing(ProcessingStrategy):
     name = "default"
 
     def updates(self, database: Database, multiplot: Multiplot,
-                merge: bool = True) -> Iterator["VisualizationUpdate"]:
+                merge: bool = True,
+                cache: "QueryResultCache | None" = None,
+                ) -> Iterator["VisualizationUpdate"]:
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         queries = list(multiplot.displayed_queries())
         plan = plan_execution(database, queries, merge=merge)
-        results = plan.run(database)
+        results = plan.run(database, cache=cache)
         yield VisualizationUpdate(
             elapsed_seconds=time.perf_counter() - start,
             multiplot=_fill_values(multiplot, results),
@@ -105,7 +116,9 @@ class IncrementalPlotting(ProcessingStrategy):
     name = "inc-plot"
 
     def updates(self, database: Database, multiplot: Multiplot,
-                merge: bool = True) -> Iterator["VisualizationUpdate"]:
+                merge: bool = True,
+                cache: "QueryResultCache | None" = None,
+                ) -> Iterator["VisualizationUpdate"]:
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         plots = list(enumerate(multiplot.plots()))
@@ -118,7 +131,7 @@ class IncrementalPlotting(ProcessingStrategy):
                        if bar.query not in results]
             if queries:
                 plan = plan_execution(database, queries, merge=merge)
-                results.update(plan.run(database))
+                results.update(plan.run(database, cache=cache))
             shown.add(index)
             yield VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
@@ -163,6 +176,7 @@ class ApproximateProcessing(ProcessingStrategy):
         return f"app-{self.fraction * 100:g}%"
 
     _throughput_cache: dict[int, float] = {}
+    _throughput_lock = threading.Lock()
 
     def _dynamic_fraction(self, database: Database,
                           queries: list[AggregateQuery]) -> float:
@@ -180,7 +194,12 @@ class ApproximateProcessing(ProcessingStrategy):
         return max(self.min_fraction, budget_rows / scanned_rows)
 
     def _calibrate(self, database: Database, table) -> float:
-        """Rows/second of a filtered scan on this engine (cached)."""
+        """Rows/second of a filtered scan on this engine (cached).
+
+        The measurement is serialised process-wide so concurrent App-D
+        requests against one database calibrate once and agree on the
+        throughput figure afterwards.
+        """
         key = id(database)
         cached = self._throughput_cache.get(key)
         if cached is not None:
@@ -188,17 +207,23 @@ class ApproximateProcessing(ProcessingStrategy):
         probe_rows = min(table.num_rows, 50_000)
         if probe_rows == 0:
             return 1e6
-        start = time.perf_counter()
-        database.execute(
-            f"SELECT COUNT(*) FROM {table.schema.name} "
-            f"TABLESAMPLE BERNOULLI ({100.0 * probe_rows / max(table.num_rows, 1):.4f})")
-        elapsed = max(time.perf_counter() - start, 1e-6)
-        throughput = probe_rows / elapsed
-        self._throughput_cache[key] = throughput
+        with self._throughput_lock:
+            cached = self._throughput_cache.get(key)
+            if cached is not None:
+                return cached
+            start = time.perf_counter()
+            database.execute(
+                f"SELECT COUNT(*) FROM {table.schema.name} "
+                f"TABLESAMPLE BERNOULLI ({100.0 * probe_rows / max(table.num_rows, 1):.4f})")
+            elapsed = max(time.perf_counter() - start, 1e-6)
+            throughput = probe_rows / elapsed
+            self._throughput_cache[key] = throughput
         return throughput
 
     def updates(self, database: Database, multiplot: Multiplot,
-                merge: bool = True) -> Iterator["VisualizationUpdate"]:
+                merge: bool = True,
+                cache: "QueryResultCache | None" = None,
+                ) -> Iterator["VisualizationUpdate"]:
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         queries = list(multiplot.displayed_queries())
@@ -209,7 +234,8 @@ class ApproximateProcessing(ProcessingStrategy):
             fraction = self.fraction
 
         if fraction < 1.0:
-            raw = plan.run(database, sample_fraction=fraction)
+            raw = plan.run(database, sample_fraction=fraction,
+                           cache=cache)
             scaled = {
                 query: (None if value is None else
                         scale_aggregate(query.aggregate.func, value,
@@ -223,7 +249,7 @@ class ApproximateProcessing(ProcessingStrategy):
                 approximate=True,
                 description=(f"approximate: {fraction * 100:.2f}% sample"),
             )
-        results = plan.run(database)
+        results = plan.run(database, cache=cache)
         yield VisualizationUpdate(
             elapsed_seconds=time.perf_counter() - start,
             multiplot=_fill_values(multiplot, results),

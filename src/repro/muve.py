@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.caching import PlanCache, QueryResultCache
 from repro.core.model import Multiplot, ScreenGeometry
 from repro.core.planner import PlannerResult, VisualizationPlanner
 from repro.core.problem import MultiplotSelectionProblem
@@ -92,6 +93,16 @@ class Muve:
         Size of the candidate distribution ("typically, we set k to 20").
     word_error_rate / seed:
         Noise level of the simulated speech channel and its RNG seed.
+    enable_caching:
+        Attach a shared :class:`~repro.caching.QueryResultCache` to the
+        executor and a :class:`~repro.caching.PlanCache` to the planner
+        (unless the planner already carries one).  Repeated questions then
+        skip query execution and multiplot planning.  Disable for
+        benchmarks that must measure cold work every time.
+
+    One instance is safe to share across threads: the pipeline components
+    hold no per-request state, randomness is derived per call, and the
+    caches are thread-safe.  See DESIGN.md, "Concurrency model".
     """
 
     def __init__(self, database: Database, table_name: str,
@@ -100,7 +111,8 @@ class Muve:
                  max_candidates: int = 20,
                  word_error_rate: float = 0.15,
                  processing_aware: bool = False,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 enable_caching: bool = True) -> None:
         self.database = database
         self.table_name = database.table(table_name).schema.name
         self.geometry = geometry or ScreenGeometry()
@@ -118,7 +130,37 @@ class Muve:
         self._speech = SpeechSimulator(vocabulary,
                                        word_error_rate=word_error_rate,
                                        seed=seed)
-        self._executor = MuveExecutor(database)
+        self.result_cache = QueryResultCache() if enable_caching else None
+        if enable_caching and self.planner.plan_cache is None:
+            self.planner.plan_cache = PlanCache()
+        self._executor = MuveExecutor(database,
+                                      result_cache=self.result_cache)
+
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, dict[str, float]]:
+        """Hit/miss/eviction counters of the serving-path caches."""
+        stats: dict[str, dict[str, float]] = {}
+        if self.result_cache is not None:
+            snapshot = self.result_cache.stats
+            stats["query_results"] = {
+                "hits": snapshot.hits, "misses": snapshot.misses,
+                "evictions": snapshot.evictions, "size": snapshot.size,
+                "hit_rate": snapshot.hit_rate}
+        if self.planner.plan_cache is not None:
+            snapshot = self.planner.plan_cache.stats
+            stats["plans"] = {
+                "hits": snapshot.hits, "misses": snapshot.misses,
+                "evictions": snapshot.evictions, "size": snapshot.size,
+                "hit_rate": snapshot.hit_rate}
+        return stats
+
+    def invalidate_caches(self) -> None:
+        """Drop cached results/plans (call after mutating the data)."""
+        if self.result_cache is not None:
+            self.result_cache.clear()
+        if self.planner.plan_cache is not None:
+            self.planner.plan_cache.clear()
 
     # ------------------------------------------------------------------
 

@@ -40,6 +40,13 @@ class SpeechSimulator:
     seed:
         RNG seed; every simulator with the same seed and inputs produces
         the same transcripts.
+
+    The noise generator is derived per utterance from ``(seed,
+    utterance)`` rather than drawn from one sequential stream, so
+    :meth:`transcribe` is a pure function: the same utterance always gets
+    the same transcript regardless of call order or the thread it runs on.
+    That is what makes voice questions cacheable and concurrent runs
+    reproducible.
     """
 
     def __init__(self, vocabulary: Iterable[str],
@@ -63,7 +70,7 @@ class SpeechSimulator:
         self.word_error_rate = word_error_rate
         self.deletion_rate = deletion_rate
         self.insertion_rate = insertion_rate
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
 
     def transcribe(self, utterance: str) -> str:
         """Simulate recognising *utterance*; returns the noisy transcript.
@@ -73,44 +80,46 @@ class SpeechSimulator:
         by a phonetically similar confusion; with ``insertion_rate`` a
         spurious vocabulary word is hallucinated after it.
         """
+        from repro.sqldb.sampling import derive_rng
+        rng = derive_rng(self._seed, "speech", utterance)
         words = utterance.split()
         output: list[str] = []
         for word in words:
-            if self.deletion_rate and self._rng.random() < \
+            if self.deletion_rate and rng.random() < \
                     self.deletion_rate:
                 continue
-            if self._rng.random() < self.word_error_rate:
-                output.append(self._confuse(word))
+            if rng.random() < self.word_error_rate:
+                output.append(self._confuse(word, rng))
             else:
                 output.append(word)
             if (self.insertion_rate and self._words
-                    and self._rng.random() < self.insertion_rate):
+                    and rng.random() < self.insertion_rate):
                 output.append(self._words[
-                    int(self._rng.integers(len(self._words)))])
+                    int(rng.integers(len(self._words)))])
         return " ".join(output)
 
-    def _confuse(self, word: str) -> str:
+    def _confuse(self, word: str, rng: np.random.Generator) -> str:
         """One mis-recognition of *word*."""
         neighbours = [st for st in self._index.most_similar(
             word.lower(), k=8, include_self=False) if st.score >= 0.6]
         if neighbours:
             weights = np.array([st.score ** 4 for st in neighbours])
             weights /= weights.sum()
-            choice = self._rng.choice(len(neighbours), p=weights)
+            choice = rng.choice(len(neighbours), p=weights)
             replacement = neighbours[int(choice)].term
             return _match_case(word, replacement)
-        return self._typo(word)
+        return self._typo(word, rng)
 
-    def _typo(self, word: str) -> str:
+    def _typo(self, word: str, rng: np.random.Generator) -> str:
         """Character-level fallback noise for out-of-vocabulary words."""
         if len(word) < 2:
             return word
-        position = int(self._rng.integers(len(word)))
+        position = int(rng.integers(len(word)))
         ch = word[position].lower()
         candidates = _ADJACENT_KEYS.get(ch, "")
         if not candidates:
             return word
-        replacement = candidates[int(self._rng.integers(len(candidates)))]
+        replacement = candidates[int(rng.integers(len(candidates)))]
         if word[position].isupper():
             replacement = replacement.upper()
         return word[:position] + replacement + word[position + 1:]

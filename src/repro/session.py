@@ -11,6 +11,7 @@ MUVE's phonetic disambiguation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.problem import MultiplotSelectionProblem
@@ -32,15 +33,22 @@ class MuveSession:
         session only owns the prior).
     prior_strength:
         How strongly history shifts the distribution (0 disables).
+
+    Concurrency: the shared :class:`Muve` pipeline needs no lock, but the
+    session's own state (the query-log prior and the turn history) is
+    genuinely per-user and mutable, so each session serialises its turns
+    behind a private lock.  Different sessions never contend.
     """
 
     muve: Muve
     prior_strength: float = 0.3
     prior: QueryLogPrior = field(init=False)
     _history: list[MuveResponse] = field(init=False, default_factory=list)
+    _lock: threading.RLock = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.prior = QueryLogPrior(strength=self.prior_strength)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
@@ -48,16 +56,18 @@ class MuveSession:
             strategy: ProcessingStrategy | None = None) -> MuveResponse:
         """One turn: candidates re-weighted by this session's history."""
         response = self.muve.ask(text, strategy=strategy)
-        response = self._apply_prior(response)
-        self._history.append(response)
+        with self._lock:
+            response = self._apply_prior(response)
+            self._history.append(response)
         return response
 
     def ask_voice(self, utterance: str,
                   strategy: ProcessingStrategy | None = None,
                   ) -> MuveResponse:
         response = self.muve.ask_voice(utterance, strategy=strategy)
-        response = self._apply_prior(response)
-        self._history.append(response)
+        with self._lock:
+            response = self._apply_prior(response)
+            self._history.append(response)
         return response
 
     def confirm(self, query: AggregateQuery) -> None:
@@ -66,18 +76,21 @@ class MuveSession:
         The confirmed query must be displayed in the latest response
         (users can only click what is on screen).
         """
-        if not self._history:
-            raise ReproError("nothing to confirm: no question asked yet")
-        latest = self._history[-1]
-        if not latest.multiplot.shows(query):
-            raise ReproError(
-                f"query {query.to_sql()!r} is not displayed in the "
-                "latest multiplot")
-        self.prior.record(query)
+        with self._lock:
+            if not self._history:
+                raise ReproError(
+                    "nothing to confirm: no question asked yet")
+            latest = self._history[-1]
+            if not latest.multiplot.shows(query):
+                raise ReproError(
+                    f"query {query.to_sql()!r} is not displayed in the "
+                    "latest multiplot")
+            self.prior.record(query)
 
     @property
     def turns(self) -> int:
-        return len(self._history)
+        with self._lock:
+            return len(self._history)
 
     # ------------------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
@@ -48,6 +49,14 @@ class Database:
 
     Statistics are computed lazily per table and cached; any mutation
     through :meth:`insert_rows` invalidates the cache (our ``ANALYZE``).
+
+    Concurrency: the read path (:meth:`execute`, :meth:`explain`,
+    :meth:`statistics`) is safe to call from many threads against one
+    instance.  Sampling randomness is derived per statement from the
+    database seed and the SQL text (see
+    :func:`repro.sqldb.sampling.derive_rng`), so results are independent of
+    thread interleaving.  DDL and :meth:`insert_rows` are *not* designed to
+    race with readers — load data first, then serve.
     """
 
     def __init__(self, seed: int = 0,
@@ -61,7 +70,8 @@ class Database:
         self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
-        self._rng = np.random.default_rng(seed)
+        self._statistics_lock = threading.Lock()
+        self._seed = seed
         self.io_millis_per_page = io_millis_per_page
 
     # ------------------------------------------------------------------
@@ -119,9 +129,16 @@ class Database:
 
     def statistics(self, table_name: str) -> TableStatistics:
         key = table_name.lower()
-        if key not in self._statistics:
-            self._statistics[key] = TableStatistics(self.table(table_name))
-        return self._statistics[key]
+        stats = self._statistics.get(key)
+        if stats is None:
+            # Serialise the (idempotent) full-scan analysis so concurrent
+            # first readers of a table do the work once, not once each.
+            with self._statistics_lock:
+                stats = self._statistics.get(key)
+                if stats is None:
+                    stats = TableStatistics(self.table(table_name))
+                    self._statistics[key] = stats
+        return stats
 
     def vocabulary(self, table_name: str,
                    max_values_per_column: int = 1000) -> list[str]:
@@ -151,12 +168,20 @@ class Database:
         return parse(query)
 
     def execute(self, query: str | SelectStatement | AggregateQuery,
-                ) -> QueryResult:
-        """Parse (if needed), execute, and time a query."""
+                rng: np.random.Generator | None = None) -> QueryResult:
+        """Parse (if needed), execute, and time a query.
+
+        ``rng`` overrides the sampling generator; by default one is derived
+        from the database seed and the statement text, making sampled
+        results reproducible and thread-interleaving-independent.
+        """
         statement = self._coerce_statement(query)
         table = self.table(statement.table)
+        if rng is None and statement.sample_fraction is not None:
+            from repro.sqldb.sampling import derive_rng
+            rng = derive_rng(self._seed, statement.to_sql())
         start = time.perf_counter()
-        columns, rows = execute_select(statement, table, self._rng)
+        columns, rows = execute_select(statement, table, rng)
         if self.io_millis_per_page > 0.0:
             self._simulate_io(statement, table)
         elapsed = time.perf_counter() - start

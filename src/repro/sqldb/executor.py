@@ -24,9 +24,14 @@ from repro.sqldb.table import Table
 
 
 def execute_select(statement: SelectStatement, table: Table,
-                   rng: np.random.Generator) -> tuple[tuple[str, ...],
-                                                      list[tuple[Any, ...]]]:
-    """Run *statement* against *table*; returns (column names, rows)."""
+                   rng: np.random.Generator | None,
+                   ) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
+    """Run *statement* against *table*; returns (column names, rows).
+
+    ``rng`` drives TABLESAMPLE row selection and may be ``None`` for
+    statements without a sampling clause (callers pass an explicitly
+    derived generator when sampling — there is no implicit global stream).
+    """
     bound_where = (statement.where.bind(table.schema)
                    if statement.where is not None else None)
     bound_aggs = tuple(agg.bind(table.schema)
@@ -37,6 +42,9 @@ def execute_select(statement: SelectStatement, table: Table,
     mask: np.ndarray | None = None
     if statement.sample_fraction is not None \
             and statement.sample_fraction < 1.0:
+        if rng is None:
+            raise ExecutionError(
+                "TABLESAMPLE execution requires an explicit rng")
         mask = rng.random(table.num_rows) < statement.sample_fraction
     if bound_where is not None:
         where_mask = bound_where.evaluate(table)

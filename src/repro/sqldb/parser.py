@@ -45,6 +45,7 @@ from repro.sqldb.expressions import (
     Like,
     Not,
     Or,
+    format_literal,
 )
 from repro.sqldb.lexer import Token, TokenType, tokenize
 
@@ -106,6 +107,39 @@ class SelectStatement:
                 + ", ".join(sorted(extra)))
         if self.limit is not None and self.limit < 0:
             raise SqlSyntaxError("LIMIT must be non-negative")
+
+    def to_sql(self) -> str:
+        """Render back to SQL text.
+
+        The rendering is canonical: parsing its own output yields an equal
+        statement (``parse(s.to_sql()) == s``), which is what cache keys
+        and the parser round-trip tests rely on.
+        """
+        select_list = [column for column in self.select_columns]
+        select_list.extend(agg.to_sql() for agg in self.aggregates)
+        parts = ["EXPLAIN"] if self.explain else []
+        parts.append(f"SELECT {', '.join(select_list)} FROM {self.table}")
+        if self.sample_fraction is not None:
+            parts.append("TABLESAMPLE BERNOULLI "
+                         f"({self.sample_fraction * 100:g})")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(self.group_by)}")
+        if self.having:
+            rendered = " AND ".join(
+                f"{clause.target} {clause.op.value} "
+                f"{format_literal(clause.value)}"
+                for clause in self.having)
+            parts.append(f"HAVING {rendered}")
+        if self.order_by:
+            keys = ", ".join(
+                item.target + (" DESC" if item.descending else "")
+                for item in self.order_by)
+            parts.append(f"ORDER BY {keys}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
 
 
 def parse(sql: str) -> SelectStatement:

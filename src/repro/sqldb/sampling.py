@@ -8,10 +8,28 @@ aggregate function live here too.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.sqldb.expressions import AggregateFunction
 from repro.sqldb.table import Table
+
+
+def derive_rng(seed: int, *parts: str) -> np.random.Generator:
+    """A generator deterministically derived from *seed* and string parts.
+
+    Every RNG consumer on the concurrent read path derives a fresh,
+    explicitly seeded generator per call instead of drawing from a shared
+    module-level or instance-level stream.  That makes randomised work
+    (Bernoulli sampling, simulated speech noise) a pure function of its
+    inputs: the same statement sampled by eight threads produces the same
+    rows as a single-threaded run, in any interleaving.
+    """
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    words = [int.from_bytes(digest[i:i + 4], "little")
+             for i in range(0, 16, 4)]
+    return np.random.default_rng([seed & 0xFFFFFFFF, *words])
 
 
 def bernoulli_sample(table: Table, fraction: float,

@@ -5,6 +5,11 @@ distinct counts, min/max bounds and most-common-value lists, combined into
 selectivity estimates for predicate trees.  The estimates drive
 :mod:`repro.sqldb.planner` cost numbers, which in turn drive MUVE's query
 merging decisions and the processing-cost-aware ILP.
+
+Statistics objects are frozen dataclasses built once per table and never
+mutated afterwards, so they are freely shared between threads; the lazy
+build itself is serialised by :meth:`repro.sqldb.database.Database.
+statistics` (see DESIGN.md, "Concurrency model").
 """
 
 from __future__ import annotations

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -26,6 +27,7 @@ class Table:
         self._columns: dict[str, np.ndarray] = {}
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray,
                                             dict[Any, int]]] = {}
+        self._dictionary_lock = threading.Lock()
         if columns is None:
             for column in schema.columns:
                 self._columns[column.name] = np.empty(
@@ -97,21 +99,27 @@ class Table:
         cached = self._dictionaries.get(key)
         if cached is not None:
             return cached
-        array = self._columns[key]
-        index: dict[Any, int] = {}
-        codes = np.empty(len(array), dtype=np.int64)
-        for position, value in enumerate(array):
-            code = index.get(value)
-            if code is None:
-                code = len(index)
-                index[value] = code
-            codes[position] = code
-        uniques = np.empty(len(index), dtype=object)
-        for value, code in index.items():
-            uniques[code] = value
-        encoded = (uniques, codes, index)
-        self._dictionaries[key] = encoded
-        return encoded
+        # Serialise encoding so concurrent first readers share one pass
+        # (and never observe a half-built dictionary).
+        with self._dictionary_lock:
+            cached = self._dictionaries.get(key)
+            if cached is not None:
+                return cached
+            array = self._columns[key]
+            index: dict[Any, int] = {}
+            codes = np.empty(len(array), dtype=np.int64)
+            for position, value in enumerate(array):
+                code = index.get(value)
+                if code is None:
+                    code = len(index)
+                    index[value] = code
+                codes[position] = code
+            uniques = np.empty(len(index), dtype=object)
+            for value, code in index.items():
+                uniques[code] = value
+            encoded = (uniques, codes, index)
+            self._dictionaries[key] = encoded
+            return encoded
 
     def rows(self) -> Iterable[tuple[Any, ...]]:
         """Iterate rows as tuples (test/debug convenience; O(rows*cols))."""

@@ -1,0 +1,173 @@
+"""Tests for the domain caches: query results and planner outputs."""
+
+import pytest
+
+from repro.caching import PlanCache, QueryResultCache
+from repro.core.model import ScreenGeometry
+from repro.core.problem import MultiplotSelectionProblem
+from repro.nlq.candidates import CandidateQuery
+from repro.sqldb.query import AggregateQuery
+
+
+def make_problem(probabilities=(0.6, 0.4), geometry=None):
+    boroughs = ["Brooklyn", "Queens", "Bronx", "Manhattan"]
+    candidates = tuple(
+        CandidateQuery(
+            AggregateQuery.build("nyc311", "avg", "resolution_hours",
+                                 {"borough": boroughs[i]}),
+            probability)
+        for i, probability in enumerate(probabilities))
+    return MultiplotSelectionProblem(
+        candidates, geometry=geometry or ScreenGeometry())
+
+
+class TestQueryResultCache:
+    def test_hit_skips_execution(self):
+        cache = QueryResultCache(capacity=16)
+        executed = []
+
+        def execute(sql):
+            executed.append(sql)
+            return ("result-of", sql)
+
+        sql = "SELECT COUNT(*) FROM nyc311"
+        first = cache.get_or_execute(sql, execute)
+        second = cache.get_or_execute(sql, execute)
+        assert first == second
+        assert len(executed) == 1, "second lookup must not re-execute"
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_equivalent_spellings_share_one_entry(self):
+        cache = QueryResultCache(capacity=16)
+        executed = []
+
+        def execute(sql):
+            executed.append(sql)
+            return "result"
+
+        cache.get_or_execute("SELECT COUNT(*) FROM t", execute)
+        cache.get_or_execute("select   count(*)  from T", execute)
+        cache.get_or_execute("SELECT COUNT(*) FROM t;", execute)
+        assert len(executed) == 1
+        assert len(cache) == 1
+        assert cache.stats.hits == 2
+
+    def test_literal_case_not_conflated(self):
+        cache = QueryResultCache(capacity=16)
+        executed = []
+
+        def execute(sql):
+            executed.append(sql)
+            return sql
+
+        cache.get_or_execute(
+            "SELECT COUNT(*) FROM t WHERE b = 'Brooklyn'", execute)
+        cache.get_or_execute(
+            "SELECT COUNT(*) FROM t WHERE b = 'brooklyn'", execute)
+        assert len(executed) == 2
+
+    def test_execute_receives_original_sql(self):
+        cache = QueryResultCache(capacity=16)
+        seen = []
+        original = "SELECT  COUNT(*)  FROM T"
+        cache.get_or_execute(original, lambda sql: seen.append(sql))
+        assert seen == [original]
+
+    def test_clear_forces_reexecution(self):
+        cache = QueryResultCache(capacity=16)
+        executed = []
+        sql = "SELECT COUNT(*) FROM t"
+        cache.get_or_execute(sql, lambda s: executed.append(s))
+        cache.clear()
+        cache.get_or_execute(sql, lambda s: executed.append(s))
+        assert len(executed) == 2
+
+    def test_capacity_zero_never_stores(self):
+        cache = QueryResultCache(capacity=0)
+        executed = []
+        sql = "SELECT COUNT(*) FROM t"
+        for _ in range(3):
+            cache.get_or_execute(sql, lambda s: executed.append(s) or "r")
+        assert len(executed) == 3
+        assert len(cache) == 0
+
+
+class TestPlanCacheKey:
+    def test_same_problem_same_key(self):
+        assert PlanCache.problem_key(make_problem()) == \
+            PlanCache.problem_key(make_problem())
+
+    def test_probabilities_distinguish(self):
+        assert PlanCache.problem_key(make_problem((0.6, 0.4))) != \
+            PlanCache.problem_key(make_problem((0.5, 0.5)))
+
+    def test_geometry_distinguishes(self):
+        narrow = make_problem(geometry=ScreenGeometry(width_pixels=800))
+        wide = make_problem(geometry=ScreenGeometry(width_pixels=2400))
+        assert PlanCache.problem_key(narrow) != \
+            PlanCache.problem_key(wide)
+
+    def test_budget_distinguishes(self):
+        plain = make_problem()
+        budgeted = MultiplotSelectionProblem(
+            plain.candidates, geometry=plain.geometry,
+            processing_costs=(10.0, 20.0), processing_budget=15.0)
+        assert PlanCache.problem_key(plain) != \
+            PlanCache.problem_key(budgeted)
+
+    def test_key_is_hashable(self):
+        hash(PlanCache.problem_key(make_problem()))
+
+    def test_get_or_plan_counts_hits(self):
+        cache = PlanCache(capacity=8)
+        key = PlanCache.problem_key(make_problem())
+        planned = []
+        for _ in range(3):
+            result = cache.get_or_plan(key,
+                                       lambda: planned.append(1) or "plan")
+        assert result == "plan"
+        assert len(planned) == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+
+class TestMuveCacheWiring:
+    """Counter-based proof that a repeated question skips executor and
+    planner work on a real pipeline."""
+
+    @pytest.fixture(scope="class")
+    def muve(self):
+        from repro import Database, Muve
+        from repro.datasets import make_nyc311_table
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=1500, seed=2))
+        return Muve(db, "nyc311", seed=1)
+
+    def test_repeat_question_hits_both_caches(self, muve):
+        muve.invalidate_caches()
+        question = "average resolution hours for borough Brooklyn"
+        first = muve.ask(question)
+        cold = muve.cache_stats()
+        assert cold["query_results"]["hits"] == 0
+        assert cold["query_results"]["misses"] > 0
+        second = muve.ask(question)
+        warm = muve.cache_stats()
+        assert warm["query_results"]["hits"] > 0
+        assert warm["plans"]["hits"] > 0
+        # No additional executions or plans happened on the warm pass.
+        assert warm["query_results"]["misses"] == \
+            cold["query_results"]["misses"]
+        assert warm["plans"]["misses"] == cold["plans"]["misses"]
+        assert second.to_text() == first.to_text()
+
+    def test_disabled_caching_has_no_caches(self):
+        from repro import Database, Muve
+        from repro.datasets import make_nyc311_table
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=800, seed=2))
+        muve = Muve(db, "nyc311", enable_caching=False)
+        muve.ask("count of requests for borough Queens")
+        assert muve.cache_stats() == {}
+        assert muve.result_cache is None

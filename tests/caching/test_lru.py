@@ -1,0 +1,232 @@
+"""Unit tests for the thread-safe LRU cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.caching import LruCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_missing_key_returns_default(self):
+        cache = LruCache(4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=42) == 42
+
+    def test_overwrite_keeps_single_entry(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(-1)
+
+
+class TestEvictionOrder:
+    def test_least_recently_used_evicted_first(self):
+        cache = LruCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.put("d", 4)  # evicts "a" (oldest, never touched)
+        assert "a" not in cache
+        assert list(cache.keys()) == ["b", "c", "d"]
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")     # "a" is now most recent; "b" is LRU
+        cache.put("d", 4)
+        assert "b" not in cache
+        assert "a" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh "a"; "b" is LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_eviction_counter(self):
+        cache = LruCache(2)
+        for i in range(5):
+            cache.put(i, i)
+        assert cache.stats.evictions == 3
+        assert cache.stats.size == 2
+
+
+class TestCapacityZero:
+    def test_nothing_is_stored(self):
+        cache = LruCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_every_lookup_is_a_miss(self):
+        cache = LruCache(0)
+        for _ in range(3):
+            assert cache.get_or_compute("k", lambda: "v") == "v"
+        stats = cache.stats
+        assert stats.hits == 0
+        assert stats.misses == 3
+        assert stats.size == 0
+        assert stats.hit_rate == 0.0
+
+    def test_no_evictions_counted(self):
+        cache = LruCache(0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats.evictions == 0
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_hits(self):
+        cache = LruCache(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 7)
+        assert value == 7
+        assert len(calls) == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_exception_propagates_and_does_not_wedge(self):
+        cache = LruCache(4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", self._boom)
+        # The key is retryable afterwards.
+        assert cache.get_or_compute("k", lambda: "ok") == "ok"
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("compute failed")
+
+    def test_stats_snapshot_fields(self):
+        cache = LruCache(8)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        stats = cache.stats
+        assert stats.requests == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.capacity == 8
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_coalesce_to_one_computation(self):
+        cache = LruCache(8)
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_compute():
+            calls.append(threading.get_ident())
+            entered.set()
+            release.wait(timeout=10)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_compute("k", slow_compute)))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        assert entered.wait(timeout=10)
+        time.sleep(0.05)   # let the other threads reach the wait
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert results == ["value"] * 8
+        assert len(calls) == 1, "stampede should compute exactly once"
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 7
+
+    def test_waiter_promoted_when_leader_fails(self):
+        cache = LruCache(8)
+        entered = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def failing_compute():
+            entered.set()
+            release.wait(timeout=10)
+            raise RuntimeError("leader died")
+
+        def leader():
+            try:
+                cache.get_or_compute("k", failing_compute)
+            except RuntimeError:
+                outcomes.append("raised")
+
+        def waiter():
+            outcomes.append(cache.get_or_compute("k", lambda: "recovered"))
+
+        first = threading.Thread(target=leader)
+        first.start()
+        assert entered.wait(timeout=10)
+        second = threading.Thread(target=waiter)
+        second.start()
+        time.sleep(0.05)
+        release.set()
+        first.join(timeout=10)
+        second.join(timeout=10)
+        assert "raised" in outcomes
+        assert "recovered" in outcomes
+
+
+class TestThreadHammer:
+    def test_mixed_workload_stays_consistent(self):
+        cache = LruCache(32)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(300):
+                    key = (worker_id * 7 + i) % 48
+                    value = cache.get_or_compute(key, lambda k=key: k * 2)
+                    assert value == key * 2
+                    if i % 13 == 0:
+                        cache.put(key, key * 2)
+                    if i % 29 == 0:
+                        cache.get(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats
+        assert stats.requests >= 8 * 300

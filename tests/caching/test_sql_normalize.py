@@ -1,0 +1,78 @@
+"""Tests for the lexical SQL normaliser behind cache keys."""
+
+import pytest
+
+from repro.caching import normalize_sql
+
+
+class TestWhitespaceAndCase:
+    def test_whitespace_runs_collapse(self):
+        assert normalize_sql("SELECT   COUNT(*)\n FROM\t nyc311") == \
+            "select count(*) from nyc311"
+
+    def test_leading_and_trailing_whitespace_stripped(self):
+        assert normalize_sql("  SELECT COUNT(*) FROM t  ") == \
+            "select count(*) from t"
+
+    def test_keyword_and_identifier_case_folded(self):
+        a = normalize_sql("SELECT AVG(Resolution_Hours) FROM NYC311")
+        b = normalize_sql("select avg(resolution_hours) from nyc311")
+        assert a == b
+
+    def test_equivalent_spellings_share_a_key(self):
+        variants = [
+            "SELECT COUNT(*) FROM nyc311 WHERE borough = 'Brooklyn'",
+            "select count(*) from nyc311 where borough = 'Brooklyn'",
+            "SELECT  COUNT(*)\nFROM nyc311\nWHERE borough   = 'Brooklyn'",
+            "SELECT COUNT(*) FROM nyc311 WHERE borough = 'Brooklyn';",
+        ]
+        keys = {normalize_sql(v) for v in variants}
+        assert len(keys) == 1
+
+
+class TestLiterals:
+    def test_literal_case_preserved(self):
+        sql = "SELECT COUNT(*) FROM t WHERE borough = 'Brooklyn'"
+        assert normalize_sql(sql).endswith("'Brooklyn'")
+
+    def test_different_literal_case_is_a_different_key(self):
+        a = normalize_sql("SELECT COUNT(*) FROM t WHERE b = 'Brooklyn'")
+        b = normalize_sql("SELECT COUNT(*) FROM t WHERE b = 'brooklyn'")
+        assert a != b
+
+    def test_whitespace_inside_literal_preserved(self):
+        sql = "SELECT COUNT(*) FROM t WHERE c = 'New  York   City'"
+        assert "'New  York   City'" in normalize_sql(sql)
+
+    def test_escaped_quote_preserved(self):
+        sql = "SELECT COUNT(*) FROM t WHERE c = 'O''Hare'"
+        assert "'O''Hare'" in normalize_sql(sql)
+
+    def test_uppercase_after_escaped_quote_still_in_literal(self):
+        # The SQL after the '' escape is still inside the literal and
+        # must not be case-folded.
+        sql = "SELECT COUNT(*) FROM t WHERE c = 'A''B' AND D = 1"
+        normalized = normalize_sql(sql)
+        assert "'A''B'" in normalized
+        assert " d = 1" in normalized
+
+
+class TestTrailingSemicolons:
+    @pytest.mark.parametrize("suffix", [";", " ;", ";;", "; ;"])
+    def test_trailing_semicolons_dropped(self, suffix):
+        base = "select count(*) from t"
+        assert normalize_sql("SELECT COUNT(*) FROM t" + suffix) == base
+
+    def test_semicolon_inside_literal_untouched(self):
+        sql = "SELECT COUNT(*) FROM t WHERE c = 'a;b'"
+        assert "'a;b'" in normalize_sql(sql)
+
+
+class TestStability:
+    def test_idempotent(self):
+        sql = "SELECT  AVG(x) FROM T WHERE b = 'Mixed Case'  ;"
+        once = normalize_sql(sql)
+        assert normalize_sql(once) == once
+
+    def test_empty_string(self):
+        assert normalize_sql("") == ""

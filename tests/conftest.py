@@ -13,6 +13,15 @@ from repro.sqldb.query import AggregateQuery
 from repro.sqldb.types import DataType
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark the paper-experiment regeneration suite ``slow`` — it
+    dominates the suite's runtime, so ``-m "not slow"`` gives a fast
+    development loop (see the Makefile's ``fast`` target)."""
+    for item in items:
+        if "tests/experiments/" in item.nodeid.replace("\\", "/"):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture()
 def emp_db() -> Database:
     """A tiny hand-built table with known contents."""

@@ -143,3 +143,46 @@ class TestTrendMode:
             "--query", "average arr delay for carrier Delta"])
         assert code == 1
         assert "error:" in output
+
+
+class TestLoadTestMode:
+    def test_fixed_question_load_test(self):
+        code, output = run_cli([
+            "--rows", "1500", "--planner", "greedy",
+            "--load-test", "12", "--workers", "4",
+            "--query", "average resolution hours for borough Brooklyn"])
+        assert code == 0
+        assert "12 ok, 0 failed" in output
+        assert "latency ms:" in output
+        assert "cache query_results:" in output
+        assert "cache plans:" in output
+
+    def test_workload_mix_load_test(self):
+        code, output = run_cli([
+            "--rows", "1500", "--planner", "greedy",
+            "--load-test", "6", "--workers", "2"])
+        assert code == 0
+        assert "6 ok, 0 failed" in output
+
+    def test_single_worker_load_test(self):
+        code, output = run_cli([
+            "--rows", "1500", "--planner", "greedy",
+            "--load-test", "3",
+            "--query", "count of requests for borough Queens"])
+        assert code == 0
+        assert "1 worker(s)" in output
+
+    def test_nonpositive_count_rejected(self):
+        code, output = run_cli([
+            "--rows", "1500", "--load-test", "0"])
+        assert code == 2
+        assert "error:" in output
+
+    def test_repeated_question_mostly_hits(self):
+        code, output = run_cli([
+            "--rows", "1500", "--planner", "greedy",
+            "--load-test", "10", "--workers", "4",
+            "--query", "maximum num calls for agency NYPD"])
+        assert code == 0
+        # 10 identical questions: after the cold one, everything hits.
+        assert "hit rate 9" in output or "hit rate 100%" in output

@@ -1,7 +1,9 @@
 """Tests for the browser demo server."""
 
+import concurrent.futures
 import http.client
 import json
+import time
 
 import pytest
 
@@ -105,6 +107,101 @@ class TestAsk:
             "question": "maximum num calls for agency NYPD"})
         payload = json.loads(raw)
         assert "row 0" in payload["text"]
+
+
+class TestParallelAsk:
+    """The server answers concurrent requests without a global lock."""
+
+    QUESTIONS = [
+        {"question": "average resolution hours for borough Brooklyn"},
+        {"question": "count of requests for borough Queens"},
+        {"question": "maximum num calls for agency NYPD"},
+        {"question": "average resolution hours for borough Bronx",
+         "voice": True},
+    ]
+
+    def _bodies(self, count):
+        return [self.QUESTIONS[i % len(self.QUESTIONS)]
+                for i in range(count)]
+
+    def test_16_simultaneous_asks_all_succeed(self, server):
+        bodies = self._bodies(16)
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=16) as pool:
+            outcomes = list(pool.map(
+                lambda body: request(server, "POST", "/api/ask", body),
+                bodies))
+        for status, raw in outcomes:
+            assert status == 200
+            payload = json.loads(raw)
+            assert payload["svg"].startswith("<svg")
+            assert payload["candidates"]
+        # The server is still up and serving afterwards.
+        status, _ = request(server, "GET", "/api/schema")
+        assert status == 200
+
+    def test_parallel_responses_byte_identical_to_serial(self, server):
+        bodies = self._bodies(16)
+        serial = [request(server, "POST", "/api/ask", body)[1]
+                  for body in self.QUESTIONS]
+        baseline = {json.dumps(body, sort_keys=True): raw
+                    for body, raw in zip(self.QUESTIONS, serial)}
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=16) as pool:
+            outcomes = list(pool.map(
+                lambda body: (body,
+                              request(server, "POST", "/api/ask", body)),
+                bodies))
+        for body, (status, raw) in outcomes:
+            assert status == 200
+            assert raw == baseline[json.dumps(body, sort_keys=True)], (
+                f"parallel answer for {body} differs byte-wise from the "
+                "serial baseline")
+
+    def test_stats_endpoint_reports_cache_hits(self, server):
+        body = {"question": "count of requests for agency DOT"}
+        for _ in range(2):
+            status, _ = request(server, "POST", "/api/ask", body)
+            assert status == 200
+        status, raw = request(server, "GET", "/api/stats")
+        assert status == 200
+        stats = json.loads(raw)
+        assert stats["responses"]["hits"] >= 1
+        assert set(stats) >= {"responses", "query_results", "plans"}
+        for counters in stats.values():
+            assert counters["hits"] + counters["misses"] >= 0
+            assert 0.0 <= counters["hit_rate"] <= 1.0
+
+    def test_cached_repeat_is_5x_faster_than_cold(self):
+        # Fresh server so the first request is genuinely cold.
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=4000, seed=9))
+        muve = Muve(db, "nyc311", seed=1,
+                    planner=VisualizationPlanner(strategy="greedy"))
+        demo = MuveDemoServer(muve, port=0)
+        demo.start()
+        body = {"question": "average resolution hours for borough "
+                            "Brooklyn"}
+        try:
+            begin = time.perf_counter()
+            status, cold_raw = request(demo, "POST", "/api/ask", body)
+            cold = time.perf_counter() - begin
+            assert status == 200
+            warm_times = []
+            for _ in range(5):
+                begin = time.perf_counter()
+                status, warm_raw = request(demo, "POST", "/api/ask", body)
+                warm_times.append(time.perf_counter() - begin)
+                assert status == 200
+                assert warm_raw == cold_raw
+            warm = min(warm_times)
+            status, raw = request(demo, "GET", "/api/stats")
+            assert json.loads(raw)["responses"]["hits"] >= 5
+            assert cold >= 5 * warm, (
+                f"cached repeat not >=5x faster: cold {cold * 1000:.1f} "
+                f"ms vs warm {warm * 1000:.1f} ms")
+        finally:
+            demo.shutdown()
 
 
 class TestTrendAsk:
