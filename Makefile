@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check fast concurrency bench
+.PHONY: check fast concurrency bench profile
 
 # The gating suite: the full test tree (tier 1), then the concurrency
 # and caching suites once more on their own.  Test-order randomisation
@@ -22,3 +22,9 @@ concurrency:
 
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
+
+# Tracing-overhead gate: run the load-test workload with tracing on and
+# off, print the per-stage profile, and fail if tracing costs more than
+# 5% wall-clock (threshold via MUVE_OVERHEAD_THRESHOLD).
+profile:
+	PYTHONPATH=src python scripts/check_overhead.py

@@ -1,0 +1,108 @@
+"""Tracing-overhead gate (``make profile``).
+
+Runs the same load-test workload twice in-process — tracing enabled and
+tracing disabled — and fails (exit 1) if the enabled run is more than
+5% slower.  This pins the observability layer's core promise: the
+disabled tracer is a no-op, and the enabled tracer stays within a small
+single-digit overhead budget on the serving path.
+
+Each configuration runs on a **fresh pipeline** (fresh caches) so both
+measure identical cold-cache work, and takes the best of three rounds so
+scheduler noise does not fail the gate spuriously.
+
+Environment knobs::
+
+    MUVE_OVERHEAD_THRESHOLD   allowed fractional overhead (default 0.05)
+    MUVE_PROFILE_REQUESTS     requests per round (default 50)
+    MUVE_PROFILE_ROWS         table rows (default 5000)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core.model import ScreenGeometry
+from repro.core.planner import VisualizationPlanner
+from repro.datasets.generators import DATASET_GENERATORS
+from repro.datasets.workload import WorkloadGenerator
+from repro.experiments.robustness import _speak
+from repro.muve import Muve
+from repro.observability import (
+    get_registry,
+    render_profile,
+    set_tracing_enabled,
+    tracing_enabled,
+)
+from repro.sqldb.database import Database
+
+ROUNDS = 3
+
+
+def build_muve(rows: int, seed: int = 0) -> Muve:
+    database = Database(seed=seed)
+    generator = DATASET_GENERATORS["nyc311"]
+    database.register_table(generator(num_rows=rows, seed=seed))
+    # The greedy planner keeps rounds fast; the tracer's relative cost is
+    # what is under test, not the solver.
+    return Muve(database, "nyc311", seed=seed,
+                geometry=ScreenGeometry(),
+                planner=VisualizationPlanner(strategy="greedy"))
+
+
+def questions_for(muve: Muve, count: int, seed: int = 0) -> list[str]:
+    table = muve.database.table(muve.table_name)
+    workload = WorkloadGenerator(table, seed=seed)
+    pool = [_speak(workload.random_query(exact_predicates=1))
+            for _ in range(min(count, 20))]
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def timed_round(rows: int, count: int) -> float:
+    """One cold-cache round: build, ask every question, report seconds."""
+    muve = build_muve(rows)
+    questions = questions_for(muve, count)
+    begin = time.perf_counter()
+    for question in questions:
+        muve.ask(question)
+    return time.perf_counter() - begin
+
+
+def best_of(rounds: int, rows: int, count: int) -> float:
+    return min(timed_round(rows, count) for _ in range(rounds))
+
+
+def main() -> int:
+    threshold = float(os.environ.get("MUVE_OVERHEAD_THRESHOLD", "0.05"))
+    count = int(os.environ.get("MUVE_PROFILE_REQUESTS", "50"))
+    rows = int(os.environ.get("MUVE_PROFILE_ROWS", "5000"))
+    previous = tracing_enabled()
+    try:
+        set_tracing_enabled(True)
+        get_registry().reset()
+        traced = best_of(ROUNDS, rows, count)
+        profile = render_profile()
+        set_tracing_enabled(False)
+        untraced = best_of(ROUNDS, rows, count)
+    finally:
+        set_tracing_enabled(previous)
+
+    overhead = traced / untraced - 1.0 if untraced > 0 else 0.0
+    print(profile)
+    print()
+    print(f"wall-clock for {count} requests (best of {ROUNDS}): "
+          f"traced {traced * 1000:.1f} ms, "
+          f"untraced {untraced * 1000:.1f} ms")
+    print(f"tracing overhead: {overhead:+.1%} "
+          f"(budget {threshold:.0%})")
+    if overhead > threshold:
+        print("FAIL: tracing overhead exceeds the budget",
+              file=sys.stderr)
+        return 1
+    print("OK: tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,13 @@ from repro.core.model import Multiplot, Plot, ScreenGeometry
 from repro.core.planner import VisualizationPlanner
 from repro.core.problem import MultiplotSelectionProblem
 from repro.muve import Muve, MuveResponse
+from repro.observability import (
+    MetricsRegistry,
+    get_registry,
+    get_trace_log,
+    render_profile,
+    trace_span,
+)
 from repro.session import MuveSession
 from repro.nlq.candidates import CandidateQuery
 from repro.sqldb.database import Database
@@ -37,6 +44,7 @@ __all__ = [
     "CandidateQuery",
     "Database",
     "LruCache",
+    "MetricsRegistry",
     "Multiplot",
     "MultiplotSelectionProblem",
     "Muve",
@@ -49,4 +57,8 @@ __all__ = [
     "UserCostModel",
     "VisualizationPlanner",
     "__version__",
+    "get_registry",
+    "get_trace_log",
+    "render_profile",
+    "trace_span",
 ]

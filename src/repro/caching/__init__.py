@@ -10,7 +10,11 @@ The package provides three layers:
   :class:`~repro.core.planner.VisualizationPlanner`.
 """
 
-from repro.caching.caches import PlanCache, QueryResultCache
+from repro.caching.caches import (
+    PlanCache,
+    QueryResultCache,
+    register_cache_metrics,
+)
 from repro.caching.lru import CacheStats, LruCache
 from repro.caching.sql import normalize_sql
 
@@ -20,4 +24,5 @@ __all__ = [
     "PlanCache",
     "QueryResultCache",
     "normalize_sql",
+    "register_cache_metrics",
 ]

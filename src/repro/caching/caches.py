@@ -23,7 +23,34 @@ from repro.caching.sql import normalize_sql
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards for type hints
     from repro.core.problem import MultiplotSelectionProblem
+    from repro.observability import MetricsRegistry
     from repro.sqldb.database import QueryResult
+
+
+def register_cache_metrics(registry: "MetricsRegistry", cache_name: str,
+                           cache) -> None:
+    """Expose a cache's hit/miss/eviction counters as live gauges.
+
+    The gauges pull from ``cache.stats`` at read time, so the registry
+    snapshot always reflects the current counters without the cache
+    pushing updates.  Re-registering the same ``cache_name`` (e.g. after
+    rebuilding a pipeline) replaces the callbacks.
+    """
+    registry.register_gauge("cache_hits",
+                            lambda: float(cache.stats.hits),
+                            cache=cache_name)
+    registry.register_gauge("cache_misses",
+                            lambda: float(cache.stats.misses),
+                            cache=cache_name)
+    registry.register_gauge("cache_evictions",
+                            lambda: float(cache.stats.evictions),
+                            cache=cache_name)
+    registry.register_gauge("cache_size",
+                            lambda: float(cache.stats.size),
+                            cache=cache_name)
+    registry.register_gauge("cache_hit_rate",
+                            lambda: cache.stats.hit_rate,
+                            cache=cache_name)
 
 
 class QueryResultCache:

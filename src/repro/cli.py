@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="concurrent threads for --load-test "
                              "(default: 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-stage latency breakdown from "
+                             "the tracer after --load-test or --query")
+    parser.add_argument("--access-log", action="store_true",
+                        help="with --serve: write one JSON line per "
+                             "HTTP request to stderr")
     return parser
 
 
@@ -168,6 +174,9 @@ def run_load_test(muve: Muve, args: argparse.Namespace, out) -> int:
         print(f"cache {name}: {counters['hits']:.0f} hits / "
               f"{counters['misses']:.0f} misses "
               f"(hit rate {counters['hit_rate']:.0%})", file=out)
+    if args.profile:
+        from repro.observability import render_profile
+        print(render_profile(muve.metrics), file=out)
     return 0 if errors == 0 else 1
 
 
@@ -253,7 +262,8 @@ def main(argv: Sequence[str] | None = None, *, stdin=None,
 
     if args.serve is not None:
         from repro.demo import MuveDemoServer
-        demo = MuveDemoServer(muve, port=args.serve)
+        demo = MuveDemoServer(muve, port=args.serve,
+                              access_log=args.access_log)
         print(f"MUVE demo on {demo.url} (Ctrl-C to stop)", file=out)
         try:
             demo.serve_forever()
@@ -270,6 +280,9 @@ def main(argv: Sequence[str] | None = None, *, stdin=None,
         except ReproError as exc:
             print(f"error: {exc}", file=out)
             return 1
+        if args.profile:
+            from repro.observability import render_profile
+            print(render_profile(muve.metrics), file=out)
         return 0
 
     print(f"MUVE on {args.dataset} ({args.rows} rows). Ask questions in "

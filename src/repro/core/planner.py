@@ -16,6 +16,7 @@ from repro.core.ilp import IlpSolver, ProcessingGroup
 from repro.core.model import Multiplot
 from repro.core.problem import MultiplotSelectionProblem
 from repro.errors import PlanningError, SolverError
+from repro.observability import current_span, trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.caching import PlanCache
@@ -70,13 +71,31 @@ class VisualizationPlanner:
              processing_groups: list[ProcessingGroup] | None = None,
              ) -> PlannerResult:
         """Plan a multiplot for *problem* (through the cache when set)."""
-        if self.plan_cache is None:
-            return self._plan_uncached(problem, processing_groups)
-        key = (self.strategy, self.timeout_seconds, self._ilp.backend,
-               self._greedy.epsilon,
-               self.plan_cache.problem_key(problem, processing_groups))
-        return self.plan_cache.get_or_plan(
-            key, lambda: self._plan_uncached(problem, processing_groups))
+        with trace_span("planner.plan") as span:
+            span.set_attribute("strategy", self.strategy)
+            span.set_attribute("candidates", len(problem.candidates))
+            if self.plan_cache is None:
+                result = self._plan_uncached(problem, processing_groups)
+                span.set_attribute("cache", "off")
+            else:
+                key = (self.strategy, self.timeout_seconds,
+                       self._ilp.backend, self._greedy.epsilon,
+                       self.plan_cache.problem_key(problem,
+                                                   processing_groups))
+                computed = False
+
+                def compute() -> PlannerResult:
+                    nonlocal computed
+                    computed = True
+                    return self._plan_uncached(problem, processing_groups)
+
+                result = self.plan_cache.get_or_plan(key, compute)
+                span.set_attribute("cache",
+                                   "miss" if computed else "hit")
+            span.set_attribute("solver", result.solver_name)
+            span.set_attribute("expected_cost",
+                               round(result.expected_cost, 3))
+            return result
 
     def _plan_uncached(self, problem: MultiplotSelectionProblem,
                        processing_groups: list[ProcessingGroup] | None,
@@ -89,34 +108,48 @@ class VisualizationPlanner:
         try:
             ilp_result = self._plan_ilp(problem, processing_groups)
         except SolverError:
+            current_span().set_attribute("decision",
+                                         "greedy (ilp failed)")
             return greedy_result
         if ilp_result.expected_cost <= greedy_result.expected_cost:
+            # The "best" strategy upgrade: the ILP beat (or matched) the
+            # greedy incumbent within its budget.
+            current_span().set_attribute("decision", "ilp upgrade")
             return ilp_result
+        current_span().set_attribute("decision", "greedy kept")
         return greedy_result
 
     def _plan_greedy(self, problem: MultiplotSelectionProblem,
                      ) -> PlannerResult:
-        solution = self._greedy.solve(problem)
-        return PlannerResult(
-            multiplot=solution.multiplot,
-            expected_cost=solution.expected_cost,
-            solver_name="greedy",
-            elapsed_seconds=solution.elapsed_seconds,
-            optimal=False,
-            timed_out=False,
-        )
+        with trace_span("planner.greedy") as span:
+            solution = self._greedy.solve(problem)
+            span.set_attribute("expected_cost",
+                               round(solution.expected_cost, 3))
+            return PlannerResult(
+                multiplot=solution.multiplot,
+                expected_cost=solution.expected_cost,
+                solver_name="greedy",
+                elapsed_seconds=solution.elapsed_seconds,
+                optimal=False,
+                timed_out=False,
+            )
 
     def _plan_ilp(self, problem: MultiplotSelectionProblem,
                   processing_groups: list[ProcessingGroup] | None,
                   ) -> PlannerResult:
-        start = time.perf_counter()
-        solution = self._ilp.solve(problem,
-                                   processing_groups=processing_groups)
-        return PlannerResult(
-            multiplot=solution.multiplot,
-            expected_cost=solution.expected_cost,
-            solver_name=f"ilp-{self._ilp.backend}",
-            elapsed_seconds=time.perf_counter() - start,
-            optimal=solution.optimal,
-            timed_out=solution.timed_out,
-        )
+        with trace_span("planner.ilp", backend=self._ilp.backend) as span:
+            start = time.perf_counter()
+            solution = self._ilp.solve(problem,
+                                       processing_groups=processing_groups)
+            span.set_attribute("expected_cost",
+                               round(solution.expected_cost, 3))
+            span.set_attribute("optimal", solution.optimal)
+            span.set_attribute("timed_out", solution.timed_out)
+            return PlannerResult(
+                multiplot=solution.multiplot,
+                expected_cost=solution.expected_cost,
+                solver_name=f"ilp-{self._ilp.backend}",
+                elapsed_seconds=time.perf_counter() - start,
+                optimal=solution.optimal,
+                timed_out=solution.timed_out,
+            )

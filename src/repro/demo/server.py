@@ -5,9 +5,18 @@ Endpoints:
 * ``GET /`` — the single-page UI.
 * ``GET /api/schema`` — table name and columns (for autocomplete/help).
 * ``GET /api/stats`` — cache hit/miss counters of the serving path.
+* ``GET /api/metrics`` — the process metrics registry: JSON snapshot by
+  default, the Prometheus text exposition format with
+  ``?format=prometheus``.
+* ``GET /api/traces`` — the most recent request traces from the ring
+  buffer (``?n=`` limits, ``?format=jsonl`` emits one trace per line).
 * ``POST /api/ask`` — body ``{"question": str, "voice": bool,
   "trend": bool}``; returns transcript, seed SQL, planner info, the
   candidate distribution, the rendered SVG and the terminal rendering.
+  With ``?trace=1`` (or ``"trace": true`` in the body) the response also
+  carries the full span tree of its own execution under ``"trace"``;
+  traced requests bypass the response cache so the tree reflects real
+  pipeline work.
 
 The server runs on a background thread (``ThreadingHTTPServer``) and
 handles requests **concurrently**: the MUVE pipeline is thread-safe
@@ -17,27 +26,55 @@ Answers are additionally memoised in a response cache keyed on
 ``(question, voice, trend)`` — the pipeline is deterministic per question,
 so a repeated question is served straight from memory, and a stampede of
 identical questions computes once (single-flight).
+
+Every request — including ones that fail — is measured into the metrics
+registry (``http_request_ms``, ``http_requests``, ``errors``), and with
+``access_log=True`` each is also written as one JSON line (method, path,
+status, duration) to the configured stream.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.caching import LruCache
 from repro.demo.page import PAGE
 from repro.errors import ReproError
 from repro.muve import Muve
+from repro.observability import (
+    StructuredLogger,
+    get_trace_log,
+    trace_span,
+)
+
+#: Paths that become the ``path`` label on HTTP metrics.  Everything else
+#: is folded into ``other`` so typo-scanning traffic cannot blow up the
+#: label cardinality.
+_KNOWN_PATHS = ("/", "/api/ask", "/api/schema", "/api/stats",
+                "/api/metrics", "/api/traces")
 
 
 class MuveDemoServer:
-    """Serves one :class:`Muve` instance to a browser."""
+    """Serves one :class:`Muve` instance to a browser.
+
+    ``access_log=True`` enables structured access logging (one JSON line
+    per request to ``access_log_stream``, default stderr); it is off by
+    default so tests and the REPL stay quiet.
+    """
 
     def __init__(self, muve: Muve, host: str = "127.0.0.1",
                  port: int = 0,
-                 response_cache_size: int = 128) -> None:
+                 response_cache_size: int = 128,
+                 access_log: bool = False,
+                 access_log_stream=None) -> None:
         self.muve = muve
+        self.metrics = muve.metrics
+        self.access_log = StructuredLogger(stream=access_log_stream,
+                                           enabled=access_log)
         self._responses = LruCache(response_cache_size)
         handler = _make_handler(self)
         self._http = ThreadingHTTPServer((host, port), handler)
@@ -74,15 +111,38 @@ class MuveDemoServer:
 
     # ------------------------------------------------------------------
 
-    def handle_ask(self, payload: dict) -> dict:
+    def handle_ask(self, payload: dict,
+                   want_trace: bool = False) -> dict:
         question = str(payload.get("question", "")).strip()
         if not question:
             raise ReproError("empty question")
         voice = bool(payload.get("voice", False))
         trend = bool(payload.get("trend", False))
+        if want_trace or payload.get("trace"):
+            return self._answer_traced(question, voice, trend)
         return self._responses.get_or_compute(
             (question, voice, trend),
             lambda: self._answer(question, voice, trend))
+
+    def _answer_traced(self, question: str, voice: bool,
+                       trend: bool) -> dict:
+        """Answer under a root ``request`` span and attach its tree.
+
+        Bypasses the response cache: a cached answer would produce an
+        empty trace, and the whole point of ``?trace=1`` is to see where
+        the time of a real pipeline run goes.
+        """
+        with trace_span("request", path="/api/ask") as root:
+            root.set_attribute("question", question)
+            result = dict(self._answer(question, voice, trend))
+        # Identify our trace in the ring buffer by root-span identity; a
+        # concurrent traced request may have appended after ours, so scan
+        # a small tail window rather than only the newest entry.
+        for trace in reversed(get_trace_log().tail(16)):
+            if trace.root is root:
+                result["trace"] = trace.to_dict()
+                break
+        return result
 
     def _answer(self, question: str, voice: bool, trend: bool) -> dict:
         if trend:
@@ -96,8 +156,8 @@ class MuveDemoServer:
                     {"sql": c.query.to_sql(),
                      "probability": c.probability}
                     for c in response.candidates],
-                "svg": response.to_svg(),
-                "text": response.to_text(),
+                "svg": self._render_svg(response),
+                "text": self._render_text(response),
             }
         if voice:
             response = self.muve.ask_voice(question)
@@ -113,9 +173,21 @@ class MuveDemoServer:
             "candidates": [
                 {"sql": c.query.to_sql(), "probability": c.probability}
                 for c in response.candidates],
-            "svg": response.to_svg(),
-            "text": response.to_text(),
+            "svg": self._render_svg(response),
+            "text": self._render_text(response),
         }
+
+    def _render_svg(self, response) -> str:
+        with trace_span("render.svg") as span:
+            svg = response.to_svg()
+            span.set_attribute("bytes", len(svg))
+            return svg
+
+    def _render_text(self, response) -> str:
+        with trace_span("render.text") as span:
+            text = response.to_text()
+            span.set_attribute("bytes", len(text))
+            return text
 
     def handle_schema(self) -> dict:
         table = self.muve.database.table(self.muve.table_name)
@@ -141,11 +213,16 @@ class MuveDemoServer:
 
 def _make_handler(server: MuveDemoServer):
     class Handler(BaseHTTPRequestHandler):
-        def log_message(self, *args) -> None:  # silence request logging
+        _status: int = 0
+
+        def log_message(self, *args) -> None:
+            # The default hostname-resolving stderr log is replaced by
+            # the structured access log written in _handle().
             pass
 
         def _send(self, status: int, body: bytes,
                   content_type: str) -> None:
+            self._status = status
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
@@ -156,19 +233,83 @@ def _make_handler(server: MuveDemoServer):
             self._send(status, json.dumps(payload).encode("utf-8"),
                        "application/json; charset=utf-8")
 
-        def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            if self.path in ("/", "/index.html"):
+        def _send_text(self, status: int, text: str) -> None:
+            self._send(status, text.encode("utf-8"),
+                       "text/plain; charset=utf-8")
+
+        # --------------------------------------------------------------
+
+        def _handle(self, method: str, route) -> None:
+            """Run one request with timing, metrics and error mapping.
+
+            Domain errors (:class:`ReproError`) map to 400 with the
+            message; anything else maps to a 500 JSON error (never a
+            stack trace down a closed socket) and an ``errors`` counter
+            increment carrying the exception type.
+            """
+            path = urlsplit(self.path).path
+            label = path if path in _KNOWN_PATHS else "other"
+            started = time.perf_counter()
+            try:
+                route(path)
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except BrokenPipeError:  # pragma: no cover - client gone
+                self._status = self._status or 499
+            except Exception as exc:  # noqa: BLE001 - last-resort handler
+                server.metrics.counter(
+                    "errors", where="http",
+                    type=type(exc).__name__).inc()
+                self._send_json(500, {
+                    "error": f"internal error: {type(exc).__name__}: "
+                             f"{exc}"})
+            duration_ms = (time.perf_counter() - started) * 1000.0
+            server.metrics.histogram(
+                "http_request_ms", method=method, path=label,
+            ).observe(duration_ms)
+            server.metrics.counter(
+                "http_requests", method=method, path=label,
+                status=str(self._status)).inc()
+            server.access_log.log(
+                "http_request", method=method, path=self.path,
+                status=self._status, duration_ms=round(duration_ms, 3))
+
+        def _query(self) -> dict[str, list[str]]:
+            return parse_qs(urlsplit(self.path).query)
+
+        def _route_get(self, path: str) -> None:
+            if path in ("/", "/index.html"):
                 self._send(200, PAGE.encode("utf-8"),
                            "text/html; charset=utf-8")
-            elif self.path == "/api/schema":
+            elif path == "/api/schema":
                 self._send_json(200, server.handle_schema())
-            elif self.path == "/api/stats":
+            elif path == "/api/stats":
                 self._send_json(200, server.handle_stats())
+            elif path == "/api/metrics":
+                query = self._query()
+                if query.get("format", [""])[-1] == "prometheus":
+                    self._send_text(
+                        200, server.metrics.render_prometheus())
+                else:
+                    self._send_json(200, server.metrics.snapshot())
+            elif path == "/api/traces":
+                query = self._query()
+                try:
+                    limit = int(query.get("n", ["20"])[-1])
+                except ValueError:
+                    raise ReproError("?n= must be an integer") from None
+                log = get_trace_log()
+                if query.get("format", [""])[-1] == "jsonl":
+                    self._send_text(200, log.to_jsonl(limit))
+                else:
+                    self._send_json(200, {
+                        "traces": [trace.to_dict()
+                                   for trace in log.tail(limit)]})
             else:
                 self._send_json(404, {"error": "not found"})
 
-        def do_POST(self) -> None:  # noqa: N802 (http.server API)
-            if self.path != "/api/ask":
+        def _route_post(self, path: str) -> None:
+            if path != "/api/ask":
                 self._send_json(404, {"error": "not found"})
                 return
             length = int(self.headers.get("Content-Length", "0"))
@@ -178,9 +319,15 @@ def _make_handler(server: MuveDemoServer):
             except (UnicodeDecodeError, json.JSONDecodeError):
                 self._send_json(400, {"error": "invalid JSON body"})
                 return
-            try:
-                self._send_json(200, server.handle_ask(payload))
-            except ReproError as exc:
-                self._send_json(400, {"error": str(exc)})
+            want_trace = self._query().get(
+                "trace", ["0"])[-1] not in ("", "0", "false")
+            self._send_json(
+                200, server.handle_ask(payload, want_trace=want_trace))
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._handle("GET", self._route_get)
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            self._handle("POST", self._route_post)
 
     return Handler

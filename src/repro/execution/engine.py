@@ -15,6 +15,7 @@ from repro.execution.progressive import (
     _fill_values,
 )
 from repro.execution.merging import plan_execution
+from repro.observability import trace_span
 from repro.sqldb.database import Database
 from repro.sqldb.query import AggregateQuery
 
@@ -61,8 +62,19 @@ class MuveExecutor:
     def run(self, multiplot: Multiplot,
             strategy: ProcessingStrategy | None = None,
             ) -> list[VisualizationUpdate]:
-        """Execute and collect all updates (the common non-streaming path)."""
-        return list(self.stream(multiplot, strategy))
+        """Execute and collect all updates (the common non-streaming path).
+
+        The whole execution runs inside one ``executor.run`` span (the
+        streaming path is left unspanned: a span may not stay open
+        across ``yield`` without risking cross-context teardown)."""
+        strategy = strategy or DefaultProcessing()
+        with trace_span("executor.run") as span:
+            span.set_attribute("strategy", strategy.name)
+            updates = list(self.stream(multiplot, strategy))
+            span.set_attribute("updates", len(updates))
+            span.set_attribute(
+                "queries", len(list(multiplot.displayed_queries())))
+            return updates
 
     def stream(self, multiplot: Multiplot,
                strategy: ProcessingStrategy | None = None,
@@ -86,29 +98,32 @@ class MuveExecutor:
         seen in earlier steps are cached), so later steps mostly pay
         optimisation time.
         """
-        start = time.perf_counter()
-        updates: list[VisualizationUpdate] = []
-        cache: dict[AggregateQuery, float | None] = {}
-        steps = list(incremental_solve(
-            problem, solver=solver, initial_timeout=initial_timeout,
-            growth_factor=growth_factor, total_budget=total_budget))
-        for index, step in enumerate(steps):
-            if not step.improved and index < len(steps) - 1:
-                continue
-            multiplot = step.solution.multiplot
-            missing = [q for q in multiplot.displayed_queries()
-                       if q not in cache]
-            if missing:
-                plan = plan_execution(self._database, missing,
-                                      merge=self._merge)
-                cache.update(plan.run(self._database,
-                                      cache=self.result_cache))
-            updates.append(VisualizationUpdate(
-                elapsed_seconds=time.perf_counter() - start,
-                multiplot=_fill_values(multiplot, cache),
-                final=index == len(steps) - 1,
-                approximate=False,
-                description=(f"ilp-inc step {step.step} "
-                             f"(timeout {step.timeout_seconds * 1000:.0f} ms)"),
-            ))
-        return updates
+        with trace_span("executor.ilp_inc") as span:
+            start = time.perf_counter()
+            updates: list[VisualizationUpdate] = []
+            cache: dict[AggregateQuery, float | None] = {}
+            steps = list(incremental_solve(
+                problem, solver=solver, initial_timeout=initial_timeout,
+                growth_factor=growth_factor, total_budget=total_budget))
+            for index, step in enumerate(steps):
+                if not step.improved and index < len(steps) - 1:
+                    continue
+                multiplot = step.solution.multiplot
+                missing = [q for q in multiplot.displayed_queries()
+                           if q not in cache]
+                if missing:
+                    plan = plan_execution(self._database, missing,
+                                          merge=self._merge)
+                    cache.update(plan.run(self._database,
+                                          cache=self.result_cache))
+                updates.append(VisualizationUpdate(
+                    elapsed_seconds=time.perf_counter() - start,
+                    multiplot=_fill_values(multiplot, cache),
+                    final=index == len(steps) - 1,
+                    approximate=False,
+                    description=(f"ilp-inc step {step.step} "
+                                 f"(timeout {step.timeout_seconds * 1000:.0f} ms)"),
+                ))
+            span.set_attribute("steps", len(steps))
+            span.set_attribute("updates", len(updates))
+            return updates

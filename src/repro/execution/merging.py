@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ExecutionError
+from repro.observability import trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.caching import QueryResultCache
@@ -74,17 +75,44 @@ class ExecutionPlan:
             sql = group.sql
             if sample_fraction is not None and sample_fraction < 1.0:
                 sql = _with_sample(sql, sample_fraction)
-            try:
-                if cache is not None:
-                    outcome = cache.get_or_execute(sql, database.execute)
-                else:
-                    outcome = database.execute(sql)
-            except ExecutionError:
-                # Aggregate over zero qualifying rows (SQL NULL): report
-                # every member query as missing/zero.
-                for query in group.queries:
-                    results[query] = _normalize(query, None)
-                continue
+            with trace_span("executor.group") as span:
+                span.set_attribute("queries", len(group.queries))
+                span.set_attribute("merged", group.is_merged)
+                span.set_attribute("estimated_cost",
+                                   round(group.estimated_cost, 3))
+                executed = True
+                try:
+                    if cache is not None:
+                        executed = False
+
+                        def execute(text: str):
+                            nonlocal executed
+                            executed = True
+                            return database.execute(text)
+
+                        outcome = cache.get_or_execute(sql, execute)
+                        span.set_attribute(
+                            "cache", "miss" if executed else "hit")
+                    else:
+                        outcome = database.execute(sql)
+                except ExecutionError:
+                    # Aggregate over zero qualifying rows (SQL NULL):
+                    # report every member query as missing/zero.
+                    span.set_attribute("null_result", True)
+                    for query in group.queries:
+                        results[query] = _normalize(query, None)
+                    continue
+                if executed:
+                    # Cost-model estimation error: the optimizer's
+                    # EXPLAIN estimate (abstract units) vs. the
+                    # measured runtime.  Cache hits skip this — their
+                    # elapsed time belongs to the original execution.
+                    actual_ms = outcome.elapsed_seconds * 1000.0
+                    span.set_attribute("actual_ms", round(actual_ms, 4))
+                    if group.estimated_cost > 0:
+                        span.set_attribute(
+                            "ms_per_cost_unit",
+                            round(actual_ms / group.estimated_cost, 6))
             _extract_group_results(group, outcome, results)
         return results
 

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro.core.model import Multiplot, Plot
 from repro.errors import ExecutionError
 from repro.execution.merging import plan_execution
+from repro.observability import trace_span
 from repro.sqldb.database import Database
 from repro.sqldb.query import AggregateQuery
 from repro.sqldb.sampling import scale_aggregate
@@ -57,6 +58,21 @@ def _fill_values(multiplot: Multiplot,
     return Multiplot(tuple(rows))
 
 
+def _plan_with_span(database: Database, queries: list[AggregateQuery],
+                    merge: bool):
+    """``plan_execution`` inside an ``executor.merge_plan`` span carrying
+    the merge decision summary (group counts, estimated costs)."""
+    with trace_span("executor.merge_plan") as span:
+        plan = plan_execution(database, queries, merge=merge)
+        span.set_attribute("queries", len(queries))
+        span.set_attribute("groups", len(plan.groups))
+        span.set_attribute("merged_groups",
+                           sum(1 for g in plan.groups if g.is_merged))
+        span.set_attribute("estimated_cost",
+                           round(plan.estimated_cost, 3))
+        return plan
+
+
 class ProcessingStrategy:
     """Interface: yield visualization updates for a planned multiplot.
 
@@ -86,15 +102,20 @@ class DefaultProcessing(ProcessingStrategy):
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         queries = list(multiplot.displayed_queries())
-        plan = plan_execution(database, queries, merge=merge)
-        results = plan.run(database, cache=cache)
-        yield VisualizationUpdate(
-            elapsed_seconds=time.perf_counter() - start,
-            multiplot=_fill_values(multiplot, results),
-            final=True,
-            approximate=False,
-            description="default: all queries processed",
-        )
+        plan = _plan_with_span(database, queries, merge)
+        # The span closes before the yield: an open span across a yield
+        # would tear down in the consumer's context.
+        with trace_span("executor.update", final=True) as span:
+            results = plan.run(database, cache=cache)
+            update = VisualizationUpdate(
+                elapsed_seconds=time.perf_counter() - start,
+                multiplot=_fill_values(multiplot, results),
+                final=True,
+                approximate=False,
+                description="default: all queries processed",
+            )
+            span.set_attribute("groups", len(plan.groups))
+        yield update
 
 
 class IncrementalPlotting(ProcessingStrategy):
@@ -127,19 +148,24 @@ class IncrementalPlotting(ProcessingStrategy):
         results: dict[AggregateQuery, float | None] = {}
         shown: set[int] = set()
         for step, (index, plot) in enumerate(plots):
-            queries = [bar.query for bar in plot.bars
-                       if bar.query not in results]
-            if queries:
-                plan = plan_execution(database, queries, merge=merge)
-                results.update(plan.run(database, cache=cache))
-            shown.add(index)
-            yield VisualizationUpdate(
-                elapsed_seconds=time.perf_counter() - start,
-                multiplot=_fill_values(multiplot, results, shown),
-                final=step == len(plots) - 1,
-                approximate=False,
-                description=f"incremental: plot {step + 1}/{len(plots)}",
-            )
+            with trace_span("executor.update",
+                            step=step + 1, of=len(plots)) as span:
+                queries = [bar.query for bar in plot.bars
+                           if bar.query not in results]
+                if queries:
+                    plan = _plan_with_span(database, queries, merge)
+                    results.update(plan.run(database, cache=cache))
+                span.set_attribute("new_queries", len(queries))
+                shown.add(index)
+                update = VisualizationUpdate(
+                    elapsed_seconds=time.perf_counter() - start,
+                    multiplot=_fill_values(multiplot, results, shown),
+                    final=step == len(plots) - 1,
+                    approximate=False,
+                    description=(f"incremental: plot "
+                                 f"{step + 1}/{len(plots)}"),
+                )
+            yield update
         if not plots:
             yield VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
@@ -227,33 +253,40 @@ class ApproximateProcessing(ProcessingStrategy):
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         queries = list(multiplot.displayed_queries())
-        plan = plan_execution(database, queries, merge=merge)
+        plan = _plan_with_span(database, queries, merge)
         if self.fraction is None:
             fraction = self._dynamic_fraction(database, queries)
         else:
             fraction = self.fraction
 
         if fraction < 1.0:
-            raw = plan.run(database, sample_fraction=fraction,
-                           cache=cache)
-            scaled = {
-                query: (None if value is None else
-                        scale_aggregate(query.aggregate.func, value,
-                                        fraction))
-                for query, value in raw.items()
-            }
-            yield VisualizationUpdate(
+            with trace_span("executor.update", approximate=True) as span:
+                span.set_attribute("sample_fraction", round(fraction, 6))
+                raw = plan.run(database, sample_fraction=fraction,
+                               cache=cache)
+                scaled = {
+                    query: (None if value is None else
+                            scale_aggregate(query.aggregate.func, value,
+                                            fraction))
+                    for query, value in raw.items()
+                }
+                update = VisualizationUpdate(
+                    elapsed_seconds=time.perf_counter() - start,
+                    multiplot=_fill_values(multiplot, scaled),
+                    final=False,
+                    approximate=True,
+                    description=(f"approximate: "
+                                 f"{fraction * 100:.2f}% sample"),
+                )
+            yield update
+        with trace_span("executor.update", final=True) as span:
+            results = plan.run(database, cache=cache)
+            update = VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
-                multiplot=_fill_values(multiplot, scaled),
-                final=False,
-                approximate=True,
-                description=(f"approximate: {fraction * 100:.2f}% sample"),
+                multiplot=_fill_values(multiplot, results),
+                final=True,
+                approximate=False,
+                description="precise results",
             )
-        results = plan.run(database, cache=cache)
-        yield VisualizationUpdate(
-            elapsed_seconds=time.perf_counter() - start,
-            multiplot=_fill_values(multiplot, results),
-            final=True,
-            approximate=False,
-            description="precise results",
-        )
+            span.set_attribute("groups", len(plan.groups))
+        yield update

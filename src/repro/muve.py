@@ -7,17 +7,21 @@ planning -> (merged / progressive) query execution -> rendering.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.caching import PlanCache, QueryResultCache
+from repro.caching import PlanCache, QueryResultCache, register_cache_metrics
 from repro.core.model import Multiplot, ScreenGeometry
 from repro.core.planner import PlannerResult, VisualizationPlanner
 from repro.core.problem import MultiplotSelectionProblem
+from repro.errors import ReproError
 from repro.execution.engine import MuveExecutor, VisualizationUpdate
 from repro.execution.progressive import ProcessingStrategy
 from repro.nlq.candidates import CandidateGenerator, CandidateQuery
 from repro.nlq.speech import SpeechSimulator, build_default_vocabulary
 from repro.nlq.text_to_sql import TextToSql
+from repro.observability import MetricsRegistry, get_registry, trace_span
 from repro.sqldb.database import Database
 from repro.sqldb.query import AggregateQuery
 from repro.viz.svg import render_svg
@@ -67,6 +71,11 @@ class MuveResponse:
     @property
     def multiplot(self) -> Multiplot:
         """The final multiplot with query results filled in."""
+        if not self.updates:
+            raise ReproError(
+                "response carries no visualization updates (the "
+                "processing strategy produced none), so there is no "
+                "multiplot to show")
         return self.updates[-1].multiplot
 
     def to_text(self) -> str:
@@ -99,10 +108,19 @@ class Muve:
         (unless the planner already carries one).  Repeated questions then
         skip query execution and multiplot planning.  Disable for
         benchmarks that must measure cold work every time.
+    metrics:
+        The :class:`~repro.observability.MetricsRegistry` receiving
+        request counters/latency histograms and the cache gauges;
+        defaults to the process-wide registry.
 
     One instance is safe to share across threads: the pipeline components
     hold no per-request state, randomness is derived per call, and the
     caches are thread-safe.  See DESIGN.md, "Concurrency model".
+
+    Every ask is traced (see DESIGN.md, "Observability"): the pipeline
+    stages run inside nested :func:`~repro.observability.trace_span`
+    blocks, so callers that open a root span around an ask get the full
+    per-stage breakdown in their trace.
     """
 
     def __init__(self, database: Database, table_name: str,
@@ -112,7 +130,8 @@ class Muve:
                  word_error_rate: float = 0.15,
                  processing_aware: bool = False,
                  seed: int = 0,
-                 enable_caching: bool = True) -> None:
+                 enable_caching: bool = True,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.database = database
         self.table_name = database.table(table_name).schema.name
         self.geometry = geometry or ScreenGeometry()
@@ -135,6 +154,13 @@ class Muve:
             self.planner.plan_cache = PlanCache()
         self._executor = MuveExecutor(database,
                                       result_cache=self.result_cache)
+        self.metrics = metrics if metrics is not None else get_registry()
+        if self.result_cache is not None:
+            register_cache_metrics(self.metrics, "query_results",
+                                   self.result_cache)
+        if self.planner.plan_cache is not None:
+            register_cache_metrics(self.metrics, "plans",
+                                   self.planner.plan_cache)
 
     # ------------------------------------------------------------------
 
@@ -164,21 +190,67 @@ class Muve:
 
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _request(self, name: str):
+        """Wrap one ask: a (root-or-nested) span plus request metrics.
+
+        The latency histogram and request/error counters are recorded
+        unconditionally — they are the serving SLO signal and must work
+        with ``MUVE_TRACING=off``; only the span tree is gated on the
+        tracer."""
+        begin = time.perf_counter()
+        error_type: str | None = None
+        try:
+            with trace_span(name) as span:
+                yield span
+        except Exception as exc:
+            error_type = type(exc).__name__
+            raise
+        finally:
+            elapsed_ms = (time.perf_counter() - begin) * 1000.0
+            request = name.removeprefix("muve.")
+            self.metrics.histogram("muve_request_ms",
+                                   request=request).observe(elapsed_ms)
+            status = "error" if error_type is not None else "ok"
+            self.metrics.counter("muve_requests", request=request,
+                                 status=status).inc()
+            if error_type is not None:
+                self.metrics.counter("errors", where="muve",
+                                     type=error_type).inc()
+
     def ask_voice(self, utterance: str,
                   strategy: ProcessingStrategy | None = None,
                   ) -> MuveResponse:
-        """Answer a spoken query: noisy transcription, then :meth:`ask`."""
-        transcript = self._speech.transcribe(utterance)
-        return self.ask(transcript, strategy=strategy,
-                        utterance=utterance)
+        """Answer a spoken query: noisy transcription, then the shared
+        text pipeline (what :meth:`ask` runs)."""
+        with self._request("muve.ask_voice") as span:
+            with trace_span("muve.speech") as speech_span:
+                transcript = self._speech.transcribe(utterance)
+                speech_span.set_attribute("words",
+                                          len(utterance.split()))
+                speech_span.set_attribute("exact",
+                                          transcript == utterance)
+            span.set_attribute("transcript", transcript)
+            return self._run_pipeline(transcript, strategy, utterance)
 
     def ask(self, text: str,
             strategy: ProcessingStrategy | None = None,
             utterance: str | None = None) -> MuveResponse:
         """Answer a typed (or already transcribed) query."""
-        seed_query = self._text_to_sql.translate(text)
-        candidates = tuple(self._candidate_generator.candidates(
-            seed_query, self.max_candidates))
+        with self._request("muve.ask"):
+            return self._run_pipeline(text, strategy, utterance)
+
+    def _run_pipeline(self, text: str,
+                      strategy: ProcessingStrategy | None,
+                      utterance: str | None) -> MuveResponse:
+        """Translate -> candidates -> plan -> execute, stage by stage."""
+        with trace_span("muve.translate") as span:
+            seed_query = self._text_to_sql.translate(text)
+            span.set_attribute("sql", seed_query.to_sql())
+        with trace_span("muve.candidates") as span:
+            candidates = tuple(self._candidate_generator.candidates(
+                seed_query, self.max_candidates))
+            span.set_attribute("count", len(candidates))
         problem = MultiplotSelectionProblem(candidates,
                                             geometry=self.geometry)
         processing_groups = None
@@ -186,8 +258,10 @@ class Muve:
             from repro.execution.merging import (
                 candidate_processing_groups,
             )
-            processing_groups = candidate_processing_groups(
-                self.database, candidates)
+            with trace_span("muve.processing_groups") as span:
+                processing_groups = candidate_processing_groups(
+                    self.database, candidates)
+                span.set_attribute("groups", len(processing_groups))
         planning = self.planner.plan(problem,
                                      processing_groups=processing_groups)
         updates = tuple(self._executor.run(planning.multiplot,
@@ -213,25 +287,35 @@ class Muve:
             execute_series_multiplot,
             series_candidates,
         )
-        base, x_column = self._text_to_sql.translate_trend(text)
-        seed = SeriesQuery(base, x_column)
-        candidates = series_candidates(
-            self.database, seed, max_candidates=min(self.max_candidates,
-                                                    12),
-            generator=self._candidate_generator)
-        planner = SeriesPlanner(geometry=self.geometry)
-        solution = planner.plan(self.database, seed, candidates)
-        filled = execute_series_multiplot(self.database,
-                                          solution.multiplot)
-        return TrendResponse(
-            utterance=utterance if utterance is not None else text,
-            transcript=text,
-            seed_query=base,
-            x_column=x_column,
-            candidates=tuple(candidates),
-            multiplot=filled,
-            expected_cost=solution.expected_cost,
-        )
+        with self._request("muve.ask_trend"):
+            with trace_span("muve.translate") as span:
+                base, x_column = self._text_to_sql.translate_trend(text)
+                span.set_attribute("sql", base.to_sql())
+                span.set_attribute("x_column", x_column)
+            seed = SeriesQuery(base, x_column)
+            with trace_span("muve.candidates") as span:
+                candidates = series_candidates(
+                    self.database, seed,
+                    max_candidates=min(self.max_candidates, 12),
+                    generator=self._candidate_generator)
+                span.set_attribute("count", len(candidates))
+            with trace_span("planner.plan", planner="series") as span:
+                planner = SeriesPlanner(geometry=self.geometry)
+                solution = planner.plan(self.database, seed, candidates)
+                span.set_attribute("expected_cost",
+                                   round(solution.expected_cost, 3))
+            with trace_span("executor.run", strategy="series"):
+                filled = execute_series_multiplot(self.database,
+                                                  solution.multiplot)
+            return TrendResponse(
+                utterance=utterance if utterance is not None else text,
+                transcript=text,
+                seed_query=base,
+                x_column=x_column,
+                candidates=tuple(candidates),
+                multiplot=filled,
+                expected_cost=solution.expected_cost,
+            )
 
     # ------------------------------------------------------------------
 

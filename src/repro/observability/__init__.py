@@ -1,0 +1,59 @@
+"""Observability for the MUVE serving path: tracing, metrics, logging.
+
+Three zero-dependency building blocks:
+
+* :mod:`repro.observability.tracing` — per-request span trees
+  (:func:`trace_span`, :class:`Trace`, the :class:`TraceLog` ring
+  buffer), contextvar-propagated so concurrent requests never
+  interleave.  Disabled entirely with ``MUVE_TRACING=off``.
+* :mod:`repro.observability.metrics` — process-wide counters, gauges,
+  and fixed-bucket histograms with p50/p95/p99 estimation
+  (:class:`MetricsRegistry`, :func:`get_registry`).
+* :mod:`repro.observability.logs` — structured JSON-lines event logging
+  (:class:`StructuredLogger`), used for the demo server's access log.
+
+See DESIGN.md, "Observability" for the span taxonomy, metric names, and
+the overhead budget (``make profile`` enforces <= 5%).
+"""
+
+from repro.observability.logs import StructuredLogger
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.profile import render_profile
+from repro.observability.tracing import (
+    NOOP_SPAN,
+    Span,
+    Trace,
+    TraceLog,
+    current_span,
+    get_trace_log,
+    set_tracing_enabled,
+    trace_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "StructuredLogger",
+    "Trace",
+    "TraceLog",
+    "current_span",
+    "get_registry",
+    "get_trace_log",
+    "render_profile",
+    "set_tracing_enabled",
+    "trace_span",
+    "tracing_enabled",
+]

@@ -1,0 +1,48 @@
+"""Structured (JSON-lines) event logging.
+
+The demo server's access log goes through here instead of
+``BaseHTTPRequestHandler.log_message``: one JSON object per line, with a
+stable schema that scripts can filter (``jq 'select(.status >= 500)'``)
+— off by default, enabled per server (``MuveDemoServer(access_log=True)``
+or ``muve.cli --serve --access-log``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+__all__ = ["StructuredLogger"]
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines logger.
+
+    Each :meth:`log` call writes one line: a JSON object carrying the
+    event name, a wall-clock timestamp, and the caller's fields.  When
+    ``enabled`` is False the call returns immediately without touching
+    the stream, so an attached-but-disabled logger costs one attribute
+    check per event.
+    """
+
+    def __init__(self, stream: TextIO | None = None,
+                 enabled: bool = True) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self.enabled = enabled
+
+    def log(self, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record: dict[str, Any] = {"ts": round(time.time(), 6),
+                                  "event": event}
+        record.update(fields)
+        line = json.dumps(record, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()

@@ -1,0 +1,59 @@
+"""Per-stage profile rendering (``muve.cli --profile``).
+
+Turns the ``span_ms`` histogram family — one histogram per span name,
+recorded automatically by the tracer — into a terminal table: how often
+each pipeline stage ran, how much time it took in total, and its latency
+distribution.  This is the before/after instrument every performance PR
+reads first.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.tracing import tracing_enabled
+
+__all__ = ["render_profile"]
+
+#: Span names that time an entire request; their summed total is the
+#: denominator for the per-stage share column.
+_REQUEST_SPANS = ("request", "muve.ask", "muve.ask_voice",
+                  "muve.ask_trend")
+
+
+def render_profile(registry: MetricsRegistry | None = None) -> str:
+    """A per-stage breakdown table from the registry's span histograms."""
+    registry = registry if registry is not None else get_registry()
+    rows = []
+    for name, labels, histogram in registry.iter_histograms():
+        if name != "span_ms" or histogram.count == 0:
+            continue
+        label_map = dict(labels)
+        stage = label_map.get("name", "?")
+        rows.append((stage, histogram))
+    if not rows:
+        if not tracing_enabled():
+            return ("per-stage profile: no data — tracing is disabled "
+                    "(MUVE_TRACING=off)")
+        return "per-stage profile: no spans recorded yet"
+
+    request_total = sum(histogram.sum for stage, histogram in rows
+                        if stage in _REQUEST_SPANS)
+    denominator = request_total or max(histogram.sum
+                                       for _, histogram in rows)
+    rows.sort(key=lambda pair: -pair[1].sum)
+
+    width = max(len("stage"), *(len(stage) for stage, _ in rows))
+    header = (f"{'stage':<{width}}  {'calls':>7}  {'total ms':>10}  "
+              f"{'mean':>8}  {'p50':>8}  {'p95':>8}  {'share':>6}")
+    lines = ["per-stage profile (span_ms):", header, "-" * len(header)]
+    for stage, histogram in rows:
+        share = histogram.sum / denominator if denominator else 0.0
+        lines.append(
+            f"{stage:<{width}}  {histogram.count:>7}  "
+            f"{histogram.sum:>10.1f}  {histogram.mean:>8.2f}  "
+            f"{histogram.percentile(0.50):>8.2f}  "
+            f"{histogram.percentile(0.95):>8.2f}  {share:>6.0%}")
+    lines.append(
+        "(share is relative to total request time; nested stages "
+        "overlap their parents)")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Span-based request tracing (zero-dependency, contextvar-propagated).
+
+One request produces one :class:`Trace`: a tree of :class:`Span` objects,
+each timing a pipeline stage (speech, translation, candidate generation,
+planning, execution, rendering) with free-form attributes (solver choice,
+cache hits, rows scanned, cost-estimation error).  This is the
+measurement substrate of the paper's evaluation — planning time vs.
+execution time per request (Figures 8–13), now recorded on the live
+serving path rather than in offline experiment harnesses.
+
+Usage::
+
+    with trace_span("planner.plan") as span:
+        span.set_attribute("candidates", len(problem.candidates))
+        ...
+
+Propagation uses a :mod:`contextvars` variable, so concurrent requests on
+different threads (the demo server, ``--load-test --workers``) build
+disjoint trees — spans never leak across requests.  When a root span
+(no active parent) finishes, its :class:`Trace` is appended to the global
+:class:`TraceLog` ring buffer (``GET /api/traces``) and its duration is
+recorded into the ``span_ms`` histogram family of the default metrics
+registry, which is what ``muve.cli --profile`` tabulates.
+
+Tracing is **on by default** and globally disabled with the environment
+variable ``MUVE_TRACING=off`` (or :func:`set_tracing_enabled`).  The
+disabled path is a no-op: :func:`trace_span` yields a shared inert span
+without allocating, timing, or touching the context variable — the
+guarantee ``make profile`` measures.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceLog",
+    "current_span",
+    "get_trace_log",
+    "set_tracing_enabled",
+    "trace_span",
+    "tracing_enabled",
+]
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("MUVE_TRACING", "on").strip().lower()
+    return value not in ("off", "0", "false", "no")
+
+
+_enabled = _env_enabled()
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+def set_tracing_enabled(enabled: bool) -> None:
+    """Toggle tracing process-wide (overrides ``MUVE_TRACING``)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+class Span:
+    """One timed stage of a request, with attributes and child spans.
+
+    A span records into whatever tree the current context is building;
+    within one request the tree is built single-threaded, so no locking
+    is needed on ``children``.
+    """
+
+    __slots__ = ("name", "attributes", "children", "status",
+                 "duration_ms")
+
+    #: Real spans record; the shared no-op span reports False so callers
+    #: can skip building expensive attributes when tracing is off.
+    recording = True
+
+    def __init__(self, name: str,
+                 attributes: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = attributes or {}
+        self.children: list[Span] = []
+        self.status = "ok"
+        self.duration_ms = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 4),
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration_ms:.3f} ms, "
+                f"{len(self.children)} child(ren))")
+
+
+class _NoopSpan:
+    """The inert span yielded when tracing is disabled (or no span is
+    active): every operation is a cheap no-op."""
+
+    __slots__ = ()
+    recording = False
+    name = ""
+    status = "ok"
+    duration_ms = 0.0
+    attributes: dict[str, Any] = {}
+    children: list[Span] = []
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+NOOP_SPAN = _NoopSpan()
+
+_CURRENT: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "muve_current_span", default=None)
+
+
+def current_span() -> Span | _NoopSpan:
+    """The innermost active span of this context (no-op span if none) —
+    lets leaf code annotate whatever stage is running without plumbing."""
+    if not _enabled:
+        return NOOP_SPAN
+    span = _CURRENT.get()
+    return span if span is not None else NOOP_SPAN
+
+
+class Trace:
+    """A finished request: its root span plus identity and wall-clock."""
+
+    __slots__ = ("trace_id", "started_at", "root")
+
+    def __init__(self, trace_id: str, started_at: float,
+                 root: Span) -> None:
+        self.trace_id = trace_id
+        self.started_at = started_at
+        self.root = root
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "started_at": round(self.started_at, 6),
+            "duration_ms": round(self.root.duration_ms, 4),
+            "root": self.root.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=str)
+
+
+class TraceLog:
+    """A bounded ring buffer of recent traces (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._traces: deque[Trace] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.capacity = capacity
+
+    def append(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def tail(self, n: int = 20) -> list[Trace]:
+        """The most recent *n* traces, oldest first."""
+        with self._lock:
+            items = list(self._traces)
+        return items[-max(n, 0):]
+
+    def to_jsonl(self, n: int | None = None) -> str:
+        """The tail as JSON lines, one trace per line (export format)."""
+        traces = self.tail(n if n is not None else self.capacity)
+        return "\n".join(trace.to_json() for trace in traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+_TRACE_LOG = TraceLog()
+_trace_ids = itertools.count(1)
+
+
+def get_trace_log() -> TraceLog:
+    """The process-wide ring buffer of finished request traces."""
+    return _TRACE_LOG
+
+
+@contextmanager
+def trace_span(name: str, **attributes: Any):
+    """Time a stage as a span nested under the context's current span.
+
+    Yields the :class:`Span` (so callers can ``set_attribute``).  On
+    exit the span is attached to its parent; a span without a parent is
+    a request root — its finished :class:`Trace` goes to the global
+    trace log.  An escaping exception marks the span ``status="error"``
+    with the exception type and propagates.  Every finished span's
+    duration is recorded in the ``span_ms{name=...}`` histogram of the
+    default metrics registry.
+    """
+    if not _enabled:
+        yield NOOP_SPAN
+        return
+    parent = _CURRENT.get()
+    span = Span(name, dict(attributes) if attributes else None)
+    started_at = time.time() if parent is None else 0.0
+    token = _CURRENT.set(span)
+    begin = time.perf_counter()
+    try:
+        yield span
+    except BaseException as exc:
+        span.status = "error"
+        span.attributes.setdefault("error_type", type(exc).__name__)
+        raise
+    finally:
+        span.duration_ms = (time.perf_counter() - begin) * 1000.0
+        _CURRENT.reset(token)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            _TRACE_LOG.append(Trace(f"t{next(_trace_ids):08d}",
+                                    started_at, span))
+        _record_span_metrics(span)
+
+
+def _record_span_metrics(span: Span) -> None:
+    from repro.observability.metrics import get_registry
+    get_registry().histogram("span_ms", name=span.name).observe(
+        span.duration_ms)

@@ -19,6 +19,7 @@ from repro.errors import ReproError
 from repro.execution.progressive import ProcessingStrategy
 from repro.muve import Muve, MuveResponse
 from repro.nlq.priors import QueryLogPrior
+from repro.observability import trace_span
 from repro.sqldb.query import AggregateQuery
 
 
@@ -55,20 +56,22 @@ class MuveSession:
     def ask(self, text: str,
             strategy: ProcessingStrategy | None = None) -> MuveResponse:
         """One turn: candidates re-weighted by this session's history."""
-        response = self.muve.ask(text, strategy=strategy)
-        with self._lock:
-            response = self._apply_prior(response)
-            self._history.append(response)
-        return response
+        with trace_span("session.turn"):
+            response = self.muve.ask(text, strategy=strategy)
+            with self._lock:
+                response = self._apply_prior(response)
+                self._history.append(response)
+            return response
 
     def ask_voice(self, utterance: str,
                   strategy: ProcessingStrategy | None = None,
                   ) -> MuveResponse:
-        response = self.muve.ask_voice(utterance, strategy=strategy)
-        with self._lock:
-            response = self._apply_prior(response)
-            self._history.append(response)
-        return response
+        with trace_span("session.turn"):
+            response = self.muve.ask_voice(utterance, strategy=strategy)
+            with self._lock:
+                response = self._apply_prior(response)
+                self._history.append(response)
+            return response
 
     def confirm(self, query: AggregateQuery) -> None:
         """The user clicked *query*'s bar: log it for future turns.
@@ -99,11 +102,14 @@ class MuveSession:
         exists; the first turn passes through unchanged)."""
         if self.prior.num_logged == 0 or self.prior_strength == 0.0:
             return response
-        reweighted = tuple(self.prior.reweight(list(response.candidates)))
-        problem = MultiplotSelectionProblem(reweighted,
-                                            geometry=self.muve.geometry)
-        planning = self.muve.planner.plan(problem)
-        updates = tuple(self.muve._executor.run(planning.multiplot))
+        with trace_span("session.replan") as span:
+            reweighted = tuple(
+                self.prior.reweight(list(response.candidates)))
+            problem = MultiplotSelectionProblem(
+                reweighted, geometry=self.muve.geometry)
+            planning = self.muve.planner.plan(problem)
+            updates = tuple(self.muve._executor.run(planning.multiplot))
+            span.set_attribute("logged_queries", self.prior.num_logged)
         return MuveResponse(
             utterance=response.utterance,
             transcript=response.transcript,

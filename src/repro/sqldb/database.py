@@ -10,6 +10,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.errors import CatalogError, ExecutionError
+from repro.observability import trace_span
 from repro.sqldb.executor import execute_select
 from repro.sqldb.parser import SelectStatement, parse
 from repro.sqldb.planner import PlanNode, plan_select
@@ -180,11 +181,15 @@ class Database:
         if rng is None and statement.sample_fraction is not None:
             from repro.sqldb.sampling import derive_rng
             rng = derive_rng(self._seed, statement.to_sql())
-        start = time.perf_counter()
-        columns, rows = execute_select(statement, table, rng)
-        if self.io_millis_per_page > 0.0:
-            self._simulate_io(statement, table)
-        elapsed = time.perf_counter() - start
+        with trace_span("sqldb.execute") as span:
+            span.set_attribute("table", statement.table)
+            start = time.perf_counter()
+            columns, rows = execute_select(statement, table, rng)
+            if self.io_millis_per_page > 0.0:
+                self._simulate_io(statement, table)
+            elapsed = time.perf_counter() - start
+            span.set_attribute("rows_returned", len(rows))
+            span.set_attribute("elapsed_ms", round(elapsed * 1000.0, 4))
         return QueryResult(columns=columns,
                            rows=tuple(tuple(row) for row in rows),
                            elapsed_seconds=elapsed)

@@ -18,6 +18,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.observability import current_span
 from repro.sqldb.expressions import AggregateCall, AggregateFunction
 from repro.sqldb.parser import SelectStatement
 from repro.sqldb.table import Table
@@ -58,6 +59,12 @@ def execute_select(statement: SelectStatement, table: Table,
     else:
         arrays = {name: table.column(name)[mask] for name in needed}
         row_count = int(mask.sum())
+    # Annotate whatever stage is being traced (typically the enclosing
+    # ``sqldb.execute`` span) with the scan shape; a no-op when tracing
+    # is off or no span is active.
+    span = current_span()
+    span.set_attribute("rows_scanned", row_count)
+    span.set_attribute("rows_total", table.num_rows)
 
     if group_columns:
         # Grouping on TEXT columns reuses the table's dictionary codes;

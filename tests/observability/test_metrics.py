@@ -1,0 +1,180 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("errors", type="ValueError") is \
+            registry.counter("errors", type="ValueError")
+        assert registry.counter("errors", type="ValueError") is not \
+            registry.counter("errors", type="KeyError")
+
+    def test_label_named_name_is_allowed(self):
+        # The tracer labels its histogram family by span *name*; the
+        # positional parameter must not shadow the label namespace.
+        registry = MetricsRegistry()
+        registry.counter("spans", name="muve.ask").inc()
+        assert registry.snapshot()["counters"][
+            "spans{name=muve.ask}"] == 1.0
+
+    def test_concurrent_increments_all_counted(self):
+        counter = MetricsRegistry().counter("n")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+    def test_callback_evaluated_at_read_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.register_gauge("size", lambda: state["n"])
+        assert registry.gauge("size").value == 1.0
+        state["n"] = 5
+        assert registry.gauge("size").value == 5.0
+
+    def test_reregistering_replaces_callback(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("size", lambda: 1.0)
+        registry.register_gauge("size", lambda: 2.0)
+        assert registry.gauge("size").value == 2.0
+
+
+class TestHistogram:
+    def test_empty_histogram_reports_zeroes(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.percentile(0.5) == 0.0
+        snap = histogram.snapshot()
+        assert snap["count"] == 0
+        assert snap["p95"] == 0.0
+
+    def test_single_value_percentiles_are_exact(self):
+        # Min/max clamping makes degenerate distributions exact even
+        # though buckets are coarse.
+        histogram = Histogram()
+        histogram.observe(42.0)
+        assert histogram.percentile(0.50) == 42.0
+        assert histogram.percentile(0.99) == 42.0
+        assert histogram.min == 42.0
+        assert histogram.max == 42.0
+
+    def test_percentiles_land_in_owning_bucket(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5,) * 50 + (50.0,) * 50:
+            histogram.observe(value)
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        assert p50 <= 1.0          # in the first bucket
+        assert 10.0 < p95 <= 100.0  # in the third bucket
+
+    def test_overflow_bucket_uses_observed_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(500.0)
+        histogram.observe(900.0)
+        assert histogram.percentile(0.99) == 900.0
+
+    def test_bucket_counts_are_cumulative(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            histogram.observe(value)
+        buckets = histogram.snapshot()["buckets"]
+        assert buckets == {"1": 1, "10": 3, "+Inf": 4}
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_mean_and_sum(self):
+        histogram = Histogram()
+        histogram.observe(10.0)
+        histogram.observe(20.0)
+        assert histogram.sum == 30.0
+        assert histogram.mean == 15.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS_MS[0] < 1.0
+        assert DEFAULT_LATENCY_BUCKETS_MS[-1] >= 10_000.0
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", path="/api/ask").inc()
+        registry.gauge("depth").set(3)
+        registry.histogram("latency_ms").observe(12.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["requests{path=/api/ask}"] == 1.0
+        assert snap["gauges"]["depth"] == 3.0
+        hist = snap["histograms"]["latency_ms"]
+        assert hist["count"] == 1
+        assert hist["p50"] == 12.0
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("http_requests", method="GET").inc(3)
+        registry.gauge("cache_size", cache="plans").set(17)
+        registry.histogram("latency_ms", (1.0, 10.0)).observe(5.0)
+        text = registry.render_prometheus()
+        assert "# TYPE http_requests counter" in text
+        assert 'http_requests{method="GET"} 3' in text
+        assert 'cache_size{cache="plans"} 17' in text
+        assert 'latency_ms_bucket{le="10"} 1' in text
+        assert 'latency_ms_bucket{le="+Inf"} 1' in text
+        assert "latency_ms_sum 5" in text
+        assert "latency_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_sanitizes_metric_names(self):
+        registry = MetricsRegistry()
+        registry.counter("muve.ask-time").inc()
+        assert "muve_ask_time 1" in registry.render_prometheus()

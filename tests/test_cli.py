@@ -186,3 +186,44 @@ class TestLoadTestMode:
         assert code == 0
         # 10 identical questions: after the cold one, everything hits.
         assert "hit rate 9" in output or "hit rate 100%" in output
+
+
+class TestProfileFlag:
+    def test_load_test_profile_breakdown(self):
+        code, output = run_cli([
+            "--rows", "1500", "--planner", "greedy",
+            "--load-test", "4", "--profile",
+            "--query", "average resolution hours for borough Brooklyn"])
+        assert code == 0
+        assert "per-stage profile" in output
+        # The breakdown names the pipeline stages with call counts.
+        assert "muve.ask" in output
+        assert "planner.plan" in output
+        assert "executor.run" in output
+        assert "share" in output
+
+    def test_single_query_profile(self):
+        code, output = run_cli([
+            "--rows", "1500", "--planner", "greedy", "--profile",
+            "--query", "count of requests for borough Queens"])
+        assert code == 0
+        assert "per-stage profile" in output
+
+    def test_profile_reports_disabled_tracing(self):
+        from repro.observability import (
+            set_tracing_enabled,
+            tracing_enabled,
+        )
+        from repro.observability.metrics import get_registry
+
+        previous = tracing_enabled()
+        set_tracing_enabled(False)
+        get_registry().reset()
+        try:
+            code, output = run_cli([
+                "--rows", "1500", "--planner", "greedy", "--profile",
+                "--query", "count of requests for borough Queens"])
+        finally:
+            set_tracing_enabled(previous)
+        assert code == 0
+        assert "tracing is disabled" in output

@@ -144,6 +144,60 @@ class TestSharedMuve:
         assert stats["plans"]["hits"] > 0
         assert 0.0 <= results["hit_rate"] <= 1.0
 
+    def test_no_span_leakage_across_concurrent_requests(self):
+        """Each worker's trace tree contains only its own requests.
+
+        Every worker wraps each ask in a private root span; if the
+        tracer's contextvar propagation leaked between threads, a root
+        would pick up another worker's pipeline spans as extra children
+        (or lose its own to a foreign parent)."""
+        from repro.observability import (
+            current_span,
+            set_tracing_enabled,
+            trace_span,
+            tracing_enabled,
+        )
+
+        previous = tracing_enabled()
+        set_tracing_enabled(True)
+        muve = make_muve(enable_caching=True)
+        errors: list = []
+        bad: list = []
+        barrier = threading.Barrier(NUM_THREADS)
+        ask_roots = {"muve.ask", "muve.ask_voice", "muve.ask_trend"}
+
+        def worker(worker_id: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for step in range(len(QUESTIONS)):
+                    kind, question = QUESTIONS[
+                        (worker_id + step) % len(QUESTIONS)]
+                    with trace_span("test.request",
+                                    worker=worker_id) as root:
+                        ask(muve, kind, question)
+                    children = [child.name for child in root.children]
+                    if len(children) != 1 or \
+                            children[0] not in ask_roots:
+                        bad.append((worker_id, children))
+                    if root.attributes["worker"] != worker_id:
+                        bad.append((worker_id, root.attributes))
+                if current_span().recording:
+                    bad.append((worker_id, "span left active"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(NUM_THREADS)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=240)
+        finally:
+            set_tracing_enabled(previous)
+        assert not errors, f"worker raised: {errors[0]!r}"
+        assert not bad, f"span leakage detected: {bad[:3]}"
+
 
 class TestSharedSessions:
     def test_independent_sessions_do_not_interfere(self):

@@ -148,3 +148,19 @@ class TestProcessingAwareFacade:
             "average resolution hours for borough Brooklyn")
         assert response.planning.solver_name.startswith("ilp")
         assert response.multiplot.num_bars > 0
+
+
+class TestEmptyUpdates:
+    def test_multiplot_on_empty_updates_raises_repro_error(self, muve):
+        """A response without visualization updates must fail with a
+        clear domain error, not a bare IndexError (regression)."""
+        import dataclasses
+
+        from repro.errors import ReproError
+
+        response = muve.ask(UTTERANCE)
+        empty = dataclasses.replace(response, updates=())
+        with pytest.raises(ReproError, match="no visualization updates"):
+            empty.multiplot
+        with pytest.raises(ReproError):
+            empty.to_text()
