@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check fast concurrency bench profile
+.PHONY: check fast concurrency bench bench-serve profile
 
 # The gating suite: the full test tree (tier 1), then the concurrency
 # and caching suites once more on their own.  Test-order randomisation
@@ -23,8 +23,15 @@ concurrency:
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
-# Tracing-overhead gate: run the load-test workload with tracing on and
-# off, print the per-stage profile, and fail if tracing costs more than
-# 5% wall-clock (threshold via MUVE_OVERHEAD_THRESHOLD).
+# Serving benchmark: batch vs per-group execution over the Figure 7
+# merged-candidate workload; writes BENCH_serving.json.
+bench-serve:
+	PYTHONPATH=src python scripts/bench_serving.py
+
+# Performance gates: (1) tracing must cost under 5% wall-clock
+# (MUVE_OVERHEAD_THRESHOLD); (2) batch execution must be no slower than
+# the per-group loop and cut scans per request (MUVE_BATCH_TOLERANCE,
+# MUVE_BATCH_SCAN_FACTOR).
 profile:
 	PYTHONPATH=src python scripts/check_overhead.py
+	PYTHONPATH=src python scripts/check_batch_speedup.py

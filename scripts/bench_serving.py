@@ -1,0 +1,144 @@
+"""Serving benchmark: batch vs per-group execution (``make bench-serve``).
+
+Replays the Figure 7 microbenchmark workload — random target queries,
+each expanded to its phonetically-similar candidate set and planned with
+cost-based merging — through both execution paths and writes
+``BENCH_serving.json`` with per-request latency percentiles, throughput,
+and table scans per request for each mode.
+
+A "scan" is one full pass over a base-table column to build a boolean
+mask (a leaf predicate or a TABLESAMPLE draw); the per-group path pays
+one per leaf per group, the batch path one per *distinct* leaf per
+request (see :func:`repro.execution.batch.plan_scan_counts`).
+
+Environment knobs::
+
+    MUVE_BENCH_REQUESTS     number of requests (default 30)
+    MUVE_BENCH_ROWS         table rows (default 20000)
+    MUVE_BENCH_CANDIDATES   candidates per request (default 50)
+    MUVE_BENCH_ROUNDS       measurement rounds, best kept (default 5)
+    MUVE_BENCH_OUTPUT       output path (default BENCH_serving.json)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.datasets.generators import DATASET_GENERATORS
+from repro.datasets.workload import WorkloadGenerator
+from repro.execution.batch import plan_scan_counts
+from repro.execution.merging import plan_execution
+from repro.nlq.candidates import CandidateGenerator
+from repro.sqldb.database import Database
+
+
+def build_requests(rows: int, count: int, candidates: int, seed: int = 0):
+    """(database, plans): one merged execution plan per request."""
+    database = Database(seed=seed)
+    table = DATASET_GENERATORS["nyc311"](num_rows=rows, seed=seed)
+    database.register_table(table)
+    workload = WorkloadGenerator(database.table("nyc311"), seed=seed)
+    generator = CandidateGenerator(database, "nyc311", k=candidates,
+                                   max_simultaneous=1)
+    plans = []
+    for _ in range(count):
+        target = workload.random_query(max_predicates=3)
+        queries = [c.query
+                   for c in generator.candidates(target, candidates)]
+        plans.append(plan_execution(database, queries, merge=True))
+    return database, plans
+
+
+def measure(database: Database, plans, batch: bool, rounds: int) -> dict:
+    """Latency/throughput over all requests in one mode.
+
+    An untimed warmup pass first: both modes then run with warm
+    statement/cost caches and touched table columns, so the timed pass
+    compares execution strategies, not cache state.  Each request keeps
+    its best latency across *rounds* passes — per-request minima are the
+    standard way to strip scheduler noise from microsecond-scale
+    measurements (scan work only ever adds time).
+    """
+    for plan in plans:
+        plan.run(database, batch=batch)
+    best = [float("inf")] * len(plans)
+    best_wall = float("inf")
+    for _ in range(rounds):
+        begin = time.perf_counter()
+        for index, plan in enumerate(plans):
+            start = time.perf_counter()
+            plan.run(database, batch=batch)
+            best[index] = min(best[index],
+                              (time.perf_counter() - start) * 1000.0)
+        best_wall = min(best_wall, time.perf_counter() - begin)
+    latencies = sorted(best)
+    return {
+        "requests": len(plans),
+        "p50_ms": round(statistics.median(latencies), 4),
+        "p95_ms": round(latencies[int(0.95 * (len(latencies) - 1))], 4),
+        "mean_ms": round(statistics.fmean(latencies), 4),
+        "queries_per_second": round(len(plans) / best_wall, 2),
+    }
+
+
+def main() -> int:
+    requests = int(os.environ.get("MUVE_BENCH_REQUESTS", "30"))
+    rows = int(os.environ.get("MUVE_BENCH_ROWS", "20000"))
+    candidates = int(os.environ.get("MUVE_BENCH_CANDIDATES", "50"))
+    rounds = int(os.environ.get("MUVE_BENCH_ROUNDS", "5"))
+    output = os.environ.get("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
+
+    database, plans = build_requests(rows, requests, candidates)
+    legacy_scans = []
+    batch_scans = []
+    for plan in plans:
+        legacy, batch = plan_scan_counts(plan, database)
+        legacy_scans.append(legacy)
+        batch_scans.append(batch)
+
+    legacy = measure(database, plans, batch=False, rounds=rounds)
+    legacy["scans_per_request"] = round(statistics.fmean(legacy_scans), 2)
+    batched = measure(database, plans, batch=True, rounds=rounds)
+    batched["scans_per_request"] = round(statistics.fmean(batch_scans), 2)
+
+    report = {
+        "workload": {
+            "dataset": "nyc311",
+            "rows": rows,
+            "requests": requests,
+            "candidates_per_request": candidates,
+            "groups_per_request": round(statistics.fmean(
+                len(plan.groups) for plan in plans), 2),
+        },
+        "batch": batched,
+        "legacy": legacy,
+        "speedup_p50": round(legacy["p50_ms"] / batched["p50_ms"], 2),
+        "scan_reduction": round(
+            legacy["scans_per_request"]
+            / max(batched["scans_per_request"], 1e-9), 2),
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {output}")
+    print(f"  workload: {requests} requests x {candidates} candidates "
+          f"on {rows} rows "
+          f"({report['workload']['groups_per_request']} groups/request)")
+    for mode in ("legacy", "batch"):
+        entry = report[mode]
+        print(f"  {mode:>6}: p50 {entry['p50_ms']:.2f} ms, "
+              f"p95 {entry['p95_ms']:.2f} ms, "
+              f"{entry['queries_per_second']:.0f} req/s, "
+              f"{entry['scans_per_request']:.1f} scans/request")
+    print(f"  speedup p50: {report['speedup_p50']}x, "
+          f"scan reduction: {report['scan_reduction']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

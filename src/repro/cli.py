@@ -93,10 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--access-log", action="store_true",
                         help="with --serve: write one JSON line per "
                              "HTTP request to stderr")
+    parser.add_argument("--no-batch-exec", action="store_true",
+                        help="disable the one-pass batch executor and "
+                             "run every merged group separately (the "
+                             "pre-batch execution path)")
     return parser
 
 
 def make_muve(args: argparse.Namespace) -> Muve:
+    if getattr(args, "no_batch_exec", False):
+        from repro.execution.batch import set_batch_enabled
+        set_batch_enabled(False)
     database = Database(seed=args.seed)
     generator = DATASET_GENERATORS[args.dataset]
     database.register_table(generator(num_rows=args.rows, seed=args.seed))

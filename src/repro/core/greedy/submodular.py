@@ -2,9 +2,16 @@
 
 Two selection routines back Algorithm 4:
 
-* :func:`maximize_cardinality` — the classical Nemhauser/Wolsey greedy for
-  a cardinality constraint (the paper's fixed-plot-width variant), with the
-  (1 - 1/e) guarantee.
+* :func:`maximize_cardinality` — greedy for a cardinality constraint (the
+  paper's fixed-plot-width variant), with the (1 - 1/e) guarantee.  It is
+  implemented as *lazy greedy* (Minoux's accelerated greedy, the CELF
+  variant of Leskovec et al.): stale marginal gains are kept in a
+  max-heap as upper bounds and only re-evaluated when an item reaches the
+  top.  By submodularity a fresh gain never exceeds its stale bound, so
+  the lazy variant selects the **identical sequence** the classical eager
+  loop (:func:`maximize_cardinality_eager`) would — while calling the
+  gain oracle far less often, which is the planner's dominant cost at
+  large candidate counts.
 * :func:`maximize_knapsack` — greedy for multi-dimensional knapsack
   constraints in the spirit of Yu, Xu and Cui (GlobalSIP 2016): marginal
   gain *per unit weight* drives selection, candidate thresholds are swept
@@ -14,10 +21,14 @@ Two selection routines back Algorithm 4:
 
 Both are generic over an item type: the caller provides the gain oracle
 (evaluated on *sets* of items, so marginal gains are exact) and weights.
+Both route oracle evaluations through :class:`GainMemo`, which memoises
+values per selected-tuple — the knapsack sweep re-visits the same
+(selection, item) pairs across threshold passes and pays only once.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Callable, Hashable, Sequence, TypeVar
 
@@ -27,20 +38,92 @@ GainFunction = Callable[[tuple], float]
 """Maps a tuple of selected items to the objective value (cost savings)."""
 
 
+class GainMemo:
+    """A memoising wrapper around a gain oracle.
+
+    Keys evaluations by the exact selected-tuple, so repeated questions
+    about the same set (the knapsack threshold sweep, callers probing the
+    same prefix) hit the memo instead of the oracle.  ``evaluations``
+    counts true oracle calls — the quantity the lazy-greedy tests assert
+    on.
+    """
+
+    def __init__(self, gain: GainFunction) -> None:
+        self._gain = gain
+        self._memo: dict[tuple, float] = {}
+        self.evaluations = 0
+
+    def __call__(self, selected: tuple) -> float:
+        value = self._memo.get(selected)
+        if value is None:
+            value = self._gain(selected)
+            self._memo[selected] = value
+            self.evaluations += 1
+        return value
+
+
 def maximize_cardinality(items: Sequence[Item], gain: GainFunction,
                          limit: int) -> list[Item]:
-    """Nemhauser greedy: repeatedly add the item with the largest positive
-    marginal gain until *limit* items are selected or no item helps."""
+    """Lazy greedy (CELF): repeatedly add the item with the largest
+    positive marginal gain until *limit* items are selected or no item
+    helps.
+
+    Equivalent to :func:`maximize_cardinality_eager` on monotone
+    submodular ``gain`` (same selection, same order) but evaluates the
+    gain oracle lazily: each round pops the stale upper bound from a
+    max-heap, refreshes it, and either selects the item (its fresh gain
+    still tops the heap) or pushes it back.  Ties break toward the
+    earlier item in *items*, exactly as the eager loop's strict ``>``
+    comparison does.
+    """
+    if limit <= 0 or not items:
+        return []
+    memo = gain if isinstance(gain, GainMemo) else GainMemo(gain)
+    current_value = memo(())
+    # Heap entries: (-stale gain, original index, item, freshness round).
+    # The index both breaks gain ties toward earlier items and keeps the
+    # heap comparison away from arbitrary item types.
+    heap: list[tuple[float, int, Item, int]] = []
+    for index, item in enumerate(items):
+        delta = memo((item,)) - current_value
+        heap.append((-delta, index, item, 0))
+    heapq.heapify(heap)
+
+    selected: list[Item] = []
+    while heap and len(selected) < limit:
+        neg_delta, index, item, round_ = heapq.heappop(heap)
+        if -neg_delta <= 0.0:
+            # The largest (upper-bounded) gain is non-positive; by
+            # submodularity no fresh gain can beat it.  Done.
+            break
+        if round_ == len(selected):
+            # Fresh for the current selection: since every other entry is
+            # an upper bound (submodularity), this is the true argmax —
+            # and the smallest index among equal gains, matching eager.
+            selected.append(item)
+            current_value += -neg_delta
+            continue
+        delta = memo(tuple(selected) + (item,)) - current_value
+        heapq.heappush(heap, (-delta, index, item, len(selected)))
+    return selected
+
+
+def maximize_cardinality_eager(items: Sequence[Item], gain: GainFunction,
+                               limit: int) -> list[Item]:
+    """The classical Nemhauser/Wolsey greedy loop, kept as the reference
+    implementation the lazy variant is tested against (it re-evaluates
+    every remaining item's marginal gain each iteration)."""
     if limit <= 0:
         return []
+    memo = gain if isinstance(gain, GainMemo) else GainMemo(gain)
     selected: list[Item] = []
     remaining = list(items)
-    current_value = gain(())
+    current_value = memo(())
     while remaining and len(selected) < limit:
         best_index = -1
         best_delta = 0.0
         for index, item in enumerate(remaining):
-            delta = gain(tuple(selected) + (item,)) - current_value
+            delta = memo(tuple(selected) + (item,)) - current_value
             if delta > best_delta:
                 best_delta = delta
                 best_index = index
@@ -61,7 +144,9 @@ def maximize_knapsack(items: Sequence[Item], gain: GainFunction,
     ``1 + epsilon`` apart, as in Yu et al.); within a pass any feasible
     item whose marginal-gain density meets the threshold is taken.  The
     result is compared against the best single feasible item and the better
-    of the two is returned.
+    of the two is returned.  Gain evaluations are memoised through
+    :class:`GainMemo`, so re-examining an item at a lower threshold with
+    an unchanged selection costs no oracle call.
     """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
@@ -71,14 +156,15 @@ def maximize_knapsack(items: Sequence[Item], gain: GainFunction,
     if not feasible_items:
         return []
 
-    base_value = gain(())
+    memo = gain if isinstance(gain, GainMemo) else GainMemo(gain)
+    base_value = memo(())
 
     # Establish the threshold range from the best single-item density.
     densities = []
     best_single: Item | None = None
     best_single_gain = -math.inf
     for item in feasible_items:
-        item_gain = gain((item,)) - base_value
+        item_gain = memo((item,)) - base_value
         if item_gain > best_single_gain:
             best_single_gain = item_gain
             best_single = item
@@ -103,7 +189,7 @@ def maximize_knapsack(items: Sequence[Item], gain: GainFunction,
             item_weights = weights(item)
             if not _fits(item_weights, used, budgets):
                 continue
-            delta = gain(tuple(selected) + (item,)) - current_value
+            delta = memo(tuple(selected) + (item,)) - current_value
             if delta <= 0:
                 continue
             density = delta / max(sum(item_weights), 1e-12)

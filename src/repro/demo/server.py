@@ -208,6 +208,8 @@ class MuveDemoServer:
                 "hit_rate": snapshot.hit_rate},
         }
         stats.update(self.muve.cache_stats())
+        from repro.execution.batch import batch_stats
+        stats["batch_executor"] = batch_stats()
         return stats
 
 

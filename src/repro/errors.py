@@ -37,6 +37,17 @@ class ExecutionError(SqlError):
     """A query failed while being evaluated."""
 
 
+class NullAggregateError(ExecutionError):
+    """An aggregate over zero qualifying rows has no value (SQL NULL).
+
+    This is not a failure of the engine but a data condition: MUVE's
+    execution plans report the affected query as missing/zero instead of
+    erroring out.  Catching this subclass (rather than bare
+    :class:`ExecutionError`) lets callers distinguish "empty result" from
+    genuine execution bugs like a bad column reference.
+    """
+
+
 class PlanningError(ReproError):
     """Visualization planning failed (infeasible instance, bad dimensions)."""
 

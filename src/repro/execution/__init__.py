@@ -9,6 +9,12 @@ multiplot plot by plot, approximate processing shows scaled sample results
 first and refines in the background.
 """
 
+from repro.execution.batch import (
+    batch_enabled,
+    batch_stats,
+    reset_batch_stats,
+    set_batch_enabled,
+)
 from repro.execution.engine import MuveExecutor, VisualizationUpdate
 from repro.execution.merging import (
     ExecutionPlan,
@@ -31,5 +37,9 @@ __all__ = [
     "MuveExecutor",
     "ProcessingStrategy",
     "VisualizationUpdate",
+    "batch_enabled",
+    "batch_stats",
     "plan_execution",
+    "reset_batch_stats",
+    "set_batch_enabled",
 ]

@@ -1,0 +1,504 @@
+"""One-pass batch execution for candidate workloads (Section 8.1 fast path).
+
+An :class:`~repro.execution.merging.ExecutionPlan` answers a whole
+candidate set, but the per-group path re-reads the base table for every
+group: each merged statement lexes, parses, binds, and evaluates its WHERE
+clause from scratch, even though candidate queries are near-duplicates
+whose predicates differ in a single constant.  The batch executor answers
+the entire plan with shared work:
+
+* **Statement binding up front** — every group statement resolves through
+  the database's parsed-and-bound statement cache
+  (:meth:`~repro.sqldb.database.Database.bound_statement`), so repeated
+  SQL never touches the lexer or parser again.
+* **Mask cache** — leaf predicates (``borough = 'Brooklyn'``,
+  ``agency IN (...)``) are evaluated once per request and reused across
+  every group that references them; AND/OR/NOT combine the cached leaf
+  masks.  Since candidates share their fixed predicates, a request that
+  would scan the table once per group instead computes each distinct
+  column comparison exactly once.
+* **Shared factorisation** — numeric GROUP BY columns are factorised once
+  per request (``np.unique(..., return_inverse=True)`` over the full
+  column) and the codes are masked per group; TEXT columns already share
+  the table's dictionary encoding.
+* **Fused aggregate kernels** — per-group aggregates run through the same
+  ``np.bincount``-based kernels as the engine
+  (:func:`~repro.sqldb.executor._grouped_aggregate`), guaranteeing results
+  identical to per-group execution bit for bit.
+
+Shapes the batch kernels do not cover fall back to a plain
+``database.execute`` per group, and the whole path can be disabled with
+:func:`set_batch_enabled` (CLI ``--no-batch-exec``, environment
+``MUVE_BATCH_EXEC=off``) or is bypassed automatically when the database
+simulates page I/O (the disk-resident scaling regime, where per-statement
+sleeps model the scan cost the batch path would skip).
+
+Observability: each plan runs inside an ``executor.batch`` span carrying
+mask-reuse and scans-saved attributes; per-group ``executor.group`` and
+``sqldb.execute`` spans match the legacy path's shape so traces stay
+comparable, and process-wide counters are exposed through
+:func:`batch_stats` (``/api/stats``) and the metrics registry.
+
+A **scan** here is one full pass over a base-table column to build a
+boolean mask (a leaf predicate or a TABLESAMPLE draw).  The legacy path
+performs one per leaf per group; the batch path one per *distinct* leaf
+per request — the difference is the ``scans_saved`` metric.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import NullAggregateError
+from repro.observability import get_registry, trace_span
+from repro.sqldb.database import Database, QueryResult
+from repro.sqldb.executor import (
+    BoundStatement,
+    _apply_having,
+    _grouped_aggregate,
+    _order_and_limit,
+    _scalar_aggregate,
+)
+from repro.sqldb.expressions import And, BooleanExpr, Not, Or
+from repro.sqldb.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.caching import QueryResultCache
+    from repro.execution.merging import ExecutionPlan
+    from repro.sqldb.query import AggregateQuery
+
+__all__ = [
+    "batch_enabled",
+    "batch_stats",
+    "register_batch_metrics",
+    "reset_batch_stats",
+    "run_plan",
+    "set_batch_enabled",
+]
+
+
+# ---------------------------------------------------------------------------
+# Enable flag (escape hatch)
+# ---------------------------------------------------------------------------
+
+_enabled = os.environ.get("MUVE_BATCH_EXEC", "on").strip().lower() not in (
+    "off", "0", "false", "no")
+
+
+def batch_enabled() -> bool:
+    """Whether execution plans default to the batch path."""
+    return _enabled
+
+
+def set_batch_enabled(enabled: bool) -> None:
+    """Globally enable/disable the batch path (``--no-batch-exec``)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide counters
+# ---------------------------------------------------------------------------
+
+
+class _BatchStats:
+    """Thread-safe counters describing batch-executor effectiveness."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with getattr(self, "_lock", threading.Lock()):
+            self.requests = 0
+            self.groups = 0
+            self.fallback_groups = 0
+            self.masks_computed = 0
+            self.masks_reused = 0
+            self.scans_saved = 0
+
+    def record(self, groups: int, fallbacks: int, masks_computed: int,
+               masks_reused: int, scans_saved: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.groups += groups
+            self.fallback_groups += fallbacks
+            self.masks_computed += masks_computed
+            self.masks_reused += masks_reused
+            self.scans_saved += scans_saved
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "requests": float(self.requests),
+                "groups": float(self.groups),
+                "fallback_groups": float(self.fallback_groups),
+                "masks_computed": float(self.masks_computed),
+                "masks_reused": float(self.masks_reused),
+                "scans_saved": float(self.scans_saved),
+            }
+
+
+_STATS = _BatchStats()
+
+
+def batch_stats() -> dict[str, float]:
+    """Process-wide batch-executor counters (``/api/stats``)."""
+    return _STATS.snapshot()
+
+
+def reset_batch_stats() -> None:
+    _STATS.reset()
+
+
+def register_batch_metrics(registry) -> None:
+    """Expose the batch counters as callback gauges on *registry*."""
+    for key in ("requests", "groups", "fallback_groups", "masks_computed",
+                "masks_reused", "scans_saved"):
+        registry.register_gauge(f"batch_{key}",
+                                lambda key=key: batch_stats()[key])
+
+
+# ---------------------------------------------------------------------------
+# Per-request shared state
+# ---------------------------------------------------------------------------
+
+
+class _RequestContext:
+    """Work shared across all groups of one plan execution.
+
+    Holds the leaf-predicate mask cache and the numeric GROUP BY
+    factorisations; both are keyed on bound (schema-canonical) objects so
+    textual variations of the same predicate share one entry.  The
+    context lives for a single request and is confined to one thread, so
+    no locking is needed.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._masks: dict[tuple[str, BooleanExpr], np.ndarray] = {}
+        self._numeric_factors: dict[
+            tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self.masks_computed = 0
+        self.masks_reused = 0
+        self.sample_masks = 0
+        self.legacy_scans = 0  # masks the per-group path would have built
+        self._leaf_counts: dict[int, int] = {}
+
+    def leaf_count(self, where: BooleanExpr | None) -> int:
+        """Leaf predicates of a bound WHERE tree, memoised by identity
+        (bound statements are cached, so trees recur across requests)."""
+        if where is None:
+            return 0
+        key = id(where)
+        count = self._leaf_counts.get(key)
+        if count is None:
+            count = _count_leaves(where)
+            self._leaf_counts[key] = count
+        return count
+
+    # -- predicate masks -------------------------------------------------
+
+    def mask(self, expr: BooleanExpr, table: Table) -> np.ndarray:
+        """The boolean mask of *expr*, memoised per request.
+
+        Only *leaf* predicates are cached: they are what candidate
+        workloads share across groups, their keys are cheap to hash, and
+        combinator results almost never recur once identical WHERE
+        clauses have been merged away (hashing whole subtrees per lookup
+        cost more than it saved).  The cache has two levels — this
+        request's dict, then the database's cross-request mask cache
+        (leaf masks are pure functions of table data; the database drops
+        them on any mutation).  Combinators replicate the engine's
+        evaluation (including its short-circuiting) exactly.  Returned
+        arrays may be cache-owned — callers must not mutate them in
+        place (all call sites combine with ``&``/``~``/fancy indexing,
+        which allocate).
+        """
+        return self._mask(expr, table, table.schema.name.lower())
+
+    def _mask(self, expr: BooleanExpr, table: Table,
+              table_key: str) -> np.ndarray:
+        if isinstance(expr, And):
+            if not expr.children:
+                return np.ones(table.num_rows, dtype=bool)
+            mask = self._mask(expr.children[0], table, table_key)
+            for child in expr.children[1:]:
+                if not mask.any():
+                    break
+                mask = mask & self._mask(child, table, table_key)
+            return mask
+        if isinstance(expr, Or):
+            if not expr.children:
+                return np.zeros(table.num_rows, dtype=bool)
+            mask = self._mask(expr.children[0], table, table_key)
+            for child in expr.children[1:]:
+                if mask.all():
+                    break
+                mask = mask | self._mask(child, table, table_key)
+            return mask
+        if isinstance(expr, Not):
+            return ~self._mask(expr.child, table, table_key)
+        key = (table_key, expr)
+        cached = self._masks.get(key)
+        if cached is not None:
+            self.masks_reused += 1
+            return cached
+        mask = self.database.cached_mask(key)
+        if mask is not None:
+            # Warm from an earlier request: the leaf was never scanned.
+            self.masks_reused += 1
+        else:
+            mask = expr.evaluate(table)
+            self.masks_computed += 1
+            self.database.store_mask(key, mask)
+        self._masks[key] = mask
+        return mask
+
+    # -- shared numeric factorisation ------------------------------------
+
+    def numeric_factor(self, table: Table,
+                       column: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(uniques, codes)`` of a numeric column over the *full* table.
+
+        Computed once per request and masked per group; ``np.unique``
+        sorts, so per-group codes keep the same value order the engine's
+        per-group factorisation would produce.
+        """
+        key = (table.schema.name.lower(), column)
+        cached = self._numeric_factors.get(key)
+        if cached is None:
+            array = table.column(column)
+            uniques, codes = np.unique(array, return_inverse=True)
+            cached = (uniques, codes)
+            self._numeric_factors[key] = cached
+        return cached
+
+
+def _count_leaves(expr: BooleanExpr | None) -> int:
+    """Number of leaf predicates — full-column mask builds — in a tree."""
+    if expr is None:
+        return 0
+    if isinstance(expr, (And, Or)):
+        return sum(_count_leaves(child) for child in expr.children)
+    if isinstance(expr, Not):
+        return _count_leaves(expr.child)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Statement execution with shared state
+# ---------------------------------------------------------------------------
+
+
+def _execute_statement(ctx: _RequestContext,
+                       bound: BoundStatement) -> QueryResult:
+    """Execute one (bound) group statement through the batch kernels.
+
+    Mirrors :func:`repro.sqldb.executor.execute_bound` step for step —
+    the only differences are the request-shared mask cache and GROUP BY
+    factorisations, which produce bit-identical filtered arrays and group
+    partitions, hence bit-identical results.
+    """
+    statement = bound.statement
+    database = ctx.database
+    table = database.table(statement.table)
+    with trace_span("sqldb.execute") as span:
+        span.set_attribute("table", statement.table)
+        span.set_attribute("batch", True)
+        start = time.perf_counter()
+
+        mask: np.ndarray | None = None
+        if statement.sample_fraction is not None \
+                and statement.sample_fraction < 1.0:
+            rng = database.sampling_rng(statement)
+            mask = rng.random(table.num_rows) < statement.sample_fraction
+            ctx.sample_masks += 1
+            ctx.legacy_scans += 1
+        if bound.where is not None:
+            where_mask = ctx.mask(bound.where, table)
+            mask = where_mask if mask is None else (mask & where_mask)
+            ctx.legacy_scans += ctx.leaf_count(bound.where)
+
+        needed = {agg.column for agg in bound.aggregates
+                  if agg.column is not None}
+        if mask is None:
+            arrays = {name: table.column(name) for name in needed}
+            row_count = table.num_rows
+        else:
+            arrays = {name: table.column(name)[mask] for name in needed}
+            row_count = int(mask.sum())
+        span.set_attribute("rows_scanned", row_count)
+        span.set_attribute("rows_total", table.num_rows)
+
+        if bound.group_columns:
+            group_factors: list[tuple[np.ndarray, np.ndarray]] = []
+            for name in bound.group_columns:
+                column = table.column(name)
+                if column.dtype == object:
+                    uniques, codes, _ = table.dictionary(name)
+                else:
+                    uniques, codes = ctx.numeric_factor(table, name)
+                group_factors.append(
+                    (uniques, codes if mask is None else codes[mask]))
+            names, rows = _grouped_aggregate(
+                arrays, row_count, bound.group_columns, group_factors,
+                bound.aggregates)
+        else:
+            names, rows = _scalar_aggregate(arrays, row_count,
+                                            bound.aggregates)
+        if statement.having:
+            rows = _apply_having(names, rows, statement)
+        rows = _order_and_limit(names, rows, statement)
+        elapsed = time.perf_counter() - start
+        span.set_attribute("rows_returned", len(rows))
+        span.set_attribute("elapsed_ms", round(elapsed * 1000.0, 4))
+    # The aggregate kernels already emit tuples per row; no re-tupling.
+    return QueryResult(columns=names, rows=tuple(rows),
+                       elapsed_seconds=elapsed)
+
+
+def _supported(bound: BoundStatement) -> bool:
+    """Shapes the batch kernels cover; everything else falls back."""
+    return not bound.statement.explain
+
+
+def _execute_group(ctx: _RequestContext, sql: str,
+                   fallbacks: list[str]) -> QueryResult:
+    """One group through the batch kernels, or ``database.execute``."""
+    bound = ctx.database.bound_statement(sql)
+    if not _supported(bound):
+        fallbacks.append(sql)
+        ctx.legacy_scans += ctx.leaf_count(bound.where)
+        ctx.masks_computed += ctx.leaf_count(bound.where)
+        return ctx.database.execute(sql)
+    return _execute_statement(ctx, bound)
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+
+def run_plan(plan: "ExecutionPlan", database: Database,
+             sample_fraction: float | None = None,
+             cache: "QueryResultCache | None" = None,
+             ) -> dict["AggregateQuery", float | None]:
+    """Answer every group of *plan* with request-shared work.
+
+    Drop-in equivalent of the per-group loop in
+    :meth:`~repro.execution.merging.ExecutionPlan.run` — same results
+    (bit for bit, including TABLESAMPLE draws and NULL/zero-row
+    normalisation), same result-cache interoperation, same span shape —
+    but each distinct predicate mask and GROUP BY factorisation is
+    computed once per request instead of once per group.
+    """
+    from repro.execution.merging import (
+        _extract_group_results,
+        _normalize,
+        _with_sample,
+    )
+    ctx = _RequestContext(database)
+    fallbacks: list[str] = []
+    results: dict["AggregateQuery", float | None] = {}
+    with trace_span("executor.batch") as batch_span:
+        batch_span.set_attribute("groups", len(plan.groups))
+        for group in plan.groups:
+            sql = group.sql
+            if sample_fraction is not None and sample_fraction < 1.0:
+                sql = _with_sample(sql, sample_fraction)
+            with trace_span("executor.group") as span:
+                span.set_attribute("queries", len(group.queries))
+                span.set_attribute("merged", group.is_merged)
+                span.set_attribute("estimated_cost",
+                                   round(group.estimated_cost, 3))
+                span.set_attribute("batch", True)
+                executed = True
+                try:
+                    if cache is not None:
+                        executed = False
+
+                        def execute(text: str) -> QueryResult:
+                            nonlocal executed
+                            executed = True
+                            return _execute_group(ctx, text, fallbacks)
+
+                        outcome = cache.get_or_execute(sql, execute)
+                        span.set_attribute(
+                            "cache", "miss" if executed else "hit")
+                    else:
+                        outcome = _execute_group(ctx, sql, fallbacks)
+                except NullAggregateError:
+                    # Aggregate over zero qualifying rows (SQL NULL):
+                    # report every member query as missing/zero.  Real
+                    # execution failures propagate to the caller.
+                    span.set_attribute("null_result", True)
+                    for query in group.queries:
+                        results[query] = _normalize(query, None)
+                    continue
+                if executed:
+                    actual_ms = outcome.elapsed_seconds * 1000.0
+                    span.set_attribute("actual_ms", round(actual_ms, 4))
+                    if group.estimated_cost > 0:
+                        span.set_attribute(
+                            "ms_per_cost_unit",
+                            round(actual_ms / group.estimated_cost, 6))
+            _extract_group_results(group, outcome, results)
+        batch_scans = ctx.masks_computed + ctx.sample_masks
+        scans_saved = max(0, ctx.legacy_scans - batch_scans)
+        batch_span.set_attribute("masks_computed", ctx.masks_computed)
+        batch_span.set_attribute("masks_reused", ctx.masks_reused)
+        batch_span.set_attribute("scans_saved", scans_saved)
+        if fallbacks:
+            batch_span.set_attribute("fallback_groups", len(fallbacks))
+    _STATS.record(groups=len(plan.groups), fallbacks=len(fallbacks),
+                  masks_computed=ctx.masks_computed,
+                  masks_reused=ctx.masks_reused, scans_saved=scans_saved)
+    registry = get_registry()
+    registry.counter("batch_plans").inc()
+    if ctx.masks_reused:
+        registry.counter("batch_masks_reused_total").inc(ctx.masks_reused)
+    if scans_saved:
+        registry.counter("batch_scans_saved_total").inc(scans_saved)
+    return results
+
+
+def plan_scan_counts(plan: "ExecutionPlan", database: Database,
+                     sample_fraction: float | None = None,
+                     ) -> tuple[int, int]:
+    """``(legacy, batch)`` full-table mask builds this plan needs.
+
+    The legacy count charges every group for each of its leaf predicates
+    (plus one TABLESAMPLE draw when sampling); the batch count charges
+    each *distinct* leaf once.  Used by the serving benchmark to report
+    scans per request without instrumenting the hot path.
+    """
+    from repro.execution.merging import _with_sample
+    legacy = 0
+    distinct: set[tuple[str, BooleanExpr]] = set()
+    samples = 0
+    for group in plan.groups:
+        sql = group.sql
+        if sample_fraction is not None and sample_fraction < 1.0:
+            sql = _with_sample(sql, sample_fraction)
+            samples += 1
+            legacy += 1
+        bound = database.bound_statement(sql)
+        legacy += _count_leaves(bound.where)
+        table = bound.statement.table.lower()
+        stack: list[BooleanExpr] = (
+            [bound.where] if bound.where is not None else [])
+        while stack:
+            expr = stack.pop()
+            if isinstance(expr, (And, Or)):
+                stack.extend(expr.children)
+            elif isinstance(expr, Not):
+                stack.append(expr.child)
+            else:
+                distinct.add((table, expr))
+    return legacy, len(distinct) + samples

@@ -54,9 +54,14 @@ class MuveExecutor:
     """
 
     def __init__(self, database: Database, merge: bool = True,
-                 result_cache: "QueryResultCache | None" = None) -> None:
+                 result_cache: "QueryResultCache | None" = None,
+                 batch: bool | None = None) -> None:
+        """``batch=None`` (the default) lets each plan follow the global
+        batch-executor flag; ``True``/``False`` pins the choice for every
+        plan this executor runs (tests and A/B benchmarks use this)."""
         self._database = database
         self._merge = merge
+        self._batch = batch
         self.result_cache = result_cache
 
     def run(self, multiplot: Multiplot,
@@ -83,7 +88,8 @@ class MuveExecutor:
         strategy = strategy or DefaultProcessing()
         yield from strategy.updates(self._database, multiplot,
                                     merge=self._merge,
-                                    cache=self.result_cache)
+                                    cache=self.result_cache,
+                                    batch=self._batch)
 
     def run_incremental_ilp(self, problem: MultiplotSelectionProblem,
                             solver: IlpSolver | None = None,
@@ -115,7 +121,8 @@ class MuveExecutor:
                     plan = plan_execution(self._database, missing,
                                           merge=self._merge)
                     cache.update(plan.run(self._database,
-                                          cache=self.result_cache))
+                                          cache=self.result_cache,
+                                          batch=self._batch))
                 updates.append(VisualizationUpdate(
                     elapsed_seconds=time.perf_counter() - start,
                     multiplot=_fill_values(multiplot, cache),

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, NullAggregateError
 from repro.observability import trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -59,6 +59,7 @@ class ExecutionPlan:
     def run(self, database: Database,
             sample_fraction: float | None = None,
             cache: "QueryResultCache | None" = None,
+            batch: bool | None = None,
             ) -> dict[AggregateQuery, float | None]:
         """Execute every group; returns per-query results.
 
@@ -69,7 +70,23 @@ class ExecutionPlan:
         ``cache`` short-circuits group execution on normalised-SQL hits
         (sampled statements carry their fraction in the SQL text, so exact
         and approximate runs never share an entry).
+
+        ``batch`` routes the whole plan through the one-pass batch
+        executor (:mod:`repro.execution.batch`), which shares predicate
+        masks and GROUP BY factorisations across groups and returns
+        results identical to this per-group loop.  ``None`` (the default)
+        follows the global flag (:func:`repro.execution.batch
+        .batch_enabled`); the batch path is skipped when the database
+        simulates page I/O, whose per-statement sleeps model exactly the
+        repeated scans the batch executor elides.
         """
+        from repro.execution import batch as batch_executor
+        if batch is None:
+            batch = batch_executor.batch_enabled()
+        if batch and database.io_millis_per_page == 0.0:
+            return batch_executor.run_plan(
+                self, database, sample_fraction=sample_fraction,
+                cache=cache)
         results: dict[AggregateQuery, float | None] = {}
         for group in self.groups:
             sql = group.sql
@@ -95,9 +112,13 @@ class ExecutionPlan:
                             "cache", "miss" if executed else "hit")
                     else:
                         outcome = database.execute(sql)
-                except ExecutionError:
+                except NullAggregateError:
                     # Aggregate over zero qualifying rows (SQL NULL):
-                    # report every member query as missing/zero.
+                    # report every member query as missing/zero.  Other
+                    # ExecutionErrors are genuine failures (bad SQL, a
+                    # dropped table, an unsupported aggregate) and
+                    # propagate to the caller instead of being silently
+                    # folded into "no data".
                     span.set_attribute("null_result", True)
                     for query in group.queries:
                         results[query] = _normalize(query, None)

@@ -86,6 +86,7 @@ class ProcessingStrategy:
     def updates(self, database: Database, multiplot: Multiplot,
                 merge: bool = True,
                 cache: "QueryResultCache | None" = None,
+                batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
         raise NotImplementedError
 
@@ -98,6 +99,7 @@ class DefaultProcessing(ProcessingStrategy):
     def updates(self, database: Database, multiplot: Multiplot,
                 merge: bool = True,
                 cache: "QueryResultCache | None" = None,
+                batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
@@ -106,7 +108,7 @@ class DefaultProcessing(ProcessingStrategy):
         # The span closes before the yield: an open span across a yield
         # would tear down in the consumer's context.
         with trace_span("executor.update", final=True) as span:
-            results = plan.run(database, cache=cache)
+            results = plan.run(database, cache=cache, batch=batch)
             update = VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
                 multiplot=_fill_values(multiplot, results),
@@ -139,6 +141,7 @@ class IncrementalPlotting(ProcessingStrategy):
     def updates(self, database: Database, multiplot: Multiplot,
                 merge: bool = True,
                 cache: "QueryResultCache | None" = None,
+                batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
@@ -154,7 +157,8 @@ class IncrementalPlotting(ProcessingStrategy):
                            if bar.query not in results]
                 if queries:
                     plan = _plan_with_span(database, queries, merge)
-                    results.update(plan.run(database, cache=cache))
+                    results.update(plan.run(database, cache=cache,
+                                            batch=batch))
                 span.set_attribute("new_queries", len(queries))
                 shown.add(index)
                 update = VisualizationUpdate(
@@ -249,6 +253,7 @@ class ApproximateProcessing(ProcessingStrategy):
     def updates(self, database: Database, multiplot: Multiplot,
                 merge: bool = True,
                 cache: "QueryResultCache | None" = None,
+                batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
@@ -263,7 +268,7 @@ class ApproximateProcessing(ProcessingStrategy):
             with trace_span("executor.update", approximate=True) as span:
                 span.set_attribute("sample_fraction", round(fraction, 6))
                 raw = plan.run(database, sample_fraction=fraction,
-                               cache=cache)
+                               cache=cache, batch=batch)
                 scaled = {
                     query: (None if value is None else
                             scale_aggregate(query.aggregate.func, value,
@@ -280,7 +285,7 @@ class ApproximateProcessing(ProcessingStrategy):
                 )
             yield update
         with trace_span("executor.update", final=True) as span:
-            results = plan.run(database, cache=cache)
+            results = plan.run(database, cache=cache, batch=batch)
             update = VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
                 multiplot=_fill_values(multiplot, results),

@@ -112,6 +112,11 @@ class Muve:
         The :class:`~repro.observability.MetricsRegistry` receiving
         request counters/latency histograms and the cache gauges;
         defaults to the process-wide registry.
+    batch_execution:
+        ``None`` (the default) follows the global batch-executor flag
+        (:func:`repro.execution.batch.batch_enabled`, the CLI's
+        ``--no-batch-exec``); ``True``/``False`` pins the one-pass batch
+        path on or off for this pipeline.
 
     One instance is safe to share across threads: the pipeline components
     hold no per-request state, randomness is derived per call, and the
@@ -131,7 +136,8 @@ class Muve:
                  processing_aware: bool = False,
                  seed: int = 0,
                  enable_caching: bool = True,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 batch_execution: bool | None = None) -> None:
         self.database = database
         self.table_name = database.table(table_name).schema.name
         self.geometry = geometry or ScreenGeometry()
@@ -153,7 +159,8 @@ class Muve:
         if enable_caching and self.planner.plan_cache is None:
             self.planner.plan_cache = PlanCache()
         self._executor = MuveExecutor(database,
-                                      result_cache=self.result_cache)
+                                      result_cache=self.result_cache,
+                                      batch=batch_execution)
         self.metrics = metrics if metrics is not None else get_registry()
         if self.result_cache is not None:
             register_cache_metrics(self.metrics, "query_results",
@@ -161,6 +168,8 @@ class Muve:
         if self.planner.plan_cache is not None:
             register_cache_metrics(self.metrics, "plans",
                                    self.planner.plan_cache)
+        from repro.execution.batch import register_batch_metrics
+        register_batch_metrics(self.metrics)
 
     # ------------------------------------------------------------------
 
@@ -176,6 +185,13 @@ class Muve:
         if self.planner.plan_cache is not None:
             snapshot = self.planner.plan_cache.stats
             stats["plans"] = {
+                "hits": snapshot.hits, "misses": snapshot.misses,
+                "evictions": snapshot.evictions, "size": snapshot.size,
+                "hit_rate": snapshot.hit_rate}
+        for name, snapshot in (
+                ("statements", self.database.statement_cache_stats),
+                ("plan_costs", self.database.cost_cache_stats)):
+            stats[name] = {
                 "hits": snapshot.hits, "misses": snapshot.misses,
                 "evictions": snapshot.evictions, "size": snapshot.size,
                 "hit_rate": snapshot.hit_rate}

@@ -5,13 +5,19 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.caching.lru import CacheStats, LruCache
+from repro.caching.sql import normalize_sql
 from repro.errors import CatalogError, ExecutionError
 from repro.observability import trace_span
-from repro.sqldb.executor import execute_select
+from repro.sqldb.executor import (
+    BoundStatement,
+    bind_statement,
+    execute_bound,
+)
 from repro.sqldb.parser import SelectStatement, parse
 from repro.sqldb.planner import PlanNode, plan_select
 from repro.sqldb.query import AggregateQuery
@@ -61,19 +67,45 @@ class Database:
     """
 
     def __init__(self, seed: int = 0,
-                 io_millis_per_page: float = 0.0) -> None:
+                 io_millis_per_page: float = 0.0,
+                 statement_cache_size: int = 512,
+                 cost_cache_size: int = 4096,
+                 mask_cache_bytes: int = 64 << 20) -> None:
         """``io_millis_per_page`` > 0 simulates a disk-resident DBMS: every
         query execution sleeps in proportion to the pages its scan reads
         (scaled by the sample fraction, SYSTEM-sampling style).  The
         scaling experiments use this to reproduce the paper's Postgres
         regime, where page I/O dominates per-query cost; the default of 0
-        keeps the engine purely in-memory."""
+        keeps the engine purely in-memory.
+
+        ``statement_cache_size``/``cost_cache_size`` bound the two
+        normalised-SQL caches (parsed-and-bound statements, optimizer cost
+        estimates); 0 disables the respective cache.
+        ``mask_cache_bytes`` bounds the leaf-predicate mask cache the
+        batch executor keeps across requests (0 disables it)."""
         self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
         self._statistics_lock = threading.Lock()
         self._seed = seed
         self.io_millis_per_page = io_millis_per_page
+        # Normalised SQL text -> BoundStatement.  Candidate workloads ask
+        # the same few dozen statements over and over; a hit skips the
+        # lexer, the parser and expression binding entirely.
+        self._statements = LruCache(statement_cache_size)
+        # Exact-text memo over _statements; see bound_statement().
+        self._raw_statements: dict[str, BoundStatement] = {}
+        self._raw_statement_hits = 0
+        # Normalised SQL text -> total optimizer cost.  The merge planner
+        # costs every candidate (and every tentative merged statement) on
+        # each request; estimates only change when data changes.
+        self._costs = LruCache(cost_cache_size)
+        # (table, bound leaf predicate) -> boolean mask.  Leaf masks are
+        # pure functions of table data, so the batch executor shares them
+        # across requests; see cached_mask()/store_mask().
+        self._mask_budget = mask_cache_bytes
+        self._masks: dict[Hashable, np.ndarray] = {}
+        self._mask_bytes = 0
 
     # ------------------------------------------------------------------
     # DDL / data loading
@@ -98,6 +130,7 @@ class Database:
         """Adopt a pre-built table (dataset generators use this)."""
         self.catalog.register(table.schema)
         self._tables[table.schema.name.lower()] = table
+        self._invalidate_statement_caches()
 
     def load_csv(self, path: str, table_name: str,
                  delimiter: str = ",") -> TableSchema:
@@ -111,12 +144,60 @@ class Database:
         self.catalog.drop(name)
         self._tables.pop(name.lower(), None)
         self._statistics.pop(name.lower(), None)
+        self._invalidate_statement_caches()
 
     def insert_rows(self, table_name: str,
                     rows: Iterable[Sequence[Any]]) -> None:
         table = self.table(table_name)
         table.append_rows(rows)
         self._statistics.pop(table_name.lower(), None)
+        self._invalidate_statement_caches()
+
+    def _invalidate_statement_caches(self) -> None:
+        """Drop cached bound statements, cost estimates and masks.
+
+        Called on any DDL or data mutation: bound statements depend on
+        schemas, cost estimates on table statistics, predicate masks on
+        the data itself.  Dropping everything (instead of per-table
+        entries) keeps invalidation trivially correct; mutations happen
+        at load time, not on the serving path.
+        """
+        self._statements.clear()
+        self._raw_statements = {}
+        self._costs.clear()
+        self._masks = {}
+        self._mask_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Predicate mask cache (used by repro.execution.batch)
+    # ------------------------------------------------------------------
+
+    def cached_mask(self, key: Hashable) -> np.ndarray | None:
+        """A leaf-predicate mask stored by a previous request, or None.
+
+        Returned arrays are shared across threads and requests — callers
+        must treat them as immutable.
+        """
+        return self._masks.get(key)
+
+    def store_mask(self, key: Hashable, mask: np.ndarray) -> None:
+        """Retain *mask* for later requests, within the byte budget.
+
+        Eviction is clear-all: predicate working sets are small (one mask
+        per distinct candidate leaf), so the budget only trips when the
+        workload churns through predicates — at which point nothing in
+        the cache is worth ranking.  Plain-dict operations keep the read
+        path lock-free; a racing double-store is harmless.
+        """
+        if self._mask_budget <= 0:
+            return
+        if self._mask_bytes + mask.nbytes > self._mask_budget:
+            self._masks = {}
+            self._mask_bytes = 0
+            if mask.nbytes > self._mask_budget:
+                return
+        self._masks[key] = mask
+        self._mask_bytes += mask.nbytes
 
     # ------------------------------------------------------------------
     # Introspection
@@ -168,6 +249,54 @@ class Database:
             return parse(query.to_sql())
         return parse(query)
 
+    def bound_statement(self, query: str | SelectStatement | AggregateQuery,
+                        ) -> BoundStatement:
+        """The parsed-and-bound form of *query*, cached by normalised SQL.
+
+        A hit skips tokenizing, parsing and expression binding; the cache
+        is invalidated by any DDL or :meth:`insert_rows`.  Statements
+        passed in already-parsed form are bound fresh (they carry no SQL
+        text worth normalising).
+
+        An exact-text front memo sits above the normalised LRU: serving
+        replays the *same* group SQL strings request after request, and
+        normalising the key costs more than everything else on a warm
+        hit.  The memo is a plain dict (GIL-atomic for string keys; a
+        racing double-store is harmless) flushed whenever it outgrows the
+        LRU by 4x.
+        """
+        if isinstance(query, SelectStatement):
+            return bind_statement(query, self.table(query.table))
+
+        sql = query.to_sql() if isinstance(query, AggregateQuery) else query
+        cached = self._raw_statements.get(sql)
+        if cached is not None:
+            # Racing increments may drop a count; the stat is advisory.
+            self._raw_statement_hits += 1
+            return cached
+
+        def build() -> BoundStatement:
+            statement = self._coerce_statement(query)
+            return bind_statement(statement, self.table(statement.table))
+
+        bound = self._statements.get_or_compute(normalize_sql(sql), build)
+        if len(self._raw_statements) >= max(1024,
+                                            4 * self._statements.capacity):
+            self._raw_statements = {}
+        self._raw_statements[sql] = bound
+        return bound
+
+    def sampling_rng(self, statement: SelectStatement,
+                     ) -> np.random.Generator:
+        """The derived generator :meth:`execute` uses for TABLESAMPLE.
+
+        Exposed so alternative execution paths (the batch executor)
+        sample exactly the rows a plain ``execute`` of the same statement
+        would.
+        """
+        from repro.sqldb.sampling import derive_rng
+        return derive_rng(self._seed, statement.to_sql())
+
     def execute(self, query: str | SelectStatement | AggregateQuery,
                 rng: np.random.Generator | None = None) -> QueryResult:
         """Parse (if needed), execute, and time a query.
@@ -176,15 +305,15 @@ class Database:
         from the database seed and the statement text, making sampled
         results reproducible and thread-interleaving-independent.
         """
-        statement = self._coerce_statement(query)
+        bound = self.bound_statement(query)
+        statement = bound.statement
         table = self.table(statement.table)
         if rng is None and statement.sample_fraction is not None:
-            from repro.sqldb.sampling import derive_rng
-            rng = derive_rng(self._seed, statement.to_sql())
+            rng = self.sampling_rng(statement)
         with trace_span("sqldb.execute") as span:
             span.set_attribute("table", statement.table)
             start = time.perf_counter()
-            columns, rows = execute_select(statement, table, rng)
+            columns, rows = execute_bound(bound, table, rng)
             if self.io_millis_per_page > 0.0:
                 self._simulate_io(statement, table)
             elapsed = time.perf_counter() - start
@@ -205,11 +334,42 @@ class Database:
     def explain(self, query: str | SelectStatement | AggregateQuery,
                 ) -> PlanNode:
         """The cost-annotated plan without executing (Postgres EXPLAIN)."""
-        statement = self._coerce_statement(query)
+        statement = self.bound_statement(query).statement
         table = self.table(statement.table)
         return plan_select(statement, table, self.statistics(statement.table))
 
     def estimated_cost(self, query: str | SelectStatement | AggregateQuery,
                        ) -> float:
-        """Total plan cost in abstract optimizer units."""
-        return self.explain(query).cost.total
+        """Total plan cost in abstract optimizer units (cached by
+        normalised SQL; invalidated with the statement cache)."""
+        if isinstance(query, SelectStatement):
+            sql = query.to_sql()
+        elif isinstance(query, AggregateQuery):
+            sql = query.to_sql()
+        else:
+            sql = query
+        return self._costs.get_or_compute(
+            normalize_sql(sql), lambda: self.explain(query).cost.total)
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def statement_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the parsed-and-bound statement cache.
+
+        Hits fold in the exact-text memo sitting above the normalised
+        LRU (a memo hit serves the same bound statement, just cheaper).
+        """
+        stats = self._statements.stats
+        return CacheStats(hits=stats.hits + self._raw_statement_hits,
+                          misses=stats.misses,
+                          evictions=stats.evictions,
+                          size=stats.size,
+                          capacity=stats.capacity)
+
+    @property
+    def cost_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the optimizer cost-estimate cache."""
+        return self._costs.stats

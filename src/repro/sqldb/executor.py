@@ -13,15 +13,51 @@ engine-level optimisations:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, NullAggregateError
 from repro.observability import current_span
-from repro.sqldb.expressions import AggregateCall, AggregateFunction
+from repro.sqldb.expressions import (
+    AggregateCall,
+    AggregateFunction,
+    BooleanExpr,
+)
 from repro.sqldb.parser import SelectStatement
 from repro.sqldb.table import Table
+
+
+@dataclass(frozen=True)
+class BoundStatement:
+    """A parsed statement with its expressions type-checked against a
+    schema — the unit the statement cache stores.
+
+    Binding resolves column-name case, coerces literals to column types
+    and validates aggregate typing; it only depends on the schema, so a
+    bound statement may be reused across executions (and across threads:
+    all fields are immutable).
+    """
+
+    statement: SelectStatement
+    where: BooleanExpr | None
+    aggregates: tuple[AggregateCall, ...]
+    group_columns: tuple[str, ...]
+
+
+def bind_statement(statement: SelectStatement,
+                   table: Table) -> BoundStatement:
+    """Type-check *statement* against *table*'s schema once."""
+    return BoundStatement(
+        statement=statement,
+        where=(statement.where.bind(table.schema)
+               if statement.where is not None else None),
+        aggregates=tuple(agg.bind(table.schema)
+                         for agg in statement.aggregates),
+        group_columns=tuple(table.schema.column(name).name
+                            for name in statement.group_by),
+    )
 
 
 def execute_select(statement: SelectStatement, table: Table,
@@ -33,12 +69,17 @@ def execute_select(statement: SelectStatement, table: Table,
     statements without a sampling clause (callers pass an explicitly
     derived generator when sampling — there is no implicit global stream).
     """
-    bound_where = (statement.where.bind(table.schema)
-                   if statement.where is not None else None)
-    bound_aggs = tuple(agg.bind(table.schema)
-                       for agg in statement.aggregates)
-    group_columns = tuple(table.schema.column(name).name
-                          for name in statement.group_by)
+    return execute_bound(bind_statement(statement, table), table, rng)
+
+
+def execute_bound(bound: BoundStatement, table: Table,
+                  rng: np.random.Generator | None,
+                  ) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
+    """Run an already-bound statement (the statement-cache fast path)."""
+    statement = bound.statement
+    bound_where = bound.where
+    bound_aggs = bound.aggregates
+    group_columns = bound.group_columns
 
     mask: np.ndarray | None = None
     if statement.sample_fraction is not None \
@@ -167,7 +208,7 @@ def _compute_aggregate(agg: AggregateCall, array: np.ndarray | None,
     if agg.func == AggregateFunction.COUNT:
         return float(len(array))
     if len(array) == 0:
-        raise ExecutionError(
+        raise NullAggregateError(
             f"{agg.func.value.upper()}({agg.column}) over zero rows "
             "has no value (SQL NULL)")
     if array.dtype == object:

@@ -169,5 +169,11 @@ class TestMuveCacheWiring:
         db.register_table(make_nyc311_table(num_rows=800, seed=2))
         muve = Muve(db, "nyc311", enable_caching=False)
         muve.ask("count of requests for borough Queens")
-        assert muve.cache_stats() == {}
+        stats = muve.cache_stats()
+        # Pipeline-level caches are off; only the database-level
+        # statement/cost caches (which live on the Database, not the
+        # pipeline) still report counters.
+        assert "query_results" not in stats
+        assert "plans" not in stats
+        assert set(stats) == {"statements", "plan_costs"}
         assert muve.result_cache is None

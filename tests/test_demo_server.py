@@ -168,10 +168,17 @@ class TestParallelAsk:
         assert status == 200
         stats = json.loads(raw)
         assert stats["responses"]["hits"] >= 1
-        assert set(stats) >= {"responses", "query_results", "plans"}
-        for counters in stats.values():
+        assert set(stats) >= {"responses", "query_results", "plans",
+                              "statements", "plan_costs",
+                              "batch_executor"}
+        for name, counters in stats.items():
+            if name == "batch_executor":
+                continue  # executor counters, not a cache
             assert counters["hits"] + counters["misses"] >= 0
             assert 0.0 <= counters["hit_rate"] <= 1.0
+        batch = stats["batch_executor"]
+        assert batch["requests"] >= 0
+        assert batch["masks_reused"] >= 0
 
     def test_cached_repeat_is_5x_faster_than_cold(self):
         # Fresh server so the first request is genuinely cold.
