@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check fast concurrency bench bench-serve profile
+.PHONY: check fast concurrency bench bench-serve bench-phonetics profile
 
 # The gating suite: the full test tree (tier 1), then the concurrency
 # and caching suites once more on their own.  Test-order randomisation
@@ -28,10 +28,19 @@ bench:
 bench-serve:
 	PYTHONPATH=src python scripts/bench_serving.py
 
+# Phonetic retrieval benchmark: pruned exact top-k vs the exhaustive
+# scan on synthetic 10k/100k (1M with MUVE_BENCH_FULL=1) vocabularies;
+# writes BENCH_phonetics.json.
+bench-phonetics:
+	PYTHONPATH=src python scripts/bench_phonetics.py
+
 # Performance gates: (1) tracing must cost under 5% wall-clock
 # (MUVE_OVERHEAD_THRESHOLD); (2) batch execution must be no slower than
 # the per-group loop and cut scans per request (MUVE_BATCH_TOLERANCE,
-# MUVE_BATCH_SCAN_FACTOR).
+# MUVE_BATCH_SCAN_FACTOR); (3) pruned phonetic retrieval must beat the
+# exhaustive scan by MUVE_PHONETIC_SPEEDUP_FACTOR at 100k terms within
+# the MUVE_PHONETIC_P50_MS latency budget.
 profile:
 	PYTHONPATH=src python scripts/check_overhead.py
 	PYTHONPATH=src python scripts/check_batch_speedup.py
+	PYTHONPATH=src python scripts/check_phonetics_speedup.py

@@ -11,12 +11,19 @@ mask (a leaf predicate or a TABLESAMPLE draw); the per-group path pays
 one per leaf per group, the batch path one per *distinct* leaf per
 request (see :func:`repro.execution.batch.plan_scan_counts`).
 
+The report also carries a ``candidate_generation`` section: end-to-end
+:meth:`CandidateGenerator.candidates` latency over a large synthetic
+vocabulary (pruned phonetic retrieval is the dominant cost there), both
+cold (probe cache cleared per round) and warm.
+
 Environment knobs::
 
     MUVE_BENCH_REQUESTS     number of requests (default 30)
     MUVE_BENCH_ROWS         table rows (default 20000)
     MUVE_BENCH_CANDIDATES   candidates per request (default 50)
     MUVE_BENCH_ROUNDS       measurement rounds, best kept (default 5)
+    MUVE_BENCH_VOCAB        candidate-generation vocabulary size
+                            (default 50000)
     MUVE_BENCH_OUTPUT       output path (default BENCH_serving.json)
 """
 
@@ -28,6 +35,7 @@ import statistics
 import sys
 import time
 
+from repro.caching.phonetic import phonetic_probe_cache
 from repro.datasets.generators import DATASET_GENERATORS
 from repro.datasets.workload import WorkloadGenerator
 from repro.execution.batch import plan_scan_counts
@@ -85,11 +93,73 @@ def measure(database: Database, plans, batch: bool, rounds: int) -> dict:
     }
 
 
+def measure_candidate_generation(vocabulary_size: int, requests: int,
+                                 rounds: int, k: int = 20,
+                                 seed: int = 0) -> dict:
+    """End-to-end candidate-generation latency on a large vocabulary.
+
+    Builds a table whose predicate column holds *vocabulary_size*
+    distinct text values, so every request's alternatives come from
+    pruned top-k retrieval over a vocabulary far past the point where
+    the old exhaustive scan was interactive.  "Cold" clears the probe
+    cache each round (every lookup runs the pruned search); "warm"
+    repeats the same requests with the cache intact.
+    """
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_phonetics import synthetic_vocabulary
+    terms = synthetic_vocabulary(vocabulary_size)
+    database = Database(seed=seed)
+    database.create_table("bigvocab", [("term", "text"),
+                                       ("value", "double")])
+    database.insert_rows(
+        "bigvocab",
+        [(term, float(position % 97))
+         for position, term in enumerate(terms)])
+    begin = time.perf_counter()
+    generator = CandidateGenerator(database, "bigvocab", k=k,
+                                   max_simultaneous=1)
+    build_seconds = time.perf_counter() - begin
+    workload = WorkloadGenerator(database.table("bigvocab"), seed=seed)
+    targets = [workload.random_query(max_predicates=1)
+               for _ in range(requests)]
+
+    def run(clear_cache: bool) -> dict:
+        best = [float("inf")] * len(targets)
+        for _ in range(rounds):
+            if clear_cache:
+                phonetic_probe_cache().clear()
+            for position, target in enumerate(targets):
+                start = time.perf_counter()
+                generator.candidates(target, k)
+                best[position] = min(
+                    best[position],
+                    (time.perf_counter() - start) * 1000.0)
+        latencies = sorted(best)
+        return {
+            "p50_ms": round(statistics.median(latencies), 4),
+            "p95_ms": round(
+                latencies[int(0.95 * (len(latencies) - 1))], 4),
+            "mean_ms": round(statistics.fmean(latencies), 4),
+        }
+
+    cold = run(clear_cache=True)
+    warm = run(clear_cache=False)
+    return {
+        "vocabulary_terms": len(terms),
+        "requests": len(targets),
+        "k": k,
+        "index_build_seconds": round(build_seconds, 3),
+        "cold": cold,
+        "warm": warm,
+    }
+
+
 def main() -> int:
     requests = int(os.environ.get("MUVE_BENCH_REQUESTS", "30"))
     rows = int(os.environ.get("MUVE_BENCH_ROWS", "20000"))
     candidates = int(os.environ.get("MUVE_BENCH_CANDIDATES", "50"))
     rounds = int(os.environ.get("MUVE_BENCH_ROUNDS", "5"))
+    vocabulary = int(os.environ.get("MUVE_BENCH_VOCAB", "50000"))
     output = os.environ.get("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
 
     database, plans = build_requests(rows, requests, candidates)
@@ -120,6 +190,8 @@ def main() -> int:
         "scan_reduction": round(
             legacy["scans_per_request"]
             / max(batched["scans_per_request"], 1e-9), 2),
+        "candidate_generation": measure_candidate_generation(
+            vocabulary, requests, max(2, rounds - 2)),
     }
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -137,6 +209,11 @@ def main() -> int:
               f"{entry['scans_per_request']:.1f} scans/request")
     print(f"  speedup p50: {report['speedup_p50']}x, "
           f"scan reduction: {report['scan_reduction']}x")
+    generation = report["candidate_generation"]
+    print(f"  candidate generation over "
+          f"{generation['vocabulary_terms']} terms: "
+          f"cold p50 {generation['cold']['p50_ms']:.2f} ms, "
+          f"warm p50 {generation['warm']['p50_ms']:.2f} ms")
     return 0
 
 

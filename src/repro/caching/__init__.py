@@ -8,6 +8,9 @@ The package provides three layers:
 * :class:`QueryResultCache` / :class:`PlanCache` — the two domain caches
   wired into :class:`~repro.execution.engine.MuveExecutor` and
   :class:`~repro.core.planner.VisualizationPlanner`.
+* :class:`PhoneticProbeCache` — exact top-k phonetic rankings keyed by
+  ``(index uid, index version, probe, k, include_self)``, wired into
+  :class:`~repro.nlq.candidates.CandidateGenerator`.
 """
 
 from repro.caching.caches import (
@@ -16,13 +19,21 @@ from repro.caching.caches import (
     register_cache_metrics,
 )
 from repro.caching.lru import CacheStats, LruCache
+from repro.caching.phonetic import (
+    PhoneticProbeCache,
+    phonetic_probe_cache,
+    reset_phonetic_probe_cache,
+)
 from repro.caching.sql import normalize_sql
 
 __all__ = [
     "CacheStats",
     "LruCache",
+    "PhoneticProbeCache",
     "PlanCache",
     "QueryResultCache",
     "normalize_sql",
+    "phonetic_probe_cache",
     "register_cache_metrics",
+    "reset_phonetic_probe_cache",
 ]

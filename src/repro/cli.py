@@ -97,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the one-pass batch executor and "
                              "run every merged group separately (the "
                              "pre-batch execution path)")
+    parser.add_argument("--no-phonetic-pruning", action="store_true",
+                        help="disable pruned phonetic retrieval and scan "
+                             "the whole vocabulary per probe (identical "
+                             "results, debugging escape hatch)")
     return parser
 
 
@@ -104,6 +108,9 @@ def make_muve(args: argparse.Namespace) -> Muve:
     if getattr(args, "no_batch_exec", False):
         from repro.execution.batch import set_batch_enabled
         set_batch_enabled(False)
+    if getattr(args, "no_phonetic_pruning", False):
+        from repro.phonetics.index import set_pruning_enabled
+        set_pruning_enabled(False)
     database = Database(seed=args.seed)
     generator = DATASET_GENERATORS[args.dataset]
     database.register_table(generator(num_rows=args.rows, seed=args.seed))

@@ -209,7 +209,9 @@ class MuveDemoServer:
         }
         stats.update(self.muve.cache_stats())
         from repro.execution.batch import batch_stats
+        from repro.phonetics.index import phonetic_stats
         stats["batch_executor"] = batch_stats()
+        stats["phonetics"] = phonetic_stats()
         return stats
 
 

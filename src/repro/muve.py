@@ -168,8 +168,16 @@ class Muve:
         if self.planner.plan_cache is not None:
             register_cache_metrics(self.metrics, "plans",
                                    self.planner.plan_cache)
+        from repro.caching.phonetic import phonetic_probe_cache
         from repro.execution.batch import register_batch_metrics
+        from repro.nlq.candidates import index_bundle_cache
+        from repro.phonetics.index import register_phonetic_metrics
         register_batch_metrics(self.metrics)
+        register_cache_metrics(self.metrics, "phonetic_probes",
+                               phonetic_probe_cache())
+        register_cache_metrics(self.metrics, "phonetic_indexes",
+                               index_bundle_cache())
+        register_phonetic_metrics(self.metrics)
 
     # ------------------------------------------------------------------
 
@@ -188,9 +196,13 @@ class Muve:
                 "hits": snapshot.hits, "misses": snapshot.misses,
                 "evictions": snapshot.evictions, "size": snapshot.size,
                 "hit_rate": snapshot.hit_rate}
+        from repro.caching.phonetic import phonetic_probe_cache
+        from repro.nlq.candidates import index_bundle_cache
         for name, snapshot in (
                 ("statements", self.database.statement_cache_stats),
-                ("plan_costs", self.database.cost_cache_stats)):
+                ("plan_costs", self.database.cost_cache_stats),
+                ("phonetic_probes", phonetic_probe_cache().stats),
+                ("phonetic_indexes", index_bundle_cache().stats)):
             stats[name] = {
                 "hits": snapshot.hits, "misses": snapshot.misses,
                 "evictions": snapshot.evictions, "size": snapshot.size,

@@ -14,9 +14,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
 
+from repro.caching.lru import LruCache
+from repro.caching.phonetic import phonetic_probe_cache
 from repro.errors import CandidateGenerationError
-from repro.phonetics.index import PhoneticIndex
+from repro.phonetics.index import PhoneticIndex, phonetic_similarity
 from repro.sqldb.database import Database
 from repro.sqldb.expressions import AggregateFunction
 from repro.sqldb.query import AggregateQuery, QueryElement
@@ -54,6 +58,60 @@ class _Alternative:
     weight: float
 
 
+@dataclass(frozen=True)
+class _IndexBundle:
+    """The phonetic indexes for one (database, table, vocabulary) state.
+
+    Built once per distinct ``Database.vocabulary_version`` and shared by
+    every :class:`CandidateGenerator` over the same table — index
+    construction is the expensive part of generator construction, and the
+    indexes are immutable once built (mutations to the database bump the
+    version, which keys a *new* bundle instead of mutating this one).
+    """
+
+    numeric_index: PhoneticIndex
+    text_column_index: PhoneticIndex
+    value_indexes: Mapping[str, PhoneticIndex]
+
+
+#: (database.uid, table, vocabulary_version) -> _IndexBundle, shared
+#: process-wide with single-flight construction.  Sized for a handful of
+#: live (database, table) pairs; superseded versions age out via LRU.
+_index_bundles = LruCache(16)
+
+
+def index_bundle_cache() -> LruCache:
+    """The process-wide bundle cache (stats surface via ``/api/stats``)."""
+    return _index_bundles
+
+
+def reset_index_bundles() -> None:
+    """Drop all cached index bundles (test isolation)."""
+    _index_bundles.clear()
+
+
+def _build_bundle(database: Database, table_name: str) -> _IndexBundle:
+    import numpy as np
+    table = database.table(table_name)
+    numeric_index = PhoneticIndex(
+        c.name for c in table.schema.numeric_columns())
+    text_column_index = PhoneticIndex(
+        c.name for c in table.schema.text_columns())
+    value_indexes: dict[str, PhoneticIndex] = {}
+    for column in table.schema.text_columns():
+        values = np.unique(table.column(column.name)).tolist()
+        value_indexes[column.name] = PhoneticIndex(values)
+    return _IndexBundle(numeric_index=numeric_index,
+                        text_column_index=text_column_index,
+                        value_indexes=MappingProxyType(value_indexes))
+
+
+def _index_bundle(database: Database, table_name: str) -> _IndexBundle:
+    key = (database.uid, table_name.lower(), database.vocabulary_version)
+    return _index_bundles.get_or_compute(
+        key, lambda: _build_bundle(database, table_name))
+
+
 class CandidateGenerator:
     """Expands a seed query into a probability distribution over candidates.
 
@@ -83,22 +141,25 @@ class CandidateGenerator:
                  vary_aggregate_function: bool = True) -> None:
         if k <= 0:
             raise CandidateGenerationError("k must be positive")
-        table = database.table(table_name)
+        self._database = database
+        self._table_name = database.table(table_name).schema.name
         self._k = k
         self._sharpness = sharpness
         self._replacement_penalty = replacement_penalty
         self._max_simultaneous = max(1, max_simultaneous)
         self._vary_aggregate_function = vary_aggregate_function
+        # Warm (or share) the per-vocabulary-version index bundle so the
+        # first candidates() call is not the one paying construction.
+        self._bundle()
 
-        self._numeric_index = PhoneticIndex(
-            c.name for c in table.schema.numeric_columns())
-        self._text_column_index = PhoneticIndex(
-            c.name for c in table.schema.text_columns())
-        import numpy as np
-        self._value_indexes: dict[str, PhoneticIndex] = {}
-        for column in table.schema.text_columns():
-            values = np.unique(table.column(column.name)).tolist()
-            self._value_indexes[column.name] = PhoneticIndex(values)
+    def _bundle(self) -> _IndexBundle:
+        """The index bundle for the database's *current* vocabulary.
+
+        Resolved per call: a mutation bumps ``vocabulary_version``, so the
+        next request transparently builds (or picks up) fresh indexes
+        instead of serving rankings over a stale vocabulary.
+        """
+        return _index_bundle(self._database, self._table_name)
 
     # ------------------------------------------------------------------
 
@@ -145,6 +206,7 @@ class CandidateGenerator:
                               elements: list[QueryElement],
                               ) -> list[list[_Alternative]]:
         """Alternatives per element, indexed like *elements*."""
+        bundle = self._bundle()
         per_element: list[list[_Alternative]] = []
         for index, element in enumerate(elements):
             if element.kind == "agg_func":
@@ -152,13 +214,13 @@ class CandidateGenerator:
                     self._aggregate_alternatives(seed, index))
             elif element.kind == "agg_column":
                 per_element.append(self._index_alternatives(
-                    self._numeric_index, element, index))
+                    bundle.numeric_index, element, index))
             elif element.kind == "pred_column":
                 per_element.append(self._index_alternatives(
-                    self._text_column_index, element, index))
+                    bundle.text_column_index, element, index))
             else:  # pred_value
                 predicate = seed.predicates[element.position]
-                value_index = self._value_indexes.get(predicate.column)
+                value_index = bundle.value_indexes.get(predicate.column)
                 if value_index is None:
                     per_element.append([])
                 else:
@@ -180,8 +242,7 @@ class CandidateGenerator:
                 continue  # SUM(*) etc. is invalid
             if func.requires_numeric and seed.aggregate.column is None:
                 continue
-            similarity = self._text_column_index.similarity(spoken,
-                                                            spoken_alt)
+            similarity = phonetic_similarity(spoken, spoken_alt)
             weight = self._weight(similarity)
             if weight > 0.0:
                 alternatives.append(
@@ -191,9 +252,10 @@ class CandidateGenerator:
     def _index_alternatives(self, index: PhoneticIndex,
                             element: QueryElement,
                             element_index: int) -> list[_Alternative]:
+        ranked = phonetic_probe_cache().most_similar(
+            index, element.text, self._k, include_self=False)
         alternatives = []
-        for scored in index.most_similar(element.text, k=self._k,
-                                         include_self=False):
+        for scored in ranked:
             weight = self._weight(scored.score)
             if weight > 0.0:
                 alternatives.append(

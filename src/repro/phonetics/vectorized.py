@@ -1,0 +1,295 @@
+"""Numpy kernels over fixed-width phonetic code arrays.
+
+The pruned top-k search in :mod:`repro.phonetics.index` separates the
+per-probe work into two phases with very different cost profiles:
+
+* a **bound pass** over *every* distinct Double Metaphone code — one
+  cheap, admissible upper bound per code, vectorized here so that a
+  100k-code vocabulary costs a handful of numpy passes instead of 100k
+  Python-level Jaro-Winkler evaluations; and
+* an **exact pass** over the shortlist of codes whose bound survives the
+  current top-k threshold — :func:`batch_jaro_winkler` mirrors the scalar
+  :func:`repro.phonetics.distance.jaro_winkler` control flow operation
+  for operation, so the vectorized scores are **bit-identical** to the
+  scalar ones (the differential tests in ``tests/phonetics`` pin this).
+
+Codes are packed by :class:`PackedCodes`: each row is one distinct code
+as ``uint8`` character ids (0 is padding, real characters start at 1,
+assigned in first-seen order).  The Double Metaphone alphabet is 15
+symbols (``0AFHJKLMNPRSTX`` plus the space that joins multi-word
+encodings), so per-code character counts form a thin ``[n, alphabet]``
+matrix and the multiset bound below is a single ``np.minimum`` + sum.
+Queries take an immutable :class:`CodeArrays` snapshot, so concurrent
+readers never observe a half-rebuilt pack.
+
+Bound derivation (see DESIGN.md, "Sublinear phonetic retrieval"): with
+``m`` Jaro matches, ``t`` transpositions, lengths ``l1``/``l2``::
+
+    jaro = (m/l1 + m/l2 + (m - t)/m) / 3   <=   (m_ub/l1 + m_ub/l2 + 1) / 3
+
+where ``m_ub = sum_c min(count_probe(c), count_code(c))`` bounds the
+matches by the character-multiset intersection (matching never uses a
+character more often than it occurs in either string) and ``t >= 0``.
+``m_ub`` is also at most ``min(l1, l2)``, so the bound never exceeds 1.
+The Winkler boost ``jw = j + p * s * (1 - j)`` is increasing in both the
+Jaro value ``j`` (``d/dj = 1 - p*s > 0`` for ``p <= 4, s <= 0.25``) and
+the shared-prefix length ``p``, so substituting the Jaro upper bound and
+the *exact* shared prefix keeps the bound admissible.  A small epsilon
+absorbs float rounding differences between the bound and exact paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phonetics.distance import jaro_winkler
+
+__all__ = [
+    "CodeArrays",
+    "PackedCodes",
+    "batch_jaro_winkler",
+    "jaro_winkler_upper_bounds",
+    "scalar_reference",
+]
+
+#: Safety margin added to upper bounds: the bound and the exact score are
+#: computed by different float expressions, so without the epsilon a bound
+#: could round one ulp below an exact score and wrongly prune it.
+BOUND_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class CodeArrays:
+    """An immutable snapshot of a :class:`PackedCodes` pack.
+
+    ``codes[i]`` is the string form of row ``i`` of ``matrix``; arrays are
+    shared, never mutated in place (rebuilds allocate fresh ones), so a
+    snapshot taken under the index lock stays consistent without it.
+    """
+
+    codes: tuple[str, ...]
+    rows: dict[str, int]    # code -> row position in the arrays below
+    matrix: np.ndarray      # [n, width] uint8 character ids, 0-padded
+    lengths: np.ndarray     # [n] int64 code lengths
+    counts: np.ndarray      # [n, alphabet] int16 per-character counts
+    char_ids: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def encode(self, code: str) -> np.ndarray:
+        """*code* as character ids from this snapshot's table.
+
+        Characters the pack has never seen get fresh ids past the
+        alphabet — they cannot match any packed character, which is
+        exactly the semantics of a probe-only character.
+        """
+        table = self.char_ids
+        next_id = len(table) + 1
+        extras: dict[str, int] = {}
+        ids = np.empty(len(code), dtype=np.int64)
+        for position, char in enumerate(code):
+            char_id = table.get(char)
+            if char_id is None:
+                char_id = extras.get(char)
+                if char_id is None:
+                    char_id = extras[char] = next_id
+                    next_id += 1
+            ids[position] = char_id
+        return ids
+
+
+class PackedCodes:
+    """Append-only builder of :class:`CodeArrays` snapshots.
+
+    Not thread-safe on its own: the owning index serialises
+    :meth:`append`/:meth:`snapshot` under its lock.  Rebuilds are lazy
+    (appends buffer until the next snapshot) and allocate new arrays, so
+    previously returned snapshots remain valid.
+    """
+
+    def __init__(self) -> None:
+        self._codes: list[str] = []
+        self._char_ids: dict[str, int] = {}
+        self._pending: list[str] = []
+        self._snapshot: CodeArrays | None = None
+
+    def __len__(self) -> int:
+        return len(self._codes) + len(self._pending)
+
+    def append(self, code: str) -> None:
+        """Buffer one distinct non-empty code for the next snapshot."""
+        self._pending.append(code)
+
+    def snapshot(self) -> CodeArrays:
+        """The current pack in matrix form (rebuilding if stale)."""
+        if self._snapshot is not None and not self._pending:
+            return self._snapshot
+        pending, self._pending = self._pending, []
+        for code in pending:
+            for char in code:
+                if char not in self._char_ids:
+                    self._char_ids[char] = len(self._char_ids) + 1
+        old = self._snapshot
+        old_count = len(self._codes)
+        width = max((len(code) for code in pending), default=0)
+        if old is not None:
+            width = max(width, old.matrix.shape[1])
+        alphabet = len(self._char_ids) + 1
+        total = old_count + len(pending)
+        matrix = np.zeros((total, width), dtype=np.uint8)
+        counts = np.zeros((total, alphabet), dtype=np.int16)
+        lengths = np.zeros(total, dtype=np.int64)
+        if old is not None and old_count:
+            matrix[:old_count, :old.matrix.shape[1]] = old.matrix
+            counts[:old_count, :old.counts.shape[1]] = old.counts
+            lengths[:old_count] = old.lengths
+        for offset, code in enumerate(pending):
+            row = old_count + offset
+            ids = [self._char_ids[char] for char in code]
+            matrix[row, :len(ids)] = ids
+            lengths[row] = len(ids)
+            for char_id in ids:
+                counts[row, char_id] += 1
+        self._codes.extend(pending)
+        self._snapshot = CodeArrays(
+            codes=tuple(self._codes),
+            rows={code: row for row, code in enumerate(self._codes)},
+            matrix=matrix, lengths=lengths, counts=counts,
+            char_ids=dict(self._char_ids))
+        return self._snapshot
+
+
+def _probe_counts(probe_ids: np.ndarray, alphabet: int) -> np.ndarray:
+    counts = np.zeros(alphabet, dtype=np.int16)
+    ids, occurrences = np.unique(probe_ids, return_counts=True)
+    in_table = ids < alphabet
+    counts[ids[in_table]] = occurrences[in_table]
+    return counts
+
+
+def _shared_prefix(probe_ids: np.ndarray, matrix: np.ndarray,
+                   max_prefix: int) -> np.ndarray:
+    """Exact common-prefix length (capped) of the probe vs every row."""
+    depth = min(len(probe_ids), matrix.shape[1], max_prefix)
+    if depth == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    # Count leading matches: the prefix ends at the first mismatch.
+    running = matrix[:, 0] == probe_ids[0]
+    prefix = running.astype(np.int64)
+    for position in range(1, depth):
+        running = running & (matrix[:, position] == probe_ids[position])
+        prefix += running
+    return prefix
+
+
+def jaro_winkler_upper_bounds(probe_ids: np.ndarray, arrays: CodeArrays,
+                              prefix_scale: float = 0.1,
+                              max_prefix: int = 4) -> np.ndarray:
+    """Admissible per-code upper bounds on ``jaro_winkler(probe, code)``.
+
+    Never below the exact similarity (see the module docstring for the
+    derivation); cheap enough to evaluate for every distinct code on
+    every probe.
+    """
+    if len(arrays) == 0:
+        return np.zeros(0, dtype=np.float64)
+    probe_len = len(probe_ids)
+    if probe_len == 0:
+        # jaro("", code) is 0.0 for the non-empty codes packed here.
+        return np.full(len(arrays), BOUND_EPSILON, dtype=np.float64)
+    shared = np.minimum(arrays.counts,
+                        _probe_counts(probe_ids, arrays.counts.shape[1]))
+    m_ub = shared.sum(axis=1, dtype=np.float64)
+    jaro_ub = (m_ub / probe_len + m_ub / arrays.lengths + 1.0) / 3.0
+    jaro_ub[m_ub == 0] = 0.0
+    prefix = _shared_prefix(probe_ids, arrays.matrix, max_prefix)
+    bounds = jaro_ub + prefix * prefix_scale * (1.0 - jaro_ub)
+    return bounds + BOUND_EPSILON
+
+
+def batch_jaro_winkler(probe_ids: np.ndarray, arrays: CodeArrays,
+                       rows: np.ndarray,
+                       prefix_scale: float = 0.1,
+                       max_prefix: int = 4) -> np.ndarray:
+    """Exact Jaro-Winkler of the probe against the selected packed rows.
+
+    Mirrors :func:`repro.phonetics.distance.jaro_winkler` step for step —
+    the greedy windowed matching (probe characters in the first role),
+    the transposition count, and the exact float expression shapes — so
+    results are bit-identical to the scalar implementation.
+    """
+    sub = arrays.matrix[rows]
+    sub_lengths = arrays.lengths[rows]
+    n, width = sub.shape
+    probe_len = len(probe_ids)
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    if probe_len == 0:
+        # Scalar semantics: equal strings (both empty) score 1.0, an
+        # empty side against a non-empty one scores 0.0.
+        return np.where(sub_lengths == 0, 1.0, 0.0)
+
+    # Greedy windowed matching, row-parallel; the window depends on the
+    # row through max(len1, len2).  For each probe position the scalar
+    # code takes the *first* unmatched in-window equal character, which
+    # vectorizes as argmax over a boolean candidate slab (argmax returns
+    # the first True per row).
+    window = np.maximum(sub_lengths, probe_len) // 2 - 1
+    np.maximum(window, 0, out=window)
+    matched1 = np.zeros((n, probe_len), dtype=bool)
+    matched2 = np.zeros((n, width), dtype=bool)
+    positions = np.arange(width)
+    in_length = positions < sub_lengths[:, None]
+    row_ids = np.arange(n)
+    for i in range(probe_len):
+        candidates = ((sub == probe_ids[i])
+                      & (np.abs(positions - i) <= window[:, None])
+                      & in_length & ~matched2)
+        hit = candidates.any(axis=1)
+        first = candidates.argmax(axis=1)
+        matched2[row_ids[hit], first[hit]] = True
+        matched1[hit, i] = True
+
+    m = matched1.sum(axis=1)
+
+    # Transpositions: compact each side's matched characters in order,
+    # then count positional mismatches (ids shifted by one so padding
+    # zeros cannot collide with character id 0-padding).
+    rank1 = np.cumsum(matched1, axis=1) - 1
+    rank2 = np.cumsum(matched2, axis=1) - 1
+    seq1 = np.zeros((n, probe_len), dtype=np.int64)
+    seq2 = np.zeros((n, width), dtype=np.int64)
+    row_index, char_index = np.nonzero(matched1)
+    seq1[row_index, rank1[row_index, char_index]] = \
+        probe_ids[char_index] + 1
+    row_index, char_index = np.nonzero(matched2)
+    seq2[row_index, rank2[row_index, char_index]] = \
+        sub[row_index, char_index].astype(np.int64) + 1
+    depth = min(probe_len, width)
+    mismatch = ((seq1[:, :depth] != seq2[:, :depth])
+                & (seq1[:, :depth] != 0))
+    transpositions = mismatch.sum(axis=1) // 2
+
+    m_float = m.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaro = (m_float / probe_len + m_float / sub_lengths
+                + (m_float - transpositions) / m_float) / 3.0
+    jaro[m == 0] = 0.0
+    # Identical strings short-circuit to exactly 1.0 in the scalar code
+    # (the formula also lands on 1.0, but keep the paths aligned).
+    if width >= probe_len:
+        identical = ((sub_lengths == probe_len)
+                     & (sub[:, :probe_len] == probe_ids).all(axis=1))
+        jaro[identical] = 1.0
+
+    prefix = _shared_prefix(probe_ids, sub, max_prefix)
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def scalar_reference(probe_code: str, codes: list[str]) -> np.ndarray:
+    """The scalar Jaro-Winkler over *codes* (test/benchmark helper)."""
+    return np.array([jaro_winkler(probe_code, code) for code in codes],
+                    dtype=np.float64)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -49,6 +50,9 @@ class QueryResult:
             if column.lower() == lowered:
                 return index
         raise ExecutionError(f"result has no column {name!r}")
+
+
+_database_uids = itertools.count(1)
 
 
 class Database:
@@ -106,6 +110,11 @@ class Database:
         self._mask_budget = mask_cache_bytes
         self._masks: dict[Hashable, np.ndarray] = {}
         self._mask_bytes = 0
+        # Monotone counter bumped by every DDL/data mutation; phonetic
+        # index bundles and probe caches key on it, so a mutation
+        # implicitly invalidates every vocabulary-derived cache entry.
+        self._vocabulary_version = 0
+        self._uid = next(_database_uids)
 
     # ------------------------------------------------------------------
     # DDL / data loading
@@ -124,6 +133,7 @@ class Database:
         schema = TableSchema(name, tuple(schema_columns))
         self.catalog.register(schema)
         self._tables[schema.name.lower()] = Table(schema)
+        self._invalidate_statement_caches()
         return schema
 
     def register_table(self, table: Table) -> None:
@@ -167,6 +177,7 @@ class Database:
         self._costs.clear()
         self._masks = {}
         self._mask_bytes = 0
+        self._vocabulary_version += 1
 
     # ------------------------------------------------------------------
     # Predicate mask cache (used by repro.execution.batch)
@@ -202,6 +213,23 @@ class Database:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def uid(self) -> int:
+        """A process-unique identity (never reused, unlike ``id()``)."""
+        return self._uid
+
+    @property
+    def vocabulary_version(self) -> int:
+        """Bumped by every DDL/data mutation.
+
+        ``(uid, table, vocabulary_version)`` identifies a vocabulary
+        snapshot, so phonetic index bundles and probe rankings cached
+        under it can never be served stale (see
+        :mod:`repro.nlq.candidates` and
+        :class:`repro.caching.PhoneticProbeCache`).
+        """
+        return self._vocabulary_version
 
     def table(self, name: str) -> Table:
         try:

@@ -1,0 +1,53 @@
+"""Million-term scale checks for pruned retrieval (marked ``slow``).
+
+Exactness is pinned by the differential suite at smaller scales (and by
+``scripts/bench_phonetics.py`` against the oracle at every scale); this
+suite only guards the *scaling* claims — index build time, per-probe
+latency, and the scanned fraction staying tiny — so ``make fast`` skips
+it and ``make check`` still exercises the 1M path.
+"""
+
+import os
+import statistics
+import sys
+import time
+
+import pytest
+
+from repro.phonetics.index import PhoneticIndex, phonetic_stats
+
+pytestmark = pytest.mark.slow
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "scripts"))
+from bench_phonetics import sample_probes, synthetic_vocabulary  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def million_index() -> PhoneticIndex:
+    return PhoneticIndex(synthetic_vocabulary(1_000_000))
+
+
+class TestMillionTermVocabulary:
+    def test_probes_stay_interactive(self, million_index):
+        probes = sample_probes(12)
+        latencies = []
+        for probe in probes:
+            start = time.perf_counter()
+            results = million_index.most_similar(probe, k=20)
+            latencies.append((time.perf_counter() - start) * 1000.0)
+            assert len(results) == 20
+            scores = [st.score for st in results]
+            assert scores == sorted(scores, reverse=True)
+        # Generous bound: the benchmark sees ~36 ms p50; anything close
+        # to exhaustive (tens of seconds) fails loudly.
+        assert statistics.median(latencies) < 1000.0
+
+    def test_scanned_fraction_is_tiny(self, million_index):
+        before = phonetic_stats()
+        million_index.most_similar("bakoda zore", k=20)
+        after = phonetic_stats()
+        scored = after["terms_scored"] - before["terms_scored"]
+        total = after["terms_total"] - before["terms_total"]
+        assert total == len(million_index)
+        assert scored / total < 0.05

@@ -11,7 +11,7 @@ from repro.phonetics.distance import (
     jaro_winkler,
     levenshtein,
 )
-from repro.phonetics.metaphone import double_metaphone
+from repro.phonetics.metaphone import double_metaphone, metaphone_codes
 from repro.phonetics.nysiis import nysiis
 from repro.phonetics.soundex import soundex
 
@@ -78,6 +78,55 @@ def test_double_metaphone_alternate_never_equals_primary(word):
     primary, alternate = double_metaphone(word)
     if alternate:
         assert alternate != primary
+
+
+@given(words, words)
+def test_jaro_winkler_bounded_and_symmetric(a, b):
+    value = jaro_winkler(a, b)
+    assert 0.0 <= value <= 1.0 + 1e-12
+    assert value == jaro_winkler(b, a)
+
+
+@given(words)
+def test_jaro_winkler_identity(a):
+    assert jaro_winkler(a, a) == 1.0
+
+
+@given(short_words, short_words, short_words)
+def test_jaro_winkler_prefix_monotone(prefix, a, b):
+    """Growing the shared prefix never lowers the Winkler boost.
+
+    For a fixed Jaro value the boost ``j + p * 0.1 * (1 - j)`` is
+    increasing in the shared-prefix length ``p``; here both the prefix
+    and the Jaro value grow together, so the combined score must too.
+    """
+    base = jaro(prefix + a, prefix + b)
+    boosted = jaro_winkler(prefix + a, prefix + b)
+    assert boosted >= base - 1e-12
+    shared = 0
+    for x, y in zip(prefix + a, prefix + b):
+        if x != y or shared == 4:
+            break
+        shared += 1
+    assert boosted == base + shared * 0.1 * (1.0 - base)
+
+
+@given(st.text(max_size=30))
+def test_metaphone_codes_shape(text):
+    codes = metaphone_codes(text)
+    assert isinstance(codes, tuple)
+    assert 1 <= len(codes) <= 2
+    allowed = set("0AFHJKLMNPRSTX ")
+    for code in codes:
+        assert set(code) <= allowed
+    # The primary always leads; a distinct alternate may follow.
+    if len(codes) == 2:
+        assert codes[1] != codes[0]
+
+
+@given(short_words)
+def test_metaphone_codes_deterministic_and_case_invariant(word):
+    assert metaphone_codes(word) == metaphone_codes(word.upper())
 
 
 @given(short_words)

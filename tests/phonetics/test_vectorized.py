@@ -1,0 +1,126 @@
+"""The numpy kernels must agree with the scalar reference bit for bit."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.phonetics.distance import jaro_winkler
+from repro.phonetics.metaphone import metaphone_codes
+from repro.phonetics.vectorized import (
+    BOUND_EPSILON,
+    PackedCodes,
+    batch_jaro_winkler,
+    jaro_winkler_upper_bounds,
+)
+
+_ALPHABET = "0AFHJKLMNPRSTX"
+
+
+def _random_codes(rng: random.Random, count: int) -> list[str]:
+    codes: set[str] = set()
+    while len(codes) < count:
+        code = "".join(rng.choice(_ALPHABET)
+                       for _ in range(rng.randint(1, 8)))
+        if rng.random() < 0.25:
+            code += " " + "".join(rng.choice(_ALPHABET)
+                                  for _ in range(rng.randint(1, 8)))
+        codes.add(code)
+    return sorted(codes)
+
+
+def _pack(codes: list[str]) -> PackedCodes:
+    packed = PackedCodes()
+    for code in codes:
+        packed.append(code)
+    return packed
+
+
+class TestBatchJaroWinkler:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bit_identical_to_scalar(self, seed):
+        rng = random.Random(seed)
+        codes = _random_codes(rng, 300)
+        arrays = _pack(codes).snapshot()
+        rows = np.arange(len(codes))
+        for probe in [codes[7], codes[100], "KRLN", "TRM NTRM",
+                      "XXXXXXXX", "A"]:
+            batch = batch_jaro_winkler(arrays.encode(probe), arrays, rows)
+            scalar = [jaro_winkler(probe, code) for code in codes]
+            assert batch.tolist() == scalar  # exact, not approx
+
+    def test_row_subsets(self):
+        rng = random.Random(9)
+        codes = _random_codes(rng, 120)
+        arrays = _pack(codes).snapshot()
+        rows = np.array([3, 17, 17, 0, 119, 64])
+        probe = "PRKS"
+        batch = batch_jaro_winkler(arrays.encode(probe), arrays, rows)
+        assert batch.tolist() == [jaro_winkler(probe, codes[row])
+                                  for row in rows]
+
+    def test_empty_probe(self):
+        arrays = _pack(["AB", "K"]).snapshot()
+        batch = batch_jaro_winkler(arrays.encode(""), arrays,
+                                   np.arange(2))
+        assert batch.tolist() == [jaro_winkler("", "AB"),
+                                  jaro_winkler("", "K")]
+
+    def test_probe_with_unseen_characters(self):
+        arrays = _pack(["AB", "KRLN"]).snapshot()
+        probe = "QQZ"  # not in the metaphone alphabet or the pack
+        batch = batch_jaro_winkler(arrays.encode(probe), arrays,
+                                   np.arange(2))
+        assert batch.tolist() == [jaro_winkler(probe, "AB"),
+                                  jaro_winkler(probe, "KRLN")]
+
+
+class TestUpperBounds:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_admissible_for_every_row(self, seed):
+        rng = random.Random(seed)
+        codes = _random_codes(rng, 400)
+        arrays = _pack(codes).snapshot()
+        for probe in [codes[0], codes[250], "KRLN", "SNTR PRK", "F"]:
+            bounds = jaro_winkler_upper_bounds(arrays.encode(probe),
+                                               arrays)
+            exact = np.array([jaro_winkler(probe, code)
+                              for code in codes])
+            assert (bounds >= exact).all()
+
+    def test_epsilon_padding(self):
+        arrays = _pack(["AB"]).snapshot()
+        bounds = jaro_winkler_upper_bounds(arrays.encode("AB"), arrays)
+        assert bounds[0] >= 1.0
+        assert bounds[0] <= 1.0 + 2 * BOUND_EPSILON
+
+    def test_disjoint_characters_bound_to_epsilon(self):
+        arrays = _pack(["AAAA"]).snapshot()
+        bounds = jaro_winkler_upper_bounds(arrays.encode("KKKK"), arrays)
+        assert bounds[0] == pytest.approx(BOUND_EPSILON)
+
+
+class TestPackedCodes:
+    def test_snapshots_are_immutable(self):
+        packed = _pack(["AB", "KRLN"])
+        old = packed.snapshot()
+        packed.append("TTTT")
+        new = packed.snapshot()
+        assert len(old) == 2 and len(new) == 3
+        assert old.codes == ("AB", "KRLN")
+        assert new.rows["TTTT"] == 2
+        # The old snapshot's arrays were not grown or mutated in place.
+        assert old.matrix.shape[0] == 2
+
+    def test_snapshot_reused_when_clean(self):
+        packed = _pack(["AB"])
+        assert packed.snapshot() is packed.snapshot()
+
+    def test_encode_matches_matrix_rows(self):
+        codes = [metaphone_codes(word)[0]
+                 for word in ["brooklyn", "queens", "flower"]]
+        arrays = _pack(codes).snapshot()
+        for row, code in enumerate(codes):
+            ids = arrays.encode(code)
+            assert (arrays.matrix[row, :len(code)] == ids).all()
+            assert arrays.lengths[row] == len(code)

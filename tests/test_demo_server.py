@@ -170,12 +170,16 @@ class TestParallelAsk:
         assert stats["responses"]["hits"] >= 1
         assert set(stats) >= {"responses", "query_results", "plans",
                               "statements", "plan_costs",
-                              "batch_executor"}
+                              "batch_executor", "phonetic_probes",
+                              "phonetic_indexes", "phonetics"}
         for name, counters in stats.items():
-            if name == "batch_executor":
-                continue  # executor counters, not a cache
+            if name in ("batch_executor", "phonetics"):
+                continue  # subsystem counters, not a cache
             assert counters["hits"] + counters["misses"] >= 0
             assert 0.0 <= counters["hit_rate"] <= 1.0
+        phonetics = stats["phonetics"]
+        assert phonetics["probes"] >= 0
+        assert 0.0 <= phonetics["scanned_fraction"] <= 1.0
         batch = stats["batch_executor"]
         assert batch["requests"] >= 0
         assert batch["masks_reused"] >= 0

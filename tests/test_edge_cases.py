@@ -126,10 +126,17 @@ class TestRenderersOnEmptyInput:
         assert "empty" in render_text(Multiplot.empty(1))
 
 
-class TestPhoneticIndexNonExhaustive:
-    def test_bucketed_lookup_still_ranks(self):
+class TestPhoneticIndexPruned:
+    def test_pruned_lookup_still_ranks(self):
         from repro.phonetics.index import PhoneticIndex
         terms = [f"term{i:03d}" for i in range(200)] + ["brooklyn"]
         index = PhoneticIndex(terms)
-        top = index.most_similar("bruklin", k=3, exhaustive=False)
+        top = index.most_similar("bruklin", k=3)
         assert top[0].term == "brooklyn"
+        assert top == index._exhaustive_scan("bruklin", 3)
+
+    def test_exhaustive_flag_is_gone(self):
+        from repro.phonetics.index import PhoneticIndex
+        index = PhoneticIndex(["brooklyn"])
+        with pytest.raises(TypeError):
+            index.most_similar("bruklin", k=3, exhaustive=False)
