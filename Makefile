@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check fast concurrency bench bench-serve bench-phonetics profile
+.PHONY: check fast concurrency bench bench-serve bench-phonetics profile chaos
 
 # The gating suite: the full test tree (tier 1), then the concurrency
 # and caching suites once more on their own.  Test-order randomisation
@@ -40,7 +40,20 @@ bench-phonetics:
 # MUVE_BATCH_SCAN_FACTOR); (3) pruned phonetic retrieval must beat the
 # exhaustive scan by MUVE_PHONETIC_SPEEDUP_FACTOR at 100k terms within
 # the MUVE_PHONETIC_P50_MS latency budget.
+# (4) under overload the server must shed with typed 429s while
+# admitted requests still meet their deadlines (MUVE_SHED_CLIENTS,
+# MUVE_SHED_INFLIGHT, MUVE_SHED_DEADLINE_MS).
 profile:
 	PYTHONPATH=src python scripts/check_overhead.py
 	PYTHONPATH=src python scripts/check_batch_speedup.py
 	PYTHONPATH=src python scripts/check_phonetics_speedup.py
+	PYTHONPATH=src python scripts/check_shedding.py
+
+# Chaos gate: the full resilience suite — deterministic fault
+# injection, the degradation ladder, differential subset checks,
+# admission/retry, chaos properties, and the representative mixed
+# fault plan replayed under three fixed seeds (0, 7, 1234; see
+# test_fixed_seeds_for_make_chaos) — plus the overload-shedding gate.
+chaos:
+	$(PYTEST) -q -p no:randomly tests/resilience
+	PYTHONPATH=src python scripts/check_shedding.py

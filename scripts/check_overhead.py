@@ -1,12 +1,20 @@
-"""Tracing-overhead gate (``make profile``).
+"""Overhead gates for the serving path (``make profile``).
 
-Runs the same load-test workload twice in-process — tracing enabled and
-tracing disabled — and fails (exit 1) if the enabled run is more than
-5% slower.  This pins the observability layer's core promise: the
-disabled tracer is a no-op, and the enabled tracer stays within a small
-single-digit overhead budget on the serving path.
+Two gates, both exit 1 on violation:
 
-Each configuration runs on a **fresh pipeline** (fresh caches) so both
+1. **Tracing**: the same load-test workload runs twice in-process —
+   tracing enabled and tracing disabled — and the enabled run must not
+   be more than 5% slower.  This pins the observability layer's core
+   promise: the disabled tracer is a no-op.
+
+2. **Resilience**: the workload runs once more with an ample (never
+   expiring) request deadline armed, and must not be more than 5%
+   slower than the deadline-free run.  This pins the resilience
+   layer's no-fault promise: deadline polls, fault probes, and the
+   degradation collector cost nothing measurable when nothing is
+   failing.
+
+Each configuration runs on a **fresh pipeline** (fresh caches) so all
 measure identical cold-cache work, and takes the best of three rounds so
 scheduler noise does not fail the gate spuriously.
 
@@ -35,6 +43,7 @@ from repro.observability import (
     set_tracing_enabled,
     tracing_enabled,
 )
+from repro.resilience import deadline_scope
 from repro.sqldb.database import Database
 
 ROUNDS = 3
@@ -59,18 +68,27 @@ def questions_for(muve: Muve, count: int, seed: int = 0) -> list[str]:
     return [pool[i % len(pool)] for i in range(count)]
 
 
-def timed_round(rows: int, count: int) -> float:
+#: ample enough that the deadline never fires during the gate — only the
+#: bookkeeping (polls, remaining-budget arithmetic) is being measured.
+AMPLE_DEADLINE_MS = 3_600_000.0
+
+
+def timed_round(rows: int, count: int,
+                deadline_ms: float | None = None) -> float:
     """One cold-cache round: build, ask every question, report seconds."""
     muve = build_muve(rows)
     questions = questions_for(muve, count)
     begin = time.perf_counter()
     for question in questions:
-        muve.ask(question)
+        with deadline_scope(deadline_ms):
+            muve.ask(question)
     return time.perf_counter() - begin
 
 
-def best_of(rounds: int, rows: int, count: int) -> float:
-    return min(timed_round(rows, count) for _ in range(rounds))
+def best_of(rounds: int, rows: int, count: int,
+            deadline_ms: float | None = None) -> float:
+    return min(timed_round(rows, count, deadline_ms)
+               for _ in range(rounds))
 
 
 def main() -> int:
@@ -85,22 +103,35 @@ def main() -> int:
         profile = render_profile()
         set_tracing_enabled(False)
         untraced = best_of(ROUNDS, rows, count)
+        with_deadline = best_of(ROUNDS, rows, count, AMPLE_DEADLINE_MS)
     finally:
         set_tracing_enabled(previous)
 
     overhead = traced / untraced - 1.0 if untraced > 0 else 0.0
+    resilience = (with_deadline / untraced - 1.0
+                  if untraced > 0 else 0.0)
     print(profile)
     print()
     print(f"wall-clock for {count} requests (best of {ROUNDS}): "
           f"traced {traced * 1000:.1f} ms, "
-          f"untraced {untraced * 1000:.1f} ms")
+          f"untraced {untraced * 1000:.1f} ms, "
+          f"deadline-armed {with_deadline * 1000:.1f} ms")
     print(f"tracing overhead: {overhead:+.1%} "
           f"(budget {threshold:.0%})")
+    print(f"resilience overhead (no faults): {resilience:+.1%} "
+          f"(budget {threshold:.0%})")
+    failed = False
     if overhead > threshold:
         print("FAIL: tracing overhead exceeds the budget",
               file=sys.stderr)
+        failed = True
+    if resilience > threshold:
+        print("FAIL: resilience overhead exceeds the budget",
+              file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print("OK: tracing overhead within budget")
+    print("OK: tracing and resilience overhead within budget")
     return 0
 
 

@@ -1,0 +1,141 @@
+"""Load-shedding gate (``make profile``).
+
+Saturates an in-process demo server past its admission cap with
+concurrent deadline-carrying requests, while a deterministic fault plan
+slows execution, and asserts the resilience contract under overload:
+
+1. the server answers every request — each client gets either a 200 or
+   a 429, never a hang or an untyped 500;
+2. at least one request is shed, and every shed response carries
+   ``Retry-After`` plus the ``OverloadedError`` error type;
+3. admitted requests still honour their deadline: the slowest 200 stays
+   under twice the requested budget (plus a fixed scheduling slack);
+4. the admission gauge drains back to zero afterwards.
+
+Exit 1 on any violation.
+
+Environment knobs::
+
+    MUVE_SHED_CLIENTS      concurrent clients (default 16)
+    MUVE_SHED_INFLIGHT     admission cap (default 4)
+    MUVE_SHED_DEADLINE_MS  per-request deadline (default 250)
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import http.client
+import json
+import os
+import sys
+import time
+
+from repro.core.model import ScreenGeometry
+from repro.core.planner import VisualizationPlanner
+from repro.datasets.generators import DATASET_GENERATORS
+from repro.demo import MuveDemoServer
+from repro.muve import Muve
+from repro.sqldb.database import Database
+from repro.testing.faults import inject_faults
+
+QUESTION = "average resolution hours for borough Brooklyn"
+#: slows each admitted request enough that the burst overlaps the cap
+#: (the delay is clamped by the request deadline, which then takes the
+#: single-plot degradation rung — still a 200, just a slow one).
+FAULT_SPEC = "executor.batch:delay=400"
+SCHEDULING_SLACK_MS = 500.0
+
+
+def build_server(max_inflight: int) -> MuveDemoServer:
+    database = Database(seed=0)
+    generator = DATASET_GENERATORS["nyc311"]
+    database.register_table(generator(num_rows=2000, seed=0))
+    muve = Muve(database, "nyc311", seed=0, geometry=ScreenGeometry(),
+                planner=VisualizationPlanner(strategy="greedy"))
+    server = MuveDemoServer(muve, port=0, max_inflight=max_inflight)
+    server.start()
+    return server
+
+
+def one_request(server: MuveDemoServer, deadline_ms: float,
+                index: int) -> tuple[int, float, dict, dict]:
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    body = json.dumps({"question": f"{QUESTION} run {index}"})
+    begin = time.perf_counter()
+    connection.request(
+        "POST", f"/api/ask?deadline_ms={deadline_ms:g}", body=body,
+        headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    payload = json.loads(response.read())
+    headers = dict(response.getheaders())
+    connection.close()
+    elapsed_ms = (time.perf_counter() - begin) * 1000.0
+    return response.status, elapsed_ms, payload, headers
+
+
+def main() -> int:
+    clients = int(os.environ.get("MUVE_SHED_CLIENTS", "16"))
+    max_inflight = int(os.environ.get("MUVE_SHED_INFLIGHT", "4"))
+    deadline_ms = float(os.environ.get("MUVE_SHED_DEADLINE_MS", "250"))
+    bound_ms = 2 * deadline_ms + SCHEDULING_SLACK_MS
+
+    server = build_server(max_inflight)
+    failures: list[str] = []
+    try:
+        with inject_faults(FAULT_SPEC, seed=0):
+            with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+                outcomes = list(pool.map(
+                    lambda i: one_request(server, deadline_ms, i),
+                    range(clients)))
+
+        answered = [o for o in outcomes if o[0] == 200]
+        shed = [o for o in outcomes if o[0] == 429]
+        other = [o for o in outcomes if o[0] not in (200, 429)]
+        slowest_ms = max((o[1] for o in answered), default=0.0)
+        print(f"{clients} clients against max_inflight={max_inflight} "
+              f"(deadline {deadline_ms:g} ms, fault {FAULT_SPEC!r}):")
+        print(f"  answered {len(answered)}, shed {len(shed)}, "
+              f"other {len(other)}")
+        print(f"  slowest 200: {slowest_ms:.0f} ms "
+              f"(bound {bound_ms:.0f} ms)")
+
+        if other:
+            failures.append(
+                f"unexpected statuses: {sorted({o[0] for o in other})}")
+        if not answered:
+            failures.append("no request was admitted")
+        if not shed:
+            failures.append("no request was shed (cap never reached)")
+        for status, _, payload, headers in shed:
+            if "Retry-After" not in headers:
+                failures.append("shed response missing Retry-After")
+                break
+            if payload.get("error_type") != "OverloadedError":
+                failures.append(
+                    f"shed error_type {payload.get('error_type')!r}")
+                break
+        if slowest_ms > bound_ms:
+            failures.append(
+                f"admitted request blew the deadline bound: "
+                f"{slowest_ms:.0f} ms > {bound_ms:.0f} ms")
+        if server.admission.inflight != 0:
+            failures.append(
+                f"inflight gauge stuck at {server.admission.inflight}")
+        shed_total = server.admission.shed_total
+        if shed_total != len(shed):
+            failures.append(
+                f"shed counter {shed_total} != observed 429s {len(shed)}")
+    finally:
+        server.shutdown()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("OK: overload shed cleanly, admitted requests met deadlines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,17 +32,31 @@ from repro.observability import (
     render_profile,
     trace_span,
 )
+from repro.resilience import (
+    AdmissionController,
+    Deadline,
+    DegradationEvent,
+    current_deadline,
+    current_degradations,
+    deadline_scope,
+    retry_call,
+)
 from repro.session import MuveSession
 from repro.nlq.candidates import CandidateQuery
 from repro.sqldb.database import Database
 from repro.sqldb.query import AggregateQuery
+from repro.testing.faults import FaultPlan, inject_faults, set_fault_plan
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "AggregateQuery",
     "CandidateQuery",
     "Database",
+    "Deadline",
+    "DegradationEvent",
+    "FaultPlan",
     "LruCache",
     "MetricsRegistry",
     "Multiplot",
@@ -57,8 +71,14 @@ __all__ = [
     "UserCostModel",
     "VisualizationPlanner",
     "__version__",
+    "current_deadline",
+    "current_degradations",
+    "deadline_scope",
     "get_registry",
     "get_trace_log",
+    "inject_faults",
     "render_profile",
+    "retry_call",
+    "set_fault_plan",
     "trace_span",
 ]

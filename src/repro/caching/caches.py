@@ -121,6 +121,20 @@ class PlanCache:
         """The cached planner result for *key*, planning once on a miss."""
         return self._cache.get_or_compute(key, plan)
 
+    def get(self, key: Hashable):
+        """The cached result for *key*, or ``None`` — no computation.
+
+        Used by the planner when a request runs under a deadline or an
+        active fault plan: a *hit* is always safe to serve (only proven
+        undegraded plans are ever stored), but the miss path must decide
+        about storage itself, after seeing whether planning degraded.
+        """
+        return self._cache.get(key)
+
+    def put(self, key: Hashable, result: object) -> None:
+        """Store a planner result the caller has proven undegraded."""
+        self._cache.put(key, result)
+
     @property
     def stats(self) -> CacheStats:
         return self._cache.stats

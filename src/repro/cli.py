@@ -101,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable pruned phonetic retrieval and scan "
                              "the whole vocabulary per probe (identical "
                              "results, debugging escape hatch)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request latency budget; stages that "
+                             "would blow it degrade instead of running "
+                             "long (default: MUVE_DEADLINE_MS, else "
+                             "none)")
+    parser.add_argument("--max-inflight", type=int, default=32,
+                        help="with --serve: concurrent /api/ask "
+                             "requests before shedding with 429 "
+                             "(default: 32)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="activate deterministic fault injection, "
+                             "e.g. 'planner.solve:stall;executor.batch:"
+                             "error@0.5' (seeded by --seed; see "
+                             "repro.testing.faults)")
     return parser
 
 
@@ -111,6 +125,9 @@ def make_muve(args: argparse.Namespace) -> Muve:
     if getattr(args, "no_phonetic_pruning", False):
         from repro.phonetics.index import set_pruning_enabled
         set_pruning_enabled(False)
+    if getattr(args, "faults", None):
+        from repro.testing.faults import FaultPlan, set_fault_plan
+        set_fault_plan(FaultPlan.parse(args.faults, seed=args.seed))
     database = Database(seed=args.seed)
     generator = DATASET_GENERATORS[args.dataset]
     database.register_table(generator(num_rows=args.rows, seed=args.seed))
@@ -119,7 +136,8 @@ def make_muve(args: argparse.Namespace) -> Muve:
     planner = VisualizationPlanner(strategy=args.planner)
     return Muve(database, args.dataset, geometry=geometry,
                 planner=planner, max_candidates=args.candidates,
-                word_error_rate=args.wer, seed=args.seed)
+                word_error_rate=args.wer, seed=args.seed,
+                deadline_ms=getattr(args, "deadline_ms", None))
 
 
 def _load_test_questions(muve: Muve, args: argparse.Namespace,
@@ -206,6 +224,10 @@ def _answer(muve: Muve, text: str, args: argparse.Namespace,
     print(f"(planned by {response.planning.solver_name} in "
           f"{response.planning.elapsed_seconds * 1000:.0f} ms; "
           f"{len(response.candidates)} interpretations covered)", file=out)
+    for event in response.degradations:
+        detail = f": {event.detail}" if event.detail else ""
+        print(f"(degraded: {event.site} {event.action} "
+              f"[{event.reason}]{detail})", file=out)
     print(response.to_text(), file=out)
     if args.svg:
         with open(args.svg, "w", encoding="utf-8") as handle:
@@ -277,7 +299,8 @@ def main(argv: Sequence[str] | None = None, *, stdin=None,
     if args.serve is not None:
         from repro.demo import MuveDemoServer
         demo = MuveDemoServer(muve, port=args.serve,
-                              access_log=args.access_log)
+                              access_log=args.access_log,
+                              max_inflight=args.max_inflight)
         print(f"MUVE demo on {demo.url} (Ctrl-C to stop)", file=out)
         try:
             demo.serve_forever()

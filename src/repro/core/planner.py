@@ -15,8 +15,16 @@ from repro.core.greedy import GreedySolver
 from repro.core.ilp import IlpSolver, ProcessingGroup
 from repro.core.model import Multiplot
 from repro.core.problem import MultiplotSelectionProblem
-from repro.errors import PlanningError, SolverError
+from repro.errors import DeadlineExceeded, PlanningError, SolverError
 from repro.observability import current_span, trace_span
+from repro.resilience import (
+    current_deadline,
+    deadline_grace,
+    degradation_count,
+    exception_reason,
+    record_degradation,
+)
+from repro.testing.faults import FaultError, active_fault_plan, fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.caching import PlanCache
@@ -74,24 +82,54 @@ class VisualizationPlanner:
         with trace_span("planner.plan") as span:
             span.set_attribute("strategy", self.strategy)
             span.set_attribute("candidates", len(problem.candidates))
-            if self.plan_cache is None:
+            # A deadline or an active fault plan can degrade this plan,
+            # and degraded plans must never be cached (a later
+            # pressure-free request would be served the degraded
+            # multiplot).  Under an active fault plan the cache is
+            # bypassed outright so injected faults fire deterministically
+            # regardless of cache warmth.  Under a deadline alone, hits
+            # are served (only proven-undegraded plans are ever stored,
+            # and a cached optimal plan beats anything pressure would
+            # produce) and the miss path stores only when no degradation
+            # rung fired during planning.
+            guarded = current_deadline() is not None
+            if self.plan_cache is None or active_fault_plan() is not None:
                 result = self._plan_uncached(problem, processing_groups)
-                span.set_attribute("cache", "off")
+                span.set_attribute(
+                    "cache", "off" if self.plan_cache is None
+                    else "bypass")
             else:
                 key = (self.strategy, self.timeout_seconds,
                        self._ilp.backend, self._greedy.epsilon,
                        self.plan_cache.problem_key(problem,
                                                    processing_groups))
-                computed = False
+                if guarded:
+                    result = self.plan_cache.get(key)
+                    if result is not None:
+                        span.set_attribute("cache", "hit")
+                    else:
+                        before = degradation_count()
+                        result = self._plan_uncached(problem,
+                                                     processing_groups)
+                        clean = (before is not None
+                                 and degradation_count() == before)
+                        if clean:
+                            self.plan_cache.put(key, result)
+                        span.set_attribute(
+                            "cache",
+                            "miss" if clean else "miss-uncacheable")
+                else:
+                    computed = False
 
-                def compute() -> PlannerResult:
-                    nonlocal computed
-                    computed = True
-                    return self._plan_uncached(problem, processing_groups)
+                    def compute() -> PlannerResult:
+                        nonlocal computed
+                        computed = True
+                        return self._plan_uncached(problem,
+                                                   processing_groups)
 
-                result = self.plan_cache.get_or_plan(key, compute)
-                span.set_attribute("cache",
-                                   "miss" if computed else "hit")
+                    result = self.plan_cache.get_or_plan(key, compute)
+                    span.set_attribute("cache",
+                                       "miss" if computed else "hit")
             span.set_attribute("solver", result.solver_name)
             span.set_attribute("expected_cost",
                                round(result.expected_cost, 3))
@@ -100,14 +138,51 @@ class VisualizationPlanner:
     def _plan_uncached(self, problem: MultiplotSelectionProblem,
                        processing_groups: list[ProcessingGroup] | None,
                        ) -> PlannerResult:
+        """Plan with the configured strategy, degrading to greedy-only
+        on deadline exhaustion, solver failure, or an injected fault
+        (the ILP→lazy-greedy rung of the resilience ladder).  The
+        fallback runs in deadline grace: greedy is the cheapest plan we
+        can produce, so an already-expired budget still gets an answer
+        instead of an error."""
+        try:
+            fault_point("planner.solve")
+            deadline = current_deadline()
+            if deadline is not None:
+                deadline.check("planner.solve")
+            return self._plan_primary(problem, processing_groups,
+                                      deadline)
+        except (DeadlineExceeded, SolverError, FaultError) as exc:
+            record_degradation("planner", "ilp_to_greedy",
+                               exception_reason(exc),
+                               detail=f"strategy={self.strategy}")
+            current_span().set_attribute("decision", "greedy (degraded)")
+            with deadline_grace():
+                return self._plan_greedy(problem)
+
+    def _plan_primary(self, problem: MultiplotSelectionProblem,
+                      processing_groups: list[ProcessingGroup] | None,
+                      deadline) -> PlannerResult:
         if self.strategy == "greedy":
             return self._plan_greedy(problem)
         if self.strategy == "ilp":
             return self._plan_ilp(problem, processing_groups)
         greedy_result = self._plan_greedy(problem)
+        if deadline is not None and \
+                deadline.remaining_ms() < self.timeout_seconds * 1000.0:
+            # Not enough budget left for the ILP's own timeout: keep the
+            # greedy incumbent rather than start work we cannot finish.
+            record_degradation(
+                "planner", "ilp_to_greedy", "deadline_pressure",
+                detail=f"remaining {deadline.remaining_ms():.0f} ms < "
+                       f"ilp budget {self.timeout_seconds * 1000:.0f} ms")
+            current_span().set_attribute("decision",
+                                         "greedy (deadline pressure)")
+            return greedy_result
         try:
             ilp_result = self._plan_ilp(problem, processing_groups)
-        except SolverError:
+        except SolverError as exc:
+            record_degradation("planner", "ilp_to_greedy",
+                               exception_reason(exc))
             current_span().set_attribute("decision",
                                          "greedy (ilp failed)")
             return greedy_result

@@ -16,7 +16,12 @@ Endpoints:
   With ``?trace=1`` (or ``"trace": true`` in the body) the response also
   carries the full span tree of its own execution under ``"trace"``;
   traced requests bypass the response cache so the tree reflects real
-  pipeline work.
+  pipeline work.  With ``?deadline_ms=`` (or ``"deadline_ms"`` in the
+  body) the ask runs under that latency budget and may answer degraded
+  (``"degraded": true`` plus the ``"degradations"`` events); such
+  requests bypass the response cache too.  Error responses carry a
+  machine-readable ``error_type``; when more than ``max_inflight`` asks
+  are in flight, new ones are shed with 429 + ``Retry-After``.
 
 The server runs on a background thread (``ThreadingHTTPServer``) and
 handles requests **concurrently**: the MUVE pipeline is thread-safe
@@ -43,19 +48,34 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.caching import LruCache
 from repro.demo.page import PAGE
-from repro.errors import ReproError
+from repro.errors import OverloadedError, ReproError
 from repro.muve import Muve
 from repro.observability import (
     StructuredLogger,
     get_trace_log,
     trace_span,
 )
+from repro.resilience import AdmissionController, deadline_scope
+from repro.testing.faults import active_fault_plan
 
 #: Paths that become the ``path`` label on HTTP metrics.  Everything else
 #: is folded into ``other`` so typo-scanning traffic cannot blow up the
 #: label cardinality.
 _KNOWN_PATHS = ("/", "/api/ask", "/api/schema", "/api/stats",
                 "/api/metrics", "/api/traces")
+
+
+class _DemoHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a listen backlog sized for bursts.
+
+    The stdlib default backlog of 5 resets connections at the TCP layer
+    under a concurrent burst, before the admission controller ever sees
+    them.  Overload policy belongs to :class:`AdmissionController` (a
+    typed 429 + ``Retry-After``), so the accept queue is sized to pass
+    bursts through to it.
+    """
+
+    request_queue_size = 128
 
 
 class MuveDemoServer:
@@ -70,14 +90,24 @@ class MuveDemoServer:
                  port: int = 0,
                  response_cache_size: int = 128,
                  access_log: bool = False,
-                 access_log_stream=None) -> None:
+                 access_log_stream=None,
+                 max_inflight: int = 32,
+                 retry_after_seconds: float = 1.0) -> None:
         self.muve = muve
         self.metrics = muve.metrics
         self.access_log = StructuredLogger(stream=access_log_stream,
                                            enabled=access_log)
         self._responses = LruCache(response_cache_size)
+        #: Load shedding for ``POST /api/ask``: at most ``max_inflight``
+        #: pipeline runs at once; excess requests are rejected
+        #: immediately with 429 + ``Retry-After`` rather than queued
+        #: (queuing under overload only grows the latency of every
+        #: request behind the queue).
+        self.admission = AdmissionController(
+            max_inflight, retry_after_seconds=retry_after_seconds,
+            metrics=self.metrics)
         handler = _make_handler(self)
-        self._http = ThreadingHTTPServer((host, port), handler)
+        self._http = _DemoHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
@@ -112,14 +142,25 @@ class MuveDemoServer:
     # ------------------------------------------------------------------
 
     def handle_ask(self, payload: dict,
-                   want_trace: bool = False) -> dict:
+                   want_trace: bool = False,
+                   deadline_ms: float | None = None) -> dict:
         question = str(payload.get("question", "")).strip()
         if not question:
             raise ReproError("empty question")
         voice = bool(payload.get("voice", False))
         trend = bool(payload.get("trend", False))
+        if deadline_ms is None:
+            deadline_ms = _parse_deadline_ms(payload.get("deadline_ms"))
         if want_trace or payload.get("trace"):
-            return self._answer_traced(question, voice, trend)
+            with deadline_scope(deadline_ms):
+                return self._answer_traced(question, voice, trend)
+        if deadline_ms is not None or active_fault_plan() is not None:
+            # A deadline (or an injected fault) can degrade the answer;
+            # degraded answers must never be cached, or a later
+            # pressure-free ask of the same question would be served the
+            # shrunk multiplot from memory.
+            with deadline_scope(deadline_ms):
+                return self._answer(question, voice, trend)
         return self._responses.get_or_compute(
             (question, voice, trend),
             lambda: self._answer(question, voice, trend))
@@ -158,6 +199,9 @@ class MuveDemoServer:
                     for c in response.candidates],
                 "svg": self._render_svg(response),
                 "text": self._render_text(response),
+                "degraded": response.degraded,
+                "degradations": [event.to_dict()
+                                 for event in response.degradations],
             }
         if voice:
             response = self.muve.ask_voice(question)
@@ -175,6 +219,9 @@ class MuveDemoServer:
                 for c in response.candidates],
             "svg": self._render_svg(response),
             "text": self._render_text(response),
+            "degraded": response.degraded,
+            "degradations": [event.to_dict()
+                             for event in response.degradations],
         }
 
     def _render_svg(self, response) -> str:
@@ -215,6 +262,21 @@ class MuveDemoServer:
         return stats
 
 
+def _parse_deadline_ms(raw) -> float | None:
+    """Validate a deadline from a query param or JSON body field."""
+    if raw is None or raw == "":
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"deadline_ms must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ReproError(
+            f"deadline_ms must be positive, got {value}")
+    return value
+
+
 def _make_handler(server: MuveDemoServer):
     class Handler(BaseHTTPRequestHandler):
         _status: int = 0
@@ -225,17 +287,22 @@ def _make_handler(server: MuveDemoServer):
             pass
 
         def _send(self, status: int, body: bytes,
-                  content_type: str) -> None:
+                  content_type: str,
+                  headers: dict[str, str] | None = None) -> None:
             self._status = status
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_json(self, status: int, payload: dict) -> None:
+        def _send_json(self, status: int, payload: dict,
+                       headers: dict[str, str] | None = None) -> None:
             self._send(status, json.dumps(payload).encode("utf-8"),
-                       "application/json; charset=utf-8")
+                       "application/json; charset=utf-8",
+                       headers=headers)
 
         def _send_text(self, status: int, text: str) -> None:
             self._send(status, text.encode("utf-8"),
@@ -246,18 +313,37 @@ def _make_handler(server: MuveDemoServer):
         def _handle(self, method: str, route) -> None:
             """Run one request with timing, metrics and error mapping.
 
-            Domain errors (:class:`ReproError`) map to 400 with the
-            message; anything else maps to a 500 JSON error (never a
-            stack trace down a closed socket) and an ``errors`` counter
-            increment carrying the exception type.
+            Every error response carries a machine-readable
+            ``error_type`` (the exception class name) next to the
+            human-readable ``error`` message, and increments the typed
+            ``errors`` counter.  :class:`OverloadedError` (load
+            shedding) maps to 429 with a ``Retry-After`` header; other
+            domain errors (:class:`ReproError`) map to 400; anything
+            else maps to a 500 JSON error (never a stack trace down a
+            closed socket).
             """
             path = urlsplit(self.path).path
             label = path if path in _KNOWN_PATHS else "other"
             started = time.perf_counter()
             try:
                 route(path)
+            except OverloadedError as exc:
+                server.metrics.counter(
+                    "errors", where="http",
+                    type=type(exc).__name__).inc()
+                self._send_json(
+                    429,
+                    {"error": str(exc),
+                     "error_type": type(exc).__name__,
+                     "retry_after_seconds": exc.retry_after_seconds},
+                    headers={"Retry-After":
+                             f"{exc.retry_after_seconds:.0f}"})
             except ReproError as exc:
-                self._send_json(400, {"error": str(exc)})
+                server.metrics.counter(
+                    "errors", where="http",
+                    type=type(exc).__name__).inc()
+                self._send_json(400, {"error": str(exc),
+                                      "error_type": type(exc).__name__})
             except BrokenPipeError:  # pragma: no cover - client gone
                 self._status = self._status or 499
             except Exception as exc:  # noqa: BLE001 - last-resort handler
@@ -266,7 +352,8 @@ def _make_handler(server: MuveDemoServer):
                     type=type(exc).__name__).inc()
                 self._send_json(500, {
                     "error": f"internal error: {type(exc).__name__}: "
-                             f"{exc}"})
+                             f"{exc}",
+                    "error_type": type(exc).__name__})
             duration_ms = (time.perf_counter() - started) * 1000.0
             server.metrics.histogram(
                 "http_request_ms", method=method, path=label,
@@ -310,23 +397,30 @@ def _make_handler(server: MuveDemoServer):
                         "traces": [trace.to_dict()
                                    for trace in log.tail(limit)]})
             else:
-                self._send_json(404, {"error": "not found"})
+                self._send_json(404, {"error": "not found", "error_type": "NotFound"})
 
         def _route_post(self, path: str) -> None:
             if path != "/api/ask":
-                self._send_json(404, {"error": "not found"})
+                self._send_json(404, {"error": "not found", "error_type": "NotFound"})
                 return
             length = int(self.headers.get("Content-Length", "0"))
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 payload = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
-                self._send_json(400, {"error": "invalid JSON body"})
+                self._send_json(400, {"error": "invalid JSON body",
+                                      "error_type": "ReproError"})
                 return
-            want_trace = self._query().get(
+            query = self._query()
+            want_trace = query.get(
                 "trace", ["0"])[-1] not in ("", "0", "false")
-            self._send_json(
-                200, server.handle_ask(payload, want_trace=want_trace))
+            deadline_ms = _parse_deadline_ms(
+                query.get("deadline_ms", [""])[-1])
+            with server.admission.admit():
+                result = server.handle_ask(payload,
+                                           want_trace=want_trace,
+                                           deadline_ms=deadline_ms)
+            self._send_json(200, result)
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             self._handle("GET", self._route_get)

@@ -75,3 +75,41 @@ class CandidateGenerationError(ReproError):
 
 class VisualizationError(ReproError):
     """A multiplot could not be rendered."""
+
+
+class DeadlineExceeded(ReproError):
+    """A per-request deadline expired before the request finished.
+
+    Raised by :meth:`repro.resilience.Deadline.check` at the named
+    pipeline site.  Stages that can degrade catch this and fall down the
+    degradation ladder (see DESIGN.md, "Resilience"); it only escapes to
+    the caller when even the cheapest degraded form of the request could
+    not be produced.
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        self.site = site
+        super().__init__(message)
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed if simply retried.
+
+    The marker class the bounded retry policy
+    (:func:`repro.resilience.retry_call`) keys on: only transient errors
+    are retried, everything else propagates immediately.
+    """
+
+
+class OverloadedError(ReproError):
+    """The server shed this request because too many are in flight.
+
+    Maps to HTTP 429 with a ``Retry-After`` header (never 400/500): the
+    request was not malformed and nothing is broken — the caller should
+    back off and retry.
+    """
+
+    def __init__(self, message: str,
+                 retry_after_seconds: float = 1.0) -> None:
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(message)

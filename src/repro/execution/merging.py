@@ -21,8 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ExecutionError, NullAggregateError
+from repro.errors import ExecutionError, NullAggregateError, TransientError
 from repro.observability import trace_span
+from repro.resilience import (
+    current_deadline,
+    exception_reason,
+    record_degradation,
+)
+from repro.testing.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.caching import QueryResultCache
@@ -84,11 +90,28 @@ class ExecutionPlan:
         if batch is None:
             batch = batch_executor.batch_enabled()
         if batch and database.io_millis_per_page == 0.0:
-            return batch_executor.run_plan(
-                self, database, sample_fraction=sample_fraction,
-                cache=cache)
+            try:
+                fault_point("executor.batch")
+                deadline = current_deadline()
+                if deadline is not None:
+                    deadline.check("executor.batch")
+                return batch_executor.run_plan(
+                    self, database, sample_fraction=sample_fraction,
+                    cache=cache)
+            except TransientError as exc:
+                # batch→per-group rung: a transient batch failure falls
+                # back to the legacy loop, which computes bit-identical
+                # results one group at a time.  Deadline exhaustion is
+                # NOT handled here — per-group is the *slower* path, so
+                # the caller must shrink the multiplot instead.
+                record_degradation("executor", "batch_to_per_group",
+                                   exception_reason(exc))
         results: dict[AggregateQuery, float | None] = {}
         for group in self.groups:
+            fault_point("executor.group")
+            deadline = current_deadline()
+            if deadline is not None:
+                deadline.check("executor.group")
             sql = group.sql
             if sample_fraction is not None and sample_fraction < 1.0:
                 sql = _with_sample(sql, sample_fraction)

@@ -15,15 +15,29 @@ from repro.caching import PlanCache, QueryResultCache, register_cache_metrics
 from repro.core.model import Multiplot, ScreenGeometry
 from repro.core.planner import PlannerResult, VisualizationPlanner
 from repro.core.problem import MultiplotSelectionProblem
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError, TransientError
 from repro.execution.engine import MuveExecutor, VisualizationUpdate
 from repro.execution.progressive import ProcessingStrategy
 from repro.nlq.candidates import CandidateGenerator, CandidateQuery
 from repro.nlq.speech import SpeechSimulator, build_default_vocabulary
 from repro.nlq.text_to_sql import TextToSql
 from repro.observability import MetricsRegistry, get_registry, trace_span
+from repro.resilience import (
+    CANDIDATE_PRESSURE_FRACTION,
+    EXECUTION_PRESSURE_FRACTION,
+    DegradationEvent,
+    current_deadline,
+    current_degradations,
+    deadline_grace,
+    deadline_scope,
+    default_deadline_ms,
+    degradation_scope,
+    exception_reason,
+    record_degradation,
+)
 from repro.sqldb.database import Database
 from repro.sqldb.query import AggregateQuery
+from repro.testing.faults import fault_point
 from repro.viz.svg import render_svg
 from repro.viz.text import render_text
 
@@ -39,6 +53,12 @@ class TrendResponse:
     candidates: tuple[CandidateQuery, ...]
     multiplot: object  # SeriesMultiplot (duck-typed like Multiplot)
     expected_cost: float
+    degradations: tuple[DegradationEvent, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any resilience rung fired while answering."""
+        return bool(self.degradations)
 
     def to_text(self) -> str:
         from repro.timeseries.render import render_series_text
@@ -67,6 +87,13 @@ class MuveResponse:
     updates: tuple[VisualizationUpdate, ...]
     headline: str
     geometry: ScreenGeometry = field(default_factory=ScreenGeometry)
+    degradations: tuple[DegradationEvent, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any resilience rung fired while answering (the
+        response is still well-formed, just computed the cheap way)."""
+        return bool(self.degradations)
 
     @property
     def multiplot(self) -> Multiplot:
@@ -117,6 +144,16 @@ class Muve:
         (:func:`repro.execution.batch.batch_enabled`, the CLI's
         ``--no-batch-exec``); ``True``/``False`` pins the one-pass batch
         path on or off for this pipeline.
+    deadline_ms:
+        Per-request latency budget.  Every ask runs under a
+        :class:`~repro.resilience.Deadline` of this many milliseconds;
+        pipeline stages that would blow the budget degrade (see
+        DESIGN.md, "Resilience") instead of running long.  ``None``
+        (the default) reads ``MUVE_DEADLINE_MS`` from the environment;
+        unset/non-positive means no deadline.  Callers that already
+        opened a :func:`~repro.resilience.deadline_scope` (the demo
+        server's per-request ``deadline_ms``) win — the instance
+        default only applies when no deadline is active.
 
     One instance is safe to share across threads: the pipeline components
     hold no per-request state, randomness is derived per call, and the
@@ -137,8 +174,11 @@ class Muve:
                  seed: int = 0,
                  enable_caching: bool = True,
                  metrics: MetricsRegistry | None = None,
-                 batch_execution: bool | None = None) -> None:
+                 batch_execution: bool | None = None,
+                 deadline_ms: float | None = None) -> None:
         self.database = database
+        self.deadline_ms = (deadline_ms if deadline_ms is not None
+                            else default_deadline_ms())
         self.table_name = database.table(table_name).schema.name
         self.geometry = geometry or ScreenGeometry()
         self.planner = planner or VisualizationPlanner(strategy="best")
@@ -225,12 +265,19 @@ class Muve:
         The latency histogram and request/error counters are recorded
         unconditionally — they are the serving SLO signal and must work
         with ``MUVE_TRACING=off``; only the span tree is gated on the
-        tracer."""
+        tracer.
+
+        Also opens the resilience scopes: a fresh degradation-event
+        collector (so the response reports exactly its own rungs) and —
+        unless the caller already set one — the instance deadline."""
         begin = time.perf_counter()
         error_type: str | None = None
+        budget = (None if current_deadline() is not None
+                  else self.deadline_ms)
         try:
             with trace_span(name) as span:
-                yield span
+                with degradation_scope(), deadline_scope(budget):
+                    yield span
         except Exception as exc:
             error_type = type(exc).__name__
             raise
@@ -253,7 +300,16 @@ class Muve:
         text pipeline (what :meth:`ask` runs)."""
         with self._request("muve.ask_voice") as span:
             with trace_span("muve.speech") as speech_span:
-                transcript = self._speech.transcribe(utterance)
+                try:
+                    transcript = self._speech.transcribe(utterance)
+                except (DeadlineExceeded, TransientError) as exc:
+                    # Identity-transcript rung: with the recogniser down
+                    # the utterance itself is the best transcript guess —
+                    # the candidate generator downstream handles the
+                    # (now absent) recognition noise anyway.
+                    record_degradation("speech", "identity_transcript",
+                                       exception_reason(exc))
+                    transcript = utterance
                 speech_span.set_attribute("words",
                                           len(utterance.split()))
                 speech_span.set_attribute("exact",
@@ -275,10 +331,7 @@ class Muve:
         with trace_span("muve.translate") as span:
             seed_query = self._text_to_sql.translate(text)
             span.set_attribute("sql", seed_query.to_sql())
-        with trace_span("muve.candidates") as span:
-            candidates = tuple(self._candidate_generator.candidates(
-                seed_query, self.max_candidates))
-            span.set_attribute("count", len(candidates))
+        candidates = self._candidate_distribution(seed_query)
         problem = MultiplotSelectionProblem(candidates,
                                             geometry=self.geometry)
         processing_groups = None
@@ -292,8 +345,8 @@ class Muve:
                 span.set_attribute("groups", len(processing_groups))
         planning = self.planner.plan(problem,
                                      processing_groups=processing_groups)
-        updates = tuple(self._executor.run(planning.multiplot,
-                                           strategy=strategy))
+        shown, updates = self._execute_resilient(planning.multiplot,
+                                                 strategy)
         return MuveResponse(
             utterance=utterance if utterance is not None else text,
             transcript=text,
@@ -301,9 +354,95 @@ class Muve:
             candidates=candidates,
             planning=planning,
             updates=updates,
-            headline=self._headline(planning.multiplot),
+            headline=self._headline(shown),
             geometry=self.geometry,
+            degradations=current_degradations(),
         )
+
+    def _candidate_distribution(self, seed_query: AggregateQuery,
+                                ) -> tuple[CandidateQuery, ...]:
+        """The candidate stage with its two degradation rungs.
+
+        On failure or an already-blown budget the distribution collapses
+        to the seed query alone (probability 1); under deadline pressure
+        (less than half the budget left before planning even starts) the
+        full distribution is truncated to its top-m prefix and
+        renormalised — candidates come out of the generator best-first,
+        so the prefix is the m most likely interpretations."""
+        with trace_span("muve.candidates") as span:
+            try:
+                fault_point("candidates.generate")
+                deadline = current_deadline()
+                if deadline is not None:
+                    deadline.check("candidates.generate")
+                candidates = tuple(self._candidate_generator.candidates(
+                    seed_query, self.max_candidates))
+            except (DeadlineExceeded, TransientError) as exc:
+                record_degradation("candidates", "seed_only",
+                                   exception_reason(exc))
+                span.set_attribute("count", 1)
+                span.set_attribute("degraded", "seed_only")
+                return (CandidateQuery(seed_query, 1.0),)
+            deadline = current_deadline()
+            if (deadline is not None
+                    and deadline.remaining_fraction()
+                    < CANDIDATE_PRESSURE_FRACTION):
+                top_m = max(3, self.max_candidates // 4)
+                if top_m < len(candidates):
+                    kept = candidates[:top_m]
+                    total = sum(c.probability for c in kept)
+                    record_degradation(
+                        "candidates", "top_m", "deadline_pressure",
+                        detail=f"{len(candidates)} -> {len(kept)}")
+                    span.set_attribute("degraded", "top_m")
+                    candidates = tuple(
+                        CandidateQuery(c.query, c.probability / total)
+                        for c in kept)
+            span.set_attribute("count", len(candidates))
+            return candidates
+
+    def _execute_resilient(self, multiplot: Multiplot,
+                           strategy: ProcessingStrategy | None,
+                           ) -> tuple[Multiplot,
+                                      tuple[VisualizationUpdate, ...]]:
+        """Execute *multiplot*, shrinking it to its single most likely
+        plot when the budget is (nearly) gone.
+
+        The shrink prunes the *already planned* multiplot, so the
+        degraded plot set is a subset of what the full response would
+        have shown (the differential-test invariant).  The single-plot
+        rerun executes in deadline grace: it is the cheapest answer we
+        can still render, so it must not be interrupted again."""
+        deadline = current_deadline()
+        if (deadline is not None and multiplot.num_plots > 1
+                and deadline.remaining_fraction()
+                < EXECUTION_PRESSURE_FRACTION):
+            # Pre-emptive shrink: not enough budget left to fill every
+            # plot, so don't start work we would abandon half-way.
+            record_degradation(
+                "executor", "single_plot", "deadline_pressure",
+                detail=f"{multiplot.num_plots} -> 1 plots")
+            multiplot = _best_single_plot(multiplot)
+            with deadline_grace():
+                return multiplot, tuple(
+                    self._executor.run(multiplot, strategy=strategy))
+        try:
+            return multiplot, tuple(
+                self._executor.run(multiplot, strategy=strategy))
+        except (DeadlineExceeded, TransientError) as exc:
+            if (not isinstance(exc, DeadlineExceeded)
+                    and multiplot.num_plots <= 1):
+                # A transient failure with nothing left to shed: the
+                # rerun would hit the same fault, so surface it (the
+                # session retry layer handles transience).
+                raise
+            record_degradation("executor", "single_plot",
+                               exception_reason(exc),
+                               detail=f"{multiplot.num_plots} -> 1 plots")
+            multiplot = _best_single_plot(multiplot)
+            with deadline_grace():
+                return multiplot, tuple(
+                    self._executor.run(multiplot, strategy=strategy))
 
     def ask_trend(self, text: str,
                   utterance: str | None = None) -> TrendResponse:
@@ -343,6 +482,7 @@ class Muve:
                 candidates=tuple(candidates),
                 multiplot=filled,
                 expected_cost=solution.expected_cost,
+                degradations=current_degradations(),
             )
 
     # ------------------------------------------------------------------
@@ -367,3 +507,18 @@ class Muve:
             parts.append("WHERE " + " AND ".join(p.to_sql()
                                                  for p in ordered))
         return " ".join(parts)
+
+
+def _best_single_plot(multiplot: Multiplot) -> Multiplot:
+    """The one plot carrying the most candidate probability mass.
+
+    Ties break on plot title so the choice is deterministic.  Used by
+    the single-plot degradation rung: the result's plot set is by
+    construction a subset of *multiplot*'s.
+    """
+    plots = list(multiplot.plots())
+    if len(plots) <= 1:
+        return multiplot
+    best = max(plots, key=lambda plot: (plot.probability_mass(),
+                                        plot.template.title()))
+    return Multiplot(((best,),))

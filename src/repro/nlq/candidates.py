@@ -19,8 +19,18 @@ from typing import Mapping
 
 from repro.caching.lru import LruCache
 from repro.caching.phonetic import phonetic_probe_cache
-from repro.errors import CandidateGenerationError
+from repro.errors import (
+    CandidateGenerationError,
+    DeadlineExceeded,
+    TransientError,
+)
 from repro.phonetics.index import PhoneticIndex, phonetic_similarity
+from repro.resilience import (
+    current_deadline,
+    exception_reason,
+    record_degradation,
+)
+from repro.testing.faults import fault_point
 from repro.sqldb.database import Database
 from repro.sqldb.expressions import AggregateFunction
 from repro.sqldb.query import AggregateQuery, QueryElement
@@ -208,7 +218,22 @@ class CandidateGenerator:
         """Alternatives per element, indexed like *elements*."""
         bundle = self._bundle()
         per_element: list[list[_Alternative]] = []
+        truncated = False
         for index, element in enumerate(elements):
+            if not truncated:
+                deadline = current_deadline()
+                if deadline is not None and deadline.expired:
+                    # Deadline blown mid-generation: stop probing and
+                    # leave the remaining elements without alternatives
+                    # (the seed itself is always a candidate).
+                    record_degradation(
+                        "phonetics", "alternatives_truncated", "deadline",
+                        detail=f"stopped at element {index}/"
+                               f"{len(elements)}")
+                    truncated = True
+            if truncated:
+                per_element.append([])
+                continue
             if element.kind == "agg_func":
                 per_element.append(
                     self._aggregate_alternatives(seed, index))
@@ -252,8 +277,21 @@ class CandidateGenerator:
     def _index_alternatives(self, index: PhoneticIndex,
                             element: QueryElement,
                             element_index: int) -> list[_Alternative]:
-        ranked = phonetic_probe_cache().most_similar(
-            index, element.text, self._k, include_self=False)
+        try:
+            fault_point("phonetics.lookup")
+            deadline = current_deadline()
+            if deadline is not None:
+                deadline.check("phonetics.lookup")
+            ranked = phonetic_probe_cache().most_similar(
+                index, element.text, self._k, include_self=False)
+        except (DeadlineExceeded, TransientError) as exc:
+            # One failed lookup costs this element its alternatives, not
+            # the whole request: the other elements (and the seed query)
+            # still produce a usable candidate distribution.
+            record_degradation("phonetics", "alternatives_skipped",
+                               exception_reason(exc),
+                               detail=element.text)
+            return []
         alternatives = []
         for scored in ranked:
             weight = self._weight(scored.score)

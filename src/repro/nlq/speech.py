@@ -17,6 +17,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.phonetics.index import PhoneticIndex
+from repro.resilience import current_deadline
+from repro.testing.faults import fault_point
 
 _ADJACENT_KEYS = {
     "a": "qs", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
@@ -80,6 +82,10 @@ class SpeechSimulator:
         by a phonetically similar confusion; with ``insertion_rate`` a
         spurious vocabulary word is hallucinated after it.
         """
+        fault_point("speech.transcribe")
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("speech.transcribe")
         from repro.sqldb.sampling import derive_rng
         rng = derive_rng(self._seed, "speech", utterance)
         words = utterance.split()

@@ -1,0 +1,146 @@
+"""Per-request deadlines, propagated through the pipeline by contextvar.
+
+A :class:`Deadline` is a monotonic-clock budget attached to the current
+request context (:func:`deadline_scope`).  Pipeline stages read it back
+with :func:`current_deadline` and either *check* it (raising
+:class:`~repro.errors.DeadlineExceeded` at a named site) or measure the
+*remaining fraction* to decide whether to degrade pre-emptively — the
+paper's interaction budget ("answers within a couple of seconds or not
+at all") made explicit.
+
+Three surfaces set a deadline (tightest active one wins, innermost scope
+first):
+
+* ``MUVE_DEADLINE_MS`` — the process-wide default, read lazily so tests
+  can monkeypatch the environment.
+* ``Muve(deadline_ms=...)`` — a per-pipeline default, applied when no
+  caller-provided deadline is already active.
+* ``POST /api/ask?deadline_ms=...`` — per-request, set by the demo
+  server before entering the pipeline.
+
+:func:`deadline_grace` clears the active deadline for a block: the last
+rung of every degradation ladder runs in grace mode, so an expired
+deadline still yields the cheapest possible answer instead of an error
+storm (each rung's work is strictly cheaper than the stage it replaces,
+so grace-mode execution stays bounded).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import math
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import DeadlineExceeded, ReproError
+
+__all__ = [
+    "Deadline",
+    "current_deadline",
+    "deadline_grace",
+    "deadline_scope",
+    "default_deadline_ms",
+]
+
+
+class Deadline:
+    """A wall-clock budget for one request (monotonic clock).
+
+    Not a hard interrupt: stages poll via :meth:`check` /
+    :meth:`remaining_ms` at their boundaries, so the guarantee is
+    "no stage *starts* expensive work past the deadline", which bounds
+    end-to-end latency at deadline + one degraded (cheap) tail.
+    """
+
+    __slots__ = ("budget_ms", "_expires_at")
+
+    def __init__(self, budget_ms: float) -> None:
+        if not budget_ms > 0:
+            raise ReproError(
+                f"deadline budget must be positive, got {budget_ms}")
+        self.budget_ms = float(budget_ms)
+        self._expires_at = time.monotonic() + self.budget_ms / 1000.0
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left before expiry (0 once expired)."""
+        return max(0.0, (self._expires_at - time.monotonic()) * 1000.0)
+
+    def remaining_fraction(self) -> float:
+        """Remaining budget as a fraction of the original (0..1)."""
+        return self.remaining_ms() / self.budget_ms
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def check(self, site: str) -> None:
+        """Raise :class:`DeadlineExceeded` at *site* if expired."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_ms:.0f} ms exhausted at "
+                f"{site}", site=site)
+
+    def exhaust(self) -> None:
+        """Force immediate expiry (the ``exhaust_deadline`` fault)."""
+        self._expires_at = -math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Deadline(budget={self.budget_ms:.0f} ms, "
+                f"remaining={self.remaining_ms():.0f} ms)")
+
+
+_DEADLINE: contextvars.ContextVar[Deadline | None] = \
+    contextvars.ContextVar("muve_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline of the current request context, if any."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(budget_ms: float | None) -> Iterator[Deadline | None]:
+    """Attach a fresh :class:`Deadline` to the current context.
+
+    ``budget_ms=None`` is a no-op scope that inherits whatever deadline
+    (or absence of one) is already active, so callers can write one
+    ``with`` regardless of configuration.
+    """
+    if budget_ms is None:
+        yield _DEADLINE.get()
+        return
+    deadline = Deadline(budget_ms)
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
+@contextmanager
+def deadline_grace() -> Iterator[None]:
+    """Run a block with no active deadline (the ladder's last rung)."""
+    token = _DEADLINE.set(None)
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)
+
+
+def default_deadline_ms() -> float | None:
+    """The process default from ``MUVE_DEADLINE_MS`` (None = unset).
+
+    Read per call (not cached at import) so test fixtures and the CLI
+    can adjust the environment before constructing a pipeline.
+    """
+    raw = os.environ.get("MUVE_DEADLINE_MS", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ReproError(
+            f"MUVE_DEADLINE_MS must be a number, got {raw!r}") from None
+    return value if value > 0 else None

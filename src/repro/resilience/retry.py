@@ -1,0 +1,79 @@
+"""Bounded retry with deterministic jittered backoff.
+
+Only failures typed :class:`~repro.errors.TransientError` (which
+injected :class:`~repro.testing.faults.FaultError`\\ s subclass) are
+retried — domain errors like a malformed question would fail the same
+way every time, so they propagate immediately.  Backoff grows
+exponentially with a *seeded* jitter: the same ``(seed, attempt)``
+always sleeps the same amount, so chaos tests replay byte-for-byte.
+
+A retry never outlives the request deadline: the sleep is clamped to
+the remaining budget and an expired deadline stops retrying outright.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import TransientError
+from repro.observability import get_registry, trace_span
+from repro.resilience.deadline import current_deadline
+
+__all__ = ["backoff_ms", "is_transient", "retry_call"]
+
+T = TypeVar("T")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether *exc* is worth retrying (see :class:`TransientError`)."""
+    return isinstance(exc, TransientError)
+
+
+def backoff_ms(attempt: int, *, base_delay_ms: float = 20.0,
+               max_delay_ms: float = 200.0, seed: int = 0) -> float:
+    """The deterministic jittered delay before retry *attempt* (0-based).
+
+    Exponential growth capped at ``max_delay_ms``, then scaled into
+    [0.5, 1.0) by a jitter drawn from a ``(seed, attempt)``-keyed RNG —
+    full determinism per seed, decorrelation across concurrent retriers
+    with different seeds.
+    """
+    delay = min(max_delay_ms, base_delay_ms * (2.0 ** attempt))
+    jitter = random.Random(f"{seed}:{attempt}").random()
+    return delay * (0.5 + jitter / 2.0)
+
+
+def retry_call(fn: Callable[[], T], *, attempts: int = 3,
+               base_delay_ms: float = 20.0, max_delay_ms: float = 200.0,
+               seed: int = 0, where: str = "retry",
+               sleep: Callable[[float], None] = time.sleep) -> T:
+    """Call *fn*, retrying transient failures up to *attempts* times.
+
+    ``where`` labels the ``resilience_retries`` counter so callers are
+    distinguishable in ``/api/metrics``.  ``sleep`` is injectable for
+    tests that assert backoff without waiting.
+    """
+    if attempts <= 0:
+        raise ValueError(f"attempts must be positive, got {attempts}")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except Exception as exc:
+            deadline = current_deadline()
+            if (attempt + 1 >= attempts or not is_transient(exc)
+                    or (deadline is not None and deadline.expired)):
+                raise
+            delay_ms = backoff_ms(attempt, base_delay_ms=base_delay_ms,
+                                  max_delay_ms=max_delay_ms, seed=seed)
+            if deadline is not None:
+                delay_ms = min(delay_ms, deadline.remaining_ms())
+            get_registry().counter("resilience_retries",
+                                   where=where).inc()
+            with trace_span("resilience.retry", where=where,
+                            attempt=attempt + 1) as span:
+                span.set_attribute("error_type", type(exc).__name__)
+                span.set_attribute("backoff_ms", round(delay_ms, 3))
+                sleep(delay_ms / 1000.0)
+    raise AssertionError("unreachable")  # pragma: no cover

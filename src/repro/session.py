@@ -20,7 +20,9 @@ from repro.execution.progressive import ProcessingStrategy
 from repro.muve import Muve, MuveResponse
 from repro.nlq.priors import QueryLogPrior
 from repro.observability import trace_span
+from repro.resilience import retry_call
 from repro.sqldb.query import AggregateQuery
+from repro.testing.faults import fault_point
 
 
 @dataclass
@@ -34,15 +36,29 @@ class MuveSession:
         session only owns the prior).
     prior_strength:
         How strongly history shifts the distribution (0 disables).
+    max_attempts / retry_backoff_ms / retry_seed:
+        Transient-failure policy: each turn's pipeline run is retried
+        up to ``max_attempts`` times on
+        :class:`~repro.errors.TransientError` with deterministic
+        jittered exponential backoff (see :func:`repro.resilience
+        .retry_call`).  Non-transient errors and deadline exhaustion
+        are never retried.
 
     Concurrency: the shared :class:`Muve` pipeline needs no lock, but the
     session's own state (the query-log prior and the turn history) is
-    genuinely per-user and mutable, so each session serialises its turns
-    behind a private lock.  Different sessions never contend.
+    genuinely per-user and mutable, so each session serialises access to
+    that state behind a private lock.  The lock guards only state reads
+    and writes — pipeline work (including the history-based replan) runs
+    outside it, so two concurrent turns on one session overlap their
+    planning and execution instead of queuing.  Different sessions never
+    contend.
     """
 
     muve: Muve
     prior_strength: float = 0.3
+    max_attempts: int = 3
+    retry_backoff_ms: float = 25.0
+    retry_seed: int = 0
     prior: QueryLogPrior = field(init=False)
     _history: list[MuveResponse] = field(init=False, default_factory=list)
     _lock: threading.RLock = field(init=False, repr=False)
@@ -57,21 +73,23 @@ class MuveSession:
             strategy: ProcessingStrategy | None = None) -> MuveResponse:
         """One turn: candidates re-weighted by this session's history."""
         with trace_span("session.turn"):
-            response = self.muve.ask(text, strategy=strategy)
-            with self._lock:
-                response = self._apply_prior(response)
-                self._history.append(response)
-            return response
+            response = retry_call(
+                lambda: self.muve.ask(text, strategy=strategy),
+                attempts=self.max_attempts,
+                base_delay_ms=self.retry_backoff_ms,
+                seed=self.retry_seed, where="session.ask")
+            return self._finish_turn(response)
 
     def ask_voice(self, utterance: str,
                   strategy: ProcessingStrategy | None = None,
                   ) -> MuveResponse:
         with trace_span("session.turn"):
-            response = self.muve.ask_voice(utterance, strategy=strategy)
-            with self._lock:
-                response = self._apply_prior(response)
-                self._history.append(response)
-            return response
+            response = retry_call(
+                lambda: self.muve.ask_voice(utterance, strategy=strategy),
+                attempts=self.max_attempts,
+                base_delay_ms=self.retry_backoff_ms,
+                seed=self.retry_seed, where="session.ask_voice")
+            return self._finish_turn(response)
 
     def confirm(self, query: AggregateQuery) -> None:
         """The user clicked *query*'s bar: log it for future turns.
@@ -97,19 +115,35 @@ class MuveSession:
 
     # ------------------------------------------------------------------
 
+    def _finish_turn(self, response: MuveResponse) -> MuveResponse:
+        """Apply the history prior (outside the lock) and log the turn."""
+        response = self._apply_prior(response)
+        with self._lock:
+            self._history.append(response)
+        return response
+
     def _apply_prior(self, response: MuveResponse) -> MuveResponse:
         """Replan with history-adjusted probabilities (when any history
-        exists; the first turn passes through unchanged)."""
-        if self.prior.num_logged == 0 or self.prior_strength == 0.0:
-            return response
-        with trace_span("session.replan") as span:
+        exists; the first turn passes through unchanged).
+
+        Only the prior snapshot is taken under the session lock; the
+        replan itself (planning plus query execution) runs unlocked so a
+        slow replan on one turn does not serialise the session's other
+        in-flight turns — the components it uses are thread-safe.
+        """
+        with self._lock:
+            if self.prior.num_logged == 0 or self.prior_strength == 0.0:
+                return response
             reweighted = tuple(
                 self.prior.reweight(list(response.candidates)))
+            num_logged = self.prior.num_logged
+        with trace_span("session.replan") as span:
+            fault_point("session.replan")
             problem = MultiplotSelectionProblem(
                 reweighted, geometry=self.muve.geometry)
             planning = self.muve.planner.plan(problem)
             updates = tuple(self.muve._executor.run(planning.multiplot))
-            span.set_attribute("logged_queries", self.prior.num_logged)
+            span.set_attribute("logged_queries", num_logged)
         return MuveResponse(
             utterance=response.utterance,
             transcript=response.transcript,
@@ -119,4 +153,5 @@ class MuveSession:
             updates=updates,
             headline=response.headline,
             geometry=response.geometry,
+            degradations=response.degradations,
         )

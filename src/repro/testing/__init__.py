@@ -1,0 +1,30 @@
+"""Test-support infrastructure that ships with the library.
+
+Currently one module: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness the resilience chaos suite drives.  It lives in
+the package (not under ``tests/``) because production call sites invoke
+:func:`~repro.testing.faults.fault_point` directly and operators can
+activate plans via ``MUVE_FAULTS`` against a running server.
+"""
+
+from repro.testing.faults import (
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    fault_point,
+    inject_faults,
+    set_fault_plan,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active_fault_plan",
+    "fault_point",
+    "inject_faults",
+    "set_fault_plan",
+]

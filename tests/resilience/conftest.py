@@ -1,0 +1,32 @@
+"""Shared fixtures for the resilience/chaos suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Muve, ScreenGeometry, VisualizationPlanner
+from repro.datasets import make_nyc311_table
+from repro.testing.faults import set_fault_plan
+
+#: The standing question all resilience tests ask (multi-predicate, so
+#: plans have several plots and the single-plot rung has work to do).
+QUESTION = ("average resolution hours for borough Brooklyn "
+            "complaint type Noise")
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    """A test that dies mid-``inject_faults`` must not poison the rest
+    of the session with an active plan."""
+    yield
+    set_fault_plan(None)
+
+
+@pytest.fixture(scope="module")
+def muve() -> Muve:
+    """One shared pipeline (greedy planner keeps the suite fast)."""
+    db = Database(seed=0)
+    db.register_table(make_nyc311_table(num_rows=2000, seed=5))
+    return Muve(db, "nyc311", seed=1,
+                geometry=ScreenGeometry(width_pixels=1400, num_rows=2),
+                planner=VisualizationPlanner(strategy="greedy"))

@@ -1,0 +1,281 @@
+"""Admission control, bounded retry, and the session lock regression."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    OverloadedError,
+    ReproError,
+    TransientError,
+)
+from repro.observability import get_registry
+from repro.resilience import (
+    AdmissionController,
+    backoff_ms,
+    deadline_scope,
+    retry_call,
+)
+from repro.session import MuveSession
+from repro.testing.faults import FaultError, inject_faults
+
+from tests.resilience.conftest import QUESTION
+
+
+class TestAdmissionController:
+    def test_admits_until_cap(self):
+        controller = AdmissionController(2)
+        assert controller.try_acquire()
+        assert controller.try_acquire()
+        assert not controller.try_acquire()
+        controller.release()
+        assert controller.try_acquire()
+
+    def test_admit_sheds_with_retry_after(self):
+        controller = AdmissionController(1, retry_after_seconds=2.5)
+        with controller.admit():
+            with pytest.raises(OverloadedError) as excinfo:
+                with controller.admit():
+                    pass  # pragma: no cover - never admitted
+            assert excinfo.value.retry_after_seconds == 2.5
+        assert controller.inflight == 0
+        assert controller.shed_total == 1
+
+    def test_admit_releases_on_exception(self):
+        controller = AdmissionController(1)
+        with pytest.raises(ValueError):
+            with controller.admit():
+                raise ValueError("boom")
+        assert controller.inflight == 0
+
+    def test_shed_counter_in_metrics(self):
+        registry = get_registry()
+        before = registry.counter("resilience_shed").value
+        controller = AdmissionController(1)
+        with controller.admit():
+            with pytest.raises(OverloadedError):
+                with controller.admit():
+                    pass  # pragma: no cover
+        assert registry.counter("resilience_shed").value == before + 1
+
+    def test_non_positive_cap_rejected(self):
+        with pytest.raises(ReproError):
+            AdmissionController(0)
+
+    def test_concurrent_admissions_never_exceed_cap(self):
+        controller = AdmissionController(3)
+        peak = []
+        barrier = threading.Barrier(8)
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                with controller.admit():
+                    with lock:
+                        peak.append(controller.inflight)
+                    time.sleep(0.02)
+            except OverloadedError:
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert peak and max(peak) <= 3
+        assert controller.inflight == 0
+
+
+class TestRetry:
+    def test_backoff_is_deterministic_and_bounded(self):
+        for attempt in range(6):
+            delay = backoff_ms(attempt, base_delay_ms=20,
+                               max_delay_ms=200, seed=4)
+            assert delay == backoff_ms(attempt, base_delay_ms=20,
+                                       max_delay_ms=200, seed=4)
+            assert 10 <= delay <= 200
+        assert backoff_ms(1, seed=4) != backoff_ms(1, seed=5)
+
+    def test_retries_transient_until_success(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("try again")
+            return "ok"
+
+        assert retry_call(flaky, attempts=3,
+                          sleep=sleeps.append) == "ok"
+        assert len(attempts) == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential growth
+
+    def test_gives_up_after_attempts(self):
+        calls = []
+
+        def always_failing():
+            calls.append(1)
+            raise TransientError("still down")
+
+        with pytest.raises(TransientError):
+            retry_call(always_failing, attempts=3,
+                       sleep=lambda _: None)
+        assert len(calls) == 3
+
+    def test_non_transient_not_retried(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ReproError("bad question")
+
+        with pytest.raises(ReproError):
+            retry_call(broken, attempts=5, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_expired_deadline_stops_retrying(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise TransientError("try again")
+
+        with deadline_scope(50) as deadline:
+            deadline.exhaust()
+            with pytest.raises(TransientError):
+                retry_call(flaky, attempts=5, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_sleep_clamped_to_remaining_budget(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise TransientError("once")
+            return "ok"
+
+        with deadline_scope(10):
+            assert retry_call(flaky, attempts=3, base_delay_ms=10_000,
+                              sleep=sleeps.append) == "ok"
+        assert sleeps and sleeps[0] <= 0.010
+
+    def test_deadline_exceeded_is_not_transient(self):
+        calls = []
+
+        def expired():
+            calls.append(1)
+            raise DeadlineExceeded("over", site="x")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(expired, attempts=3, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_retry_counter_labelled_by_caller(self):
+        registry = get_registry()
+        counter = registry.counter("resilience_retries",
+                                   where="test.retry")
+        before = counter.value
+        state = []
+
+        def once():
+            if not state:
+                state.append(1)
+                raise TransientError("first time")
+            return "ok"
+
+        retry_call(once, attempts=2, where="test.retry",
+                   sleep=lambda _: None)
+        assert counter.value == before + 1
+
+
+class TestSessionRetry:
+    def test_session_retries_transient_pipeline_failures(self, muve):
+        session = MuveSession(muve, retry_backoff_ms=1.0)
+        registry = get_registry()
+        counter = registry.counter("resilience_retries",
+                                   where="session.ask")
+        before = counter.value
+        # batch always fails over to per-group; the group probe fires
+        # twice (first run + its single-plot rerun), so attempt #1
+        # exhausts the fault budget and attempt #2 succeeds.
+        with inject_faults("executor.batch:error;"
+                           "executor.group:error#2"):
+            response = session.ask(QUESTION)
+        assert response.to_text()
+        assert session.turns == 1
+        assert counter.value > before
+
+    def test_session_propagates_persistent_transient_failure(self, muve):
+        session = MuveSession(muve, max_attempts=2,
+                              retry_backoff_ms=1.0)
+        with inject_faults("executor.batch:error;executor.group:error"):
+            with pytest.raises(FaultError):
+                session.ask(QUESTION)
+        assert session.turns == 0
+
+
+class TestSessionLockRegression:
+    def test_replan_does_not_serialise_concurrent_turns(self, muve):
+        """Regression: the history replan used to run while holding the
+        session lock, so two concurrent turns on one session executed
+        their replans back-to-back.  With a 400 ms replan delay, two
+        serialised turns need >=800 ms of replan time alone; overlapped
+        ones finish in about one delay."""
+        session = MuveSession(muve, retry_backoff_ms=1.0)
+        first = session.ask(QUESTION)
+        confirmed = first.multiplot.plots().__next__().bars[0].query
+        session.confirm(confirmed)
+
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def turn():
+            barrier.wait()
+            try:
+                session.ask(QUESTION)
+            except Exception as exc:  # pragma: no cover - fail loud
+                failures.append(exc)
+
+        with inject_faults("session.replan:delay=400") as plan:
+            threads = [threading.Thread(target=turn) for _ in range(2)]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            wall_ms = (time.perf_counter() - begin) * 1000.0
+        assert not failures
+        assert plan.fired("session.replan") == 2
+        # Generous bound: one 400 ms delay plus pipeline work, but well
+        # under the >=800 ms a serialised replan would need.
+        assert wall_ms < 750, f"replans serialised: {wall_ms:.0f} ms"
+        assert session.turns == 3
+
+    def test_confirm_still_safe_during_replan(self, muve):
+        session = MuveSession(muve, retry_backoff_ms=1.0)
+        first = session.ask(QUESTION)
+        confirmed = next(first.multiplot.plots()).bars[0].query
+        session.confirm(confirmed)
+        done = threading.Event()
+
+        def turn():
+            session.ask(QUESTION)
+            done.set()
+
+        with inject_faults("session.replan:delay=200"):
+            worker = threading.Thread(target=turn)
+            worker.start()
+            time.sleep(0.05)  # replan is now sleeping in the fault
+            session.confirm(confirmed)  # must not deadlock
+            worker.join(timeout=10)
+        assert done.is_set()
+        assert session.turns == 2

@@ -1,0 +1,189 @@
+"""Chaos properties: under ANY seeded fault plan the serving path either
+answers (possibly degraded) or raises a typed ReproError, within a
+bounded multiple of the deadline — it never hangs, never leaks request
+context, and never corrupts later fault-free requests."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.muve import MuveResponse
+from repro.resilience import (
+    current_deadline,
+    current_degradations,
+    deadline_scope,
+)
+from repro.testing.faults import FAULT_SITES, FaultPlan, inject_faults
+
+from tests.resilience.conftest import QUESTION
+
+BUDGET_MS = 500
+#: deadline + one degraded grace tail + stall caps; generous to keep CI
+#: quiet, but far below "hang".
+BOUND_MS = 4 * BUDGET_MS + 1000
+
+_BEHAVIOURS = (
+    "delay=40", "delay=900", "error", "error=SolverError",
+    "error=ExecutionError", "exhaust_deadline", "stall",
+)
+
+
+@st.composite
+def fault_specs(draw) -> str:
+    sites = draw(st.lists(st.sampled_from(FAULT_SITES), min_size=1,
+                          max_size=3, unique=True))
+    clauses = []
+    for site in sites:
+        behaviour = draw(st.sampled_from(_BEHAVIOURS))
+        suffix = draw(st.sampled_from(["", "@0.5", "#1", "@0.5#2"]))
+        clauses.append(f"{site}:{behaviour}{suffix}")
+    return ";".join(clauses)
+
+
+class TestChaosProperty:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(spec=fault_specs(), seed=st.integers(0, 2 ** 16))
+    def test_any_fault_plan_answers_or_fails_typed(self, muve, spec,
+                                                   seed):
+        begin = time.perf_counter()
+        outcome: object
+        with inject_faults(FaultPlan.parse(spec, seed=seed)):
+            with deadline_scope(BUDGET_MS):
+                try:
+                    outcome = muve.ask(QUESTION)
+                except ReproError as exc:
+                    outcome = exc
+        elapsed_ms = (time.perf_counter() - begin) * 1000.0
+        # 1. Bounded: never hangs, never runs unboundedly past deadline.
+        assert elapsed_ms < BOUND_MS, (spec, seed, elapsed_ms)
+        # 2. Typed: a well-formed response or a ReproError, nothing else.
+        assert isinstance(outcome, (MuveResponse, ReproError))
+        if isinstance(outcome, MuveResponse):
+            assert outcome.to_text()
+            for event in outcome.degradations:
+                assert event.site and event.action and event.reason
+        # 3. No request-context leak past the scopes.
+        assert current_deadline() is None
+        assert current_degradations() == ()
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(spec=fault_specs(), seed=st.integers(0, 2 ** 16))
+    def test_fault_free_request_after_chaos_is_clean(self, muve, spec,
+                                                     seed):
+        with inject_faults(FaultPlan.parse(spec, seed=seed)):
+            with deadline_scope(BUDGET_MS):
+                try:
+                    muve.ask(QUESTION)
+                except ReproError:
+                    pass
+        clean = muve.ask(QUESTION)
+        assert not clean.degraded
+        assert clean.multiplot.num_plots >= 1
+
+
+class TestChaosHammer:
+    NUM_THREADS = 8
+
+    def test_concurrent_chaos_never_hangs_or_leaks(self, muve):
+        """The 8-thread hammer under a mixed probabilistic fault plan:
+        every worker gets a response or a typed error within the bound,
+        and the tracer's thread isolation survives the chaos."""
+        from repro.observability import trace_span
+
+        barrier = threading.Barrier(self.NUM_THREADS)
+        outcomes: list = []
+        bad: list = []
+        lock = threading.Lock()
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for _ in range(2):
+                with trace_span(f"chaos.{worker_id}") as root:
+                    try:
+                        with deadline_scope(BUDGET_MS):
+                            result = muve.ask(QUESTION)
+                    except ReproError as exc:
+                        result = exc
+                with lock:
+                    outcomes.append(result)
+                    if current_deadline() is not None:
+                        bad.append((worker_id, "deadline leak"))
+                    foreign = [c.name for c in root.children
+                               if c.name.startswith("chaos.")]
+                    if foreign:
+                        bad.append((worker_id, foreign))
+
+        spec = ("executor.batch:error@0.4;"
+                "phonetics.lookup:delay=5@0.3;"
+                "planner.solve:error=SolverError@0.3;"
+                "speech.transcribe:delay=10@0.5")
+        with inject_faults(FaultPlan.parse(spec, seed=13)):
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.NUM_THREADS)]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            wall = time.perf_counter() - begin
+        assert all(not t.is_alive() for t in threads), "worker hung"
+        assert wall < 60
+        assert not bad
+        assert len(outcomes) == self.NUM_THREADS * 2
+        assert all(isinstance(o, (MuveResponse, ReproError))
+                   for o in outcomes)
+        # Under these probabilities most asks still answer.
+        responses = [o for o in outcomes
+                     if isinstance(o, MuveResponse)]
+        assert responses
+
+    def test_same_plan_same_seed_fires_identically(self, muve):
+        """Serial determinism: replaying a probabilistic plan with the
+        same seed against the same workload fires the same number of
+        faults at every site."""
+        spec = ("phonetics.lookup:error@0.5;"
+                "executor.batch:error@0.5")
+
+        def run() -> dict[str, tuple[int, int]]:
+            plan = FaultPlan.parse(spec, seed=21)
+            with inject_faults(plan):
+                for _ in range(3):
+                    try:
+                        muve.ask(QUESTION)
+                    except ReproError:  # pragma: no cover - typed ok
+                        pass
+            return {site: (plan.invocations(site), plan.fired(site))
+                    for site in FAULT_SITES}
+
+        first = run()
+        second = run()
+        assert first == second
+        assert first["phonetics.lookup"][1] > 0  # actually fired
+
+
+@pytest.mark.parametrize("fault_seed", [0, 7, 1234])
+def test_fixed_seeds_for_make_chaos(muve, fault_seed):
+    """The three fixed seeds the Makefile's ``chaos`` target replays:
+    a representative mixed plan must stay bounded and typed under each."""
+    spec = ("planner.solve:stall@0.5;"
+            "executor.batch:error@0.5;"
+            "phonetics.lookup:delay=20@0.5")
+    begin = time.perf_counter()
+    with inject_faults(FaultPlan.parse(spec, seed=fault_seed)):
+        with deadline_scope(BUDGET_MS):
+            try:
+                response = muve.ask(QUESTION)
+            except ReproError:
+                response = None
+    elapsed_ms = (time.perf_counter() - begin) * 1000.0
+    assert elapsed_ms < BOUND_MS
+    if response is not None:
+        assert response.to_text()

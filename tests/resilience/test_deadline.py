@@ -1,0 +1,124 @@
+"""Unit tests for the deadline primitive and its context plumbing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.resilience import (
+    Deadline,
+    current_deadline,
+    deadline_grace,
+    deadline_scope,
+    default_deadline_ms,
+)
+
+
+class TestDeadline:
+    def test_fresh_deadline_not_expired(self):
+        deadline = Deadline(1000)
+        assert not deadline.expired
+        assert 0 < deadline.remaining_ms() <= 1000
+        assert 0 < deadline.remaining_fraction() <= 1.0
+        deadline.check("anywhere")  # no raise
+
+    def test_expiry_by_time(self):
+        deadline = Deadline(10)
+        time.sleep(0.03)
+        assert deadline.expired
+        assert deadline.remaining_ms() == 0.0
+        assert deadline.remaining_fraction() == 0.0
+
+    def test_check_raises_with_site(self):
+        deadline = Deadline(10)
+        deadline.exhaust()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("planner.solve")
+        assert excinfo.value.site == "planner.solve"
+        assert "planner.solve" in str(excinfo.value)
+
+    def test_exhaust_forces_expiry(self):
+        deadline = Deadline(60_000)
+        assert not deadline.expired
+        deadline.exhaust()
+        assert deadline.expired
+        assert deadline.remaining_ms() == 0.0
+
+    @pytest.mark.parametrize("budget", [0, -1, -0.5])
+    def test_non_positive_budget_rejected(self, budget):
+        with pytest.raises(ReproError):
+            Deadline(budget)
+
+    def test_deadline_exceeded_is_repro_error(self):
+        assert issubclass(DeadlineExceeded, ReproError)
+
+
+class TestDeadlineScope:
+    def test_scope_sets_and_restores(self):
+        assert current_deadline() is None
+        with deadline_scope(500) as deadline:
+            assert current_deadline() is deadline
+            assert deadline.budget_ms == 500
+        assert current_deadline() is None
+
+    def test_none_scope_inherits(self):
+        with deadline_scope(500) as outer:
+            with deadline_scope(None) as inner:
+                assert inner is outer
+                assert current_deadline() is outer
+            assert current_deadline() is outer
+
+    def test_nested_scope_shadows_and_restores(self):
+        with deadline_scope(1000) as outer:
+            with deadline_scope(100) as inner:
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_scope_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with deadline_scope(100):
+                raise ValueError("boom")
+        assert current_deadline() is None
+
+    def test_grace_clears_deadline(self):
+        with deadline_scope(100) as deadline:
+            deadline.exhaust()
+            with deadline_grace():
+                assert current_deadline() is None
+            assert current_deadline() is deadline
+
+
+class TestDefaultDeadline:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("MUVE_DEADLINE_MS", raising=False)
+        assert default_deadline_ms() is None
+
+    def test_env_value_read_per_call(self, monkeypatch):
+        monkeypatch.setenv("MUVE_DEADLINE_MS", "750")
+        assert default_deadline_ms() == 750.0
+        monkeypatch.setenv("MUVE_DEADLINE_MS", "250")
+        assert default_deadline_ms() == 250.0
+
+    @pytest.mark.parametrize("raw", ["0", "-5"])
+    def test_non_positive_env_means_none(self, monkeypatch, raw):
+        monkeypatch.setenv("MUVE_DEADLINE_MS", raw)
+        assert default_deadline_ms() is None
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv("MUVE_DEADLINE_MS", "soon")
+        with pytest.raises(ReproError):
+            default_deadline_ms()
+
+    def test_muve_picks_up_env_default(self, monkeypatch, muve):
+        monkeypatch.setenv("MUVE_DEADLINE_MS", "1234")
+        from repro import Muve
+        fresh = Muve(muve.database, muve.table_name)
+        assert fresh.deadline_ms == 1234.0
+
+    def test_explicit_deadline_beats_env(self, monkeypatch, muve):
+        monkeypatch.setenv("MUVE_DEADLINE_MS", "1234")
+        from repro import Muve
+        fresh = Muve(muve.database, muve.table_name, deadline_ms=99.0)
+        assert fresh.deadline_ms == 99.0

@@ -1,0 +1,100 @@
+"""Differential tests: degraded answers are *subsets* of full answers.
+
+Degradation must never invent content — a shrunk multiplot shows a
+subset of the plots (with identical values) the undegraded run would
+have shown, and a truncated candidate set is a prefix of the same
+best-first ranking.  Same seed, same workload, fault injection as the
+only difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import deadline_scope
+from repro.testing.faults import inject_faults
+
+from tests.resilience.conftest import QUESTION
+
+QUESTIONS = (
+    QUESTION,
+    "average resolution hours for borough Queens",
+    "count for complaint type Water",
+)
+
+
+def plot_keys(response) -> set[tuple]:
+    return {tuple(sorted(bar.query.to_sql() for bar in plot.bars))
+            for plot in response.multiplot.plots()}
+
+
+def bar_values(response) -> dict[str, float | None]:
+    return {bar.query.to_sql(): bar.value
+            for plot in response.multiplot.plots()
+            for bar in plot.bars}
+
+
+class TestPlotSubset:
+    @pytest.mark.parametrize("question", QUESTIONS)
+    def test_degraded_plots_are_subset_of_full(self, muve, question):
+        full = muve.ask(question)
+        with inject_faults("executor.batch:exhaust_deadline"):
+            with deadline_scope(60_000):
+                degraded = muve.ask(question)
+        assert degraded.degraded
+        assert plot_keys(degraded) <= plot_keys(full)
+        assert 1 <= degraded.multiplot.num_plots \
+            <= full.multiplot.num_plots
+
+    @pytest.mark.parametrize("question", QUESTIONS)
+    def test_shared_plots_carry_identical_values(self, muve, question):
+        full = muve.ask(question)
+        with inject_faults("executor.batch:exhaust_deadline"):
+            with deadline_scope(60_000):
+                degraded = muve.ask(question)
+        full_values = bar_values(full)
+        for sql, value in bar_values(degraded).items():
+            assert sql in full_values
+            assert value == full_values[sql]
+
+    def test_batch_fallback_is_value_identical(self, muve):
+        """batch->per-group is a *lossless* rung: not a subset, the
+        exact same answer computed the slow way."""
+        full = muve.ask(QUESTION)
+        with inject_faults("executor.batch:error"):
+            degraded = muve.ask(QUESTION)
+        assert plot_keys(degraded) == plot_keys(full)
+        assert bar_values(degraded) == bar_values(full)
+
+
+class TestCandidateSubset:
+    def test_top_m_candidates_are_a_ranked_prefix(self, muve):
+        full = muve.ask(QUESTION)
+        with inject_faults("candidates.generate:delay=300"):
+            with deadline_scope(450):
+                degraded = muve.ask(QUESTION)
+        assert any(e.action == "top_m" for e in degraded.degradations)
+        full_queries = [c.query for c in full.candidates]
+        degraded_queries = [c.query for c in degraded.candidates]
+        assert degraded_queries == full_queries[:len(degraded_queries)]
+        assert len(degraded_queries) < len(full_queries)
+
+    def test_top_m_preserves_relative_order_of_probabilities(self, muve):
+        full = muve.ask(QUESTION)
+        with inject_faults("candidates.generate:delay=300"):
+            with deadline_scope(450):
+                degraded = muve.ask(QUESTION)
+        ratio = (full.candidates[0].probability
+                 / degraded.candidates[0].probability)
+        for full_c, degraded_c in zip(full.candidates,
+                                      degraded.candidates):
+            assert full_c.probability / degraded_c.probability \
+                == pytest.approx(ratio)
+
+    def test_seed_only_is_the_minimal_subset(self, muve):
+        full = muve.ask(QUESTION)
+        with inject_faults("candidates.generate:error"):
+            degraded = muve.ask(QUESTION)
+        assert len(degraded.candidates) == 1
+        assert degraded.candidates[0].query in \
+            [c.query for c in full.candidates]

@@ -1,0 +1,235 @@
+"""The fault-injection harness itself: grammar, determinism, activation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    ReproError,
+    SolverError,
+    TransientError,
+)
+from repro.resilience import deadline_scope
+from repro.testing.faults import (
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    fault_point,
+    inject_faults,
+    set_fault_plan,
+)
+
+
+class TestParsing:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("planner.solve:stall")
+        rule = plan.rules["planner.solve"]
+        assert rule.kind == "stall"
+        assert rule.probability == 1.0
+        assert rule.times is None
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "executor.batch:delay=80@0.25#3;"
+            "phonetics.lookup:error=SolverError", seed=9)
+        batch = plan.rules["executor.batch"]
+        assert batch.kind == "delay"
+        assert batch.delay_ms == 80.0
+        assert batch.probability == 0.25
+        assert batch.times == 3
+        lookup = plan.rules["phonetics.lookup"]
+        assert lookup.kind == "error"
+        assert lookup.error == "SolverError"
+        assert plan.seed == 9
+
+    def test_empty_spec_is_inert(self):
+        plan = FaultPlan.parse("")
+        assert not plan.rules
+
+    @pytest.mark.parametrize("spec", [
+        "nonsense.site:stall",          # unknown site
+        "planner.solve:melt",           # unknown kind
+        "planner.solve",                # no behaviour
+        "planner.solve:delay=soon",     # non-numeric delay
+        "planner.solve:stall@2.0",      # probability out of range
+        "planner.solve:stall#0",        # non-positive times
+        "planner.solve:error=KeyError",  # not a ReproError subclass
+        "planner.solve:stall;planner.solve:stall",  # duplicate site
+    ])
+    def test_bad_specs_fail_fast(self, spec):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(spec)
+
+    def test_rule_validates_eagerly(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="planner.solve", kind="delay", delay_ms=-1)
+
+    def test_every_registered_site_parses(self):
+        for site in FAULT_SITES:
+            plan = FaultPlan.parse(f"{site}:error")
+            assert site in plan.rules
+
+
+class TestFiring:
+    def test_error_kind_raises_default_fault_error(self):
+        plan = FaultPlan.parse("planner.solve:error")
+        with pytest.raises(FaultError):
+            plan.apply("planner.solve")
+        assert plan.invocations("planner.solve") == 1
+        assert plan.fired("planner.solve") == 1
+
+    def test_fault_error_is_transient(self):
+        assert issubclass(FaultError, TransientError)
+
+    def test_error_kind_raises_named_repro_error(self):
+        plan = FaultPlan.parse(
+            "planner.solve:error=SolverError;"
+            "executor.group:error=ExecutionError")
+        with pytest.raises(SolverError):
+            plan.apply("planner.solve")
+        with pytest.raises(ExecutionError):
+            plan.apply("executor.group")
+
+    def test_unlisted_site_is_untouched(self):
+        plan = FaultPlan.parse("planner.solve:error")
+        plan.apply("executor.batch")  # no rule, no raise
+        assert plan.invocations("executor.batch") == 1
+        assert plan.fired("executor.batch") == 0
+
+    def test_times_limits_firings(self):
+        plan = FaultPlan.parse("planner.solve:error#2")
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                plan.apply("planner.solve")
+        plan.apply("planner.solve")  # third probe passes clean
+        assert plan.invocations("planner.solve") == 3
+        assert plan.fired("planner.solve") == 2
+
+    def test_delay_kind_sleeps(self):
+        plan = FaultPlan.parse("executor.batch:delay=40")
+        begin = time.perf_counter()
+        plan.apply("executor.batch")
+        assert (time.perf_counter() - begin) >= 0.035
+
+    def test_delay_interrupted_by_deadline(self):
+        plan = FaultPlan.parse("executor.batch:delay=5000")
+        with deadline_scope(50):
+            begin = time.perf_counter()
+            with pytest.raises(DeadlineExceeded):
+                plan.apply("executor.batch")
+            assert (time.perf_counter() - begin) < 1.0
+
+    def test_stall_burns_deadline_then_raises(self):
+        plan = FaultPlan.parse("planner.solve:stall")
+        with deadline_scope(60):
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                plan.apply("planner.solve")
+            assert excinfo.value.site == "planner.solve"
+
+    def test_stall_without_deadline_is_capped(self):
+        plan = FaultPlan.parse("planner.solve:stall")
+        plan.stall_cap_ms = 30.0
+        begin = time.perf_counter()
+        with pytest.raises(FaultError):
+            plan.apply("planner.solve")
+        elapsed = time.perf_counter() - begin
+        assert 0.02 <= elapsed < 1.0  # never hangs
+
+    def test_exhaust_deadline_is_instant(self):
+        plan = FaultPlan.parse("executor.batch:exhaust_deadline")
+        with deadline_scope(60_000) as deadline:
+            begin = time.perf_counter()
+            plan.apply("executor.batch")  # does not raise by itself
+            assert (time.perf_counter() - begin) < 0.05
+            assert deadline.expired
+
+    def test_exhaust_deadline_without_deadline_is_noop(self):
+        plan = FaultPlan.parse("executor.batch:exhaust_deadline")
+        plan.apply("executor.batch")  # nothing to exhaust, no raise
+
+
+class TestDeterminism:
+    def test_probabilistic_firing_reproducible_per_seed(self):
+        def firing_pattern(seed: int) -> list[bool]:
+            plan = FaultPlan.parse("phonetics.lookup:error@0.5",
+                                   seed=seed)
+            pattern = []
+            for _ in range(40):
+                try:
+                    plan.apply("phonetics.lookup")
+                    pattern.append(False)
+                except FaultError:
+                    pattern.append(True)
+            return pattern
+
+        first = firing_pattern(7)
+        assert firing_pattern(7) == first
+        assert any(first) and not all(first)  # p=0.5 actually mixes
+        assert firing_pattern(8) != first  # seed matters
+
+    def test_reset_replays_from_scratch(self):
+        plan = FaultPlan.parse("planner.solve:error#1")
+        with pytest.raises(FaultError):
+            plan.apply("planner.solve")
+        plan.apply("planner.solve")  # budget spent
+        plan.reset()
+        with pytest.raises(FaultError):
+            plan.apply("planner.solve")  # fires again after reset
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_fault_plan() is None
+        fault_point("planner.solve")  # free no-op
+
+    def test_set_and_clear(self):
+        plan = FaultPlan.parse("planner.solve:error")
+        set_fault_plan(plan)
+        try:
+            assert active_fault_plan() is plan
+            with pytest.raises(FaultError):
+                fault_point("planner.solve")
+        finally:
+            set_fault_plan(None)
+        assert active_fault_plan() is None
+
+    def test_inject_faults_restores_previous(self):
+        outer = FaultPlan.parse("executor.batch:error")
+        set_fault_plan(outer)
+        try:
+            with inject_faults("planner.solve:error") as inner:
+                assert active_fault_plan() is inner
+            assert active_fault_plan() is outer
+        finally:
+            set_fault_plan(None)
+
+    def test_inject_faults_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with inject_faults("planner.solve:error"):
+                raise RuntimeError("boom")
+        assert active_fault_plan() is None
+
+    def test_inject_faults_accepts_plan_instance(self):
+        plan = FaultPlan.parse("planner.solve:error", seed=3)
+        with inject_faults(plan) as active:
+            assert active is plan
+
+    def test_env_activation(self, monkeypatch):
+        from repro.testing import faults as faults_module
+        monkeypatch.setenv("MUVE_FAULTS", "planner.solve:error#1")
+        monkeypatch.setenv("MUVE_FAULT_SEED", "11")
+        plan = faults_module._load_from_env()
+        assert plan is not None
+        assert plan.seed == 11
+        assert plan.rules["planner.solve"].times == 1
+
+    def test_env_empty_means_no_plan(self, monkeypatch):
+        from repro.testing import faults as faults_module
+        monkeypatch.setenv("MUVE_FAULTS", "  ")
+        assert faults_module._load_from_env() is None
