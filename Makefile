@@ -1,6 +1,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check fast concurrency bench bench-serve bench-phonetics profile chaos
+.PHONY: check fast concurrency bench bench-serve bench-phonetics \
+	bench-quality sentinel profile chaos
 
 # The gating suite: the full test tree (tier 1), then the concurrency
 # and caching suites once more on their own.  Test-order randomisation
@@ -43,11 +44,25 @@ bench-phonetics:
 # (4) under overload the server must shed with typed 429s while
 # admitted requests still meet their deadlines (MUVE_SHED_CLIENTS,
 # MUVE_SHED_INFLIGHT, MUVE_SHED_DEADLINE_MS).
+# (5) the regression sentinel: the seeded voice workload's quality and
+# latency snapshot must stay within the tolerance bands of the
+# committed BENCH_quality.json baseline (MUVE_SENTINEL_LATENCY_REL).
 profile:
 	PYTHONPATH=src python scripts/check_overhead.py
 	PYTHONPATH=src python scripts/check_batch_speedup.py
 	PYTHONPATH=src python scripts/check_phonetics_speedup.py
 	PYTHONPATH=src python scripts/check_shedding.py
+	PYTHONPATH=src python scripts/obs_report.py --check BENCH_quality.json
+
+# Regenerate the sentinel baseline (commit the result deliberately —
+# it redefines what "no regression" means).
+bench-quality:
+	PYTHONPATH=src python scripts/obs_report.py --snapshot BENCH_quality.json
+
+# The sentinel alone: run the seeded voice workload and diff its
+# quality/latency snapshot against the committed baseline.
+sentinel:
+	PYTHONPATH=src python scripts/obs_report.py --check BENCH_quality.json
 
 # Chaos gate: the full resilience suite — deterministic fault
 # injection, the degradation ladder, differential subset checks,

@@ -208,7 +208,11 @@ def run_load_test(muve: Muve, args: argparse.Namespace, out) -> int:
               f"(hit rate {counters['hit_rate']:.0%})", file=out)
     if args.profile:
         from repro.observability import render_profile
+        from repro.observability.quality import render_quality
+        from repro.observability.slo import render_slo
         print(render_profile(muve.metrics), file=out)
+        print(render_quality(muve.metrics), file=out)
+        print(render_slo(muve.slo), file=out)
     return 0 if errors == 0 else 1
 
 
@@ -319,7 +323,11 @@ def main(argv: Sequence[str] | None = None, *, stdin=None,
             return 1
         if args.profile:
             from repro.observability import render_profile
+            from repro.observability.quality import render_quality
+            from repro.observability.slo import render_slo
             print(render_profile(muve.metrics), file=out)
+            print(render_quality(muve.metrics), file=out)
+            print(render_slo(muve.slo), file=out)
         return 0
 
     print(f"MUVE on {args.dataset} ({args.rows} rows). Ask questions in "

@@ -8,7 +8,7 @@ this is the "Visualization Planner" box of Figure 1.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.core.greedy import GreedySolver
@@ -32,7 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
 
 @dataclass(frozen=True)
 class PlannerResult:
-    """A planned multiplot plus solver metadata."""
+    """A planned multiplot plus solver metadata.
+
+    ``greedy_cost`` / ``ilp_cost`` carry the expected cost of each
+    solver when it ran for this plan (the "best" strategy runs both), so
+    quality telemetry can report the live greedy-vs-ILP optimality gap;
+    ``None`` means that solver was not consulted.
+    """
 
     multiplot: Multiplot
     expected_cost: float
@@ -40,6 +46,8 @@ class PlannerResult:
     elapsed_seconds: float
     optimal: bool
     timed_out: bool
+    greedy_cost: float | None = None
+    ilp_cost: float | None = None
 
 
 class VisualizationPlanner:
@@ -186,13 +194,17 @@ class VisualizationPlanner:
             current_span().set_attribute("decision",
                                          "greedy (ilp failed)")
             return greedy_result
+        # Both solvers ran: whichever wins, the result carries both
+        # costs so telemetry can report the live optimality gap.
+        both = {"greedy_cost": greedy_result.expected_cost,
+                "ilp_cost": ilp_result.expected_cost}
         if ilp_result.expected_cost <= greedy_result.expected_cost:
             # The "best" strategy upgrade: the ILP beat (or matched) the
             # greedy incumbent within its budget.
             current_span().set_attribute("decision", "ilp upgrade")
-            return ilp_result
+            return replace(ilp_result, **both)
         current_span().set_attribute("decision", "greedy kept")
-        return greedy_result
+        return replace(greedy_result, **both)
 
     def _plan_greedy(self, problem: MultiplotSelectionProblem,
                      ) -> PlannerResult:
@@ -207,6 +219,7 @@ class VisualizationPlanner:
                 elapsed_seconds=solution.elapsed_seconds,
                 optimal=False,
                 timed_out=False,
+                greedy_cost=solution.expected_cost,
             )
 
     def _plan_ilp(self, problem: MultiplotSelectionProblem,
@@ -227,4 +240,5 @@ class VisualizationPlanner:
                 elapsed_seconds=time.perf_counter() - start,
                 optimal=solution.optimal,
                 timed_out=solution.timed_out,
+                ilp_cost=solution.expected_cost,
             )

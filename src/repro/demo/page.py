@@ -88,3 +88,143 @@ document.getElementById('question').addEventListener('keydown',
 </body>
 </html>
 """
+
+
+# ----------------------------------------------------------------------
+# The observability dashboard (GET /dashboard): server-rendered from the
+# same payloads the JSON endpoints serve, so it can never disagree with
+# them.  Plain HTML, no JS — refresh to update.
+
+import html as _html
+
+_DASHBOARD_STYLE = """
+  body { font-family: sans-serif; margin: 2rem auto; max-width: 1100px;
+         color: #222; }
+  h1 { font-size: 1.3rem; }
+  h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; font-size: 0.85rem; }
+  th, td { border: 1px solid #ddd; padding: 0.25rem 0.6rem;
+           text-align: right; font-family: monospace; }
+  th { background: #f6f6f6; }
+  td.name, th.name { text-align: left; font-family: sans-serif; }
+  .ok { color: #2a7a2a; }
+  .slow_burn { color: #b07000; font-weight: bold; }
+  .fast_burn { color: #b00; font-weight: bold; }
+  .note { color: #777; font-size: 0.8rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _slo_section(slo: dict) -> list[str]:
+    objectives = slo.get("objectives", {})
+    lines = ["<h2>SLO burn rates</h2>"]
+    if not objectives:
+        return lines + ["<p class=note>no objectives registered</p>"]
+    windows: list[str] = []
+    for entry in objectives.values():
+        for window in entry["windows"]:
+            if window not in windows:
+                windows.append(window)
+    head = ("<tr><th class=name>objective</th><th>goal</th>"
+            "<th>status</th>"
+            + "".join(f"<th>burn {_esc(w)}</th>" for w in windows)
+            + "</tr>")
+    rows = [head]
+    for name, entry in objectives.items():
+        status = _esc(entry["status"])
+        cells = [f"<td class=name>{_esc(name)}</td>",
+                 f"<td>{entry['goal']:.2%}</td>",
+                 f"<td class={status}>{status}</td>"]
+        for window in windows:
+            stats = entry["windows"].get(window)
+            cells.append(
+                f"<td>{stats['burn_rate']:.2f}</td>" if stats else
+                "<td>-</td>")
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    return lines + ["<table>"] + rows + ["</table>"]
+
+
+def _quality_section(quality: dict) -> list[str]:
+    lines = ["<h2>Answer quality</h2>"]
+    if not quality.get("requests"):
+        return lines + ["<p class=note>no requests assessed yet</p>"]
+    lines.append(
+        f"<p>{quality['requests']:.0f} requests, "
+        f"{quality['degraded_rate']:.1%} degraded</p>")
+    rows = ["<tr><th class=name>metric</th><th>n</th><th>mean</th>"
+            "<th>p50</th><th>p95</th></tr>"]
+    for key, stats in sorted(quality.get("histograms", {}).items()):
+        rows.append(
+            f"<tr><td class=name>{_esc(key)}</td>"
+            f"<td>{stats['count']}</td><td>{stats['mean']:.3f}</td>"
+            f"<td>{stats['p50']:.3f}</td><td>{stats['p95']:.3f}</td>"
+            "</tr>")
+    lines += ["<table>"] + rows + ["</table>"]
+    outcomes = quality.get("intended_outcomes", {})
+    if outcomes:
+        shares = ", ".join(f"{_esc(k)}={v:.0f}"
+                           for k, v in sorted(outcomes.items()))
+        lines.append(f"<p class=note>intended outcomes: {shares}</p>")
+    return lines
+
+
+def _topk_table(title: str, stream: dict) -> list[str]:
+    lines = [f"<h2>{_esc(title)}</h2>"]
+    top = stream.get("top", [])
+    if not top:
+        return lines + ["<p class=note>nothing observed yet</p>"]
+    rows = ["<tr><th class=name>key</th><th>count</th>"
+            "<th>&plusmn;err</th></tr>"]
+    for entry in top:
+        rows.append(f"<tr><td class=name>{_esc(entry['key'])}</td>"
+                    f"<td>{entry['count']}</td>"
+                    f"<td>{entry['error']}</td></tr>")
+    lines += ["<table>"] + rows + ["</table>",
+              f"<p class=note>{stream.get('total_observed', 0)} "
+              "observed in window</p>"]
+    return lines
+
+
+def _stats_section(stats: dict) -> list[str]:
+    lines = ["<h2>Caches</h2>",
+             "<table>",
+             "<tr><th class=name>cache</th><th>hits</th><th>misses</th>"
+             "<th>hit rate</th><th>size</th></tr>"]
+    for name, snap in sorted(stats.items()):
+        if not isinstance(snap, dict) or "hit_rate" not in snap:
+            continue
+        lines.append(
+            f"<tr><td class=name>{_esc(name)}</td>"
+            f"<td>{snap['hits']:.0f}</td><td>{snap['misses']:.0f}</td>"
+            f"<td>{snap['hit_rate']:.2%}</td><td>{snap['size']:.0f}</td>"
+            "</tr>")
+    return lines + ["</table>"]
+
+
+def render_dashboard(slo: dict, quality: dict, workload: dict,
+                     stats: dict) -> str:
+    """The ``GET /dashboard`` page from the JSON endpoint payloads."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>MUVE observability</title>",
+        f"<style>{_DASHBOARD_STYLE}</style></head><body>",
+        "<h1>MUVE observability</h1>",
+        '<p class=note>server-rendered from <a href="/api/slo">/api/slo'
+        '</a>, <a href="/api/quality">/api/quality</a>, '
+        '<a href="/api/workload">/api/workload</a>, '
+        '<a href="/api/stats">/api/stats</a> &mdash; refresh to '
+        "update</p>",
+    ]
+    parts += _slo_section(slo)
+    parts += _quality_section(quality)
+    parts += _topk_table("Top query templates",
+                         workload.get("templates", {}))
+    parts += _topk_table("Top vocabulary probes",
+                         workload.get("probes", {}))
+    parts += _stats_section(stats)
+    parts.append("</body></html>")
+    return "\n".join(parts)

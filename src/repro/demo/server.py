@@ -10,6 +10,15 @@ Endpoints:
   ``?format=prometheus``.
 * ``GET /api/traces`` — the most recent request traces from the ring
   buffer (``?n=`` limits, ``?format=jsonl`` emits one trace per line).
+* ``GET /api/slo`` — burn-rate report of the serving objectives
+  (latency, error rate, truth coverage) over the fast/slow windows.
+* ``GET /api/workload`` — what the traffic asks: top query templates
+  and vocabulary probes from the sliding-window sketches (``?n=``
+  limits).
+* ``GET /api/quality`` — the ``quality_*`` instrument family distilled
+  (coverage, costs, optimality gap, intended-query outcomes).
+* ``GET /dashboard`` — the three reports above plus cache stats as one
+  server-rendered HTML page (no JS; refresh to update).
 * ``POST /api/ask`` — body ``{"question": str, "voice": bool,
   "trend": bool}``; returns transcript, seed SQL, planner info, the
   candidate distribution, the rendered SVG and the terminal rendering.
@@ -47,22 +56,41 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.caching import LruCache
-from repro.demo.page import PAGE
+from repro.demo.page import PAGE, render_dashboard
 from repro.errors import OverloadedError, ReproError
 from repro.muve import Muve
 from repro.observability import (
     StructuredLogger,
     get_trace_log,
+    get_workload_analytics,
+    quality_summary,
     trace_span,
 )
 from repro.resilience import AdmissionController, deadline_scope
 from repro.testing.faults import active_fault_plan
 
+#: The single route table: ``(method, path) -> Handler method name``.
+#: Adding an endpoint here is the only registration needed —
+#: ``_KNOWN_PATHS`` (the ``path`` label set of the HTTP metrics) is
+#: derived from it, so the dispatch and the metric labels can never
+#: drift apart.
+_ROUTES: dict[tuple[str, str], str] = {
+    ("GET", "/"): "_get_index",
+    ("GET", "/dashboard"): "_get_dashboard",
+    ("GET", "/api/schema"): "_get_schema",
+    ("GET", "/api/stats"): "_get_stats",
+    ("GET", "/api/metrics"): "_get_metrics",
+    ("GET", "/api/traces"): "_get_traces",
+    ("GET", "/api/slo"): "_get_slo",
+    ("GET", "/api/workload"): "_get_workload",
+    ("GET", "/api/quality"): "_get_quality",
+    ("POST", "/api/ask"): "_post_ask",
+}
+
 #: Paths that become the ``path`` label on HTTP metrics.  Everything else
 #: is folded into ``other`` so typo-scanning traffic cannot blow up the
 #: label cardinality.
-_KNOWN_PATHS = ("/", "/api/ask", "/api/schema", "/api/stats",
-                "/api/metrics", "/api/traces")
+_KNOWN_PATHS = tuple(sorted({path for _, path in _ROUTES}))
 
 
 class _DemoHTTPServer(ThreadingHTTPServer):
@@ -202,6 +230,8 @@ class MuveDemoServer:
                 "degraded": response.degraded,
                 "degradations": [event.to_dict()
                                  for event in response.degradations],
+                "quality": (response.quality.to_dict()
+                            if response.quality else None),
             }
         if voice:
             response = self.muve.ask_voice(question)
@@ -222,6 +252,8 @@ class MuveDemoServer:
             "degraded": response.degraded,
             "degradations": [event.to_dict()
                              for event in response.degradations],
+            "quality": (response.quality.to_dict()
+                        if response.quality else None),
         }
 
     def _render_svg(self, response) -> str:
@@ -245,6 +277,24 @@ class MuveDemoServer:
                 {"name": column.name, "type": column.dtype.value}
                 for column in table.schema.columns],
         }
+
+    def handle_slo(self) -> dict:
+        return self.muve.slo.report()
+
+    def handle_workload(self, limit: int = 20) -> dict:
+        return get_workload_analytics().report(limit)
+
+    def handle_quality(self) -> dict:
+        return quality_summary(self.metrics)
+
+    def handle_dashboard(self) -> str:
+        """The server-rendered observability page (``GET /dashboard``)."""
+        return render_dashboard(
+            slo=self.handle_slo(),
+            quality=self.handle_quality(),
+            workload=self.handle_workload(),
+            stats=self.handle_stats(),
+        )
 
     def handle_stats(self) -> dict:
         snapshot = self._responses.stats
@@ -310,10 +360,12 @@ def _make_handler(server: MuveDemoServer):
 
         # --------------------------------------------------------------
 
-        def _handle(self, method: str, route) -> None:
+        def _handle(self, method: str) -> None:
             """Run one request with timing, metrics and error mapping.
 
-            Every error response carries a machine-readable
+            Dispatch is table-driven: the ``_ROUTES`` entry for
+            ``(method, path)`` names the handler method; no entry means
+            404.  Every error response carries a machine-readable
             ``error_type`` (the exception class name) next to the
             human-readable ``error`` message, and increments the typed
             ``errors`` counter.  :class:`OverloadedError` (load
@@ -323,10 +375,17 @@ def _make_handler(server: MuveDemoServer):
             closed socket).
             """
             path = urlsplit(self.path).path
+            if path == "/index.html":
+                path = "/"
             label = path if path in _KNOWN_PATHS else "other"
             started = time.perf_counter()
             try:
-                route(path)
+                handler_name = _ROUTES.get((method, path))
+                if handler_name is None:
+                    self._send_json(404, {"error": "not found",
+                                          "error_type": "NotFound"})
+                else:
+                    getattr(self, handler_name)()
             except OverloadedError as exc:
                 server.metrics.counter(
                     "errors", where="http",
@@ -368,41 +427,58 @@ def _make_handler(server: MuveDemoServer):
         def _query(self) -> dict[str, list[str]]:
             return parse_qs(urlsplit(self.path).query)
 
-        def _route_get(self, path: str) -> None:
-            if path in ("/", "/index.html"):
-                self._send(200, PAGE.encode("utf-8"),
-                           "text/html; charset=utf-8")
-            elif path == "/api/schema":
-                self._send_json(200, server.handle_schema())
-            elif path == "/api/stats":
-                self._send_json(200, server.handle_stats())
-            elif path == "/api/metrics":
-                query = self._query()
-                if query.get("format", [""])[-1] == "prometheus":
-                    self._send_text(
-                        200, server.metrics.render_prometheus())
-                else:
-                    self._send_json(200, server.metrics.snapshot())
-            elif path == "/api/traces":
-                query = self._query()
-                try:
-                    limit = int(query.get("n", ["20"])[-1])
-                except ValueError:
-                    raise ReproError("?n= must be an integer") from None
-                log = get_trace_log()
-                if query.get("format", [""])[-1] == "jsonl":
-                    self._send_text(200, log.to_jsonl(limit))
-                else:
-                    self._send_json(200, {
-                        "traces": [trace.to_dict()
-                                   for trace in log.tail(limit)]})
-            else:
-                self._send_json(404, {"error": "not found", "error_type": "NotFound"})
+        def _limit(self, default: int = 20) -> int:
+            """The ``?n=`` result-count parameter, validated."""
+            try:
+                return int(self._query().get("n", [str(default)])[-1])
+            except ValueError:
+                raise ReproError("?n= must be an integer") from None
 
-        def _route_post(self, path: str) -> None:
-            if path != "/api/ask":
-                self._send_json(404, {"error": "not found", "error_type": "NotFound"})
-                return
+        def _send_html(self, status: int, html: str) -> None:
+            self._send(status, html.encode("utf-8"),
+                       "text/html; charset=utf-8")
+
+        def _get_index(self) -> None:
+            self._send_html(200, PAGE)
+
+        def _get_dashboard(self) -> None:
+            self._send_html(200, server.handle_dashboard())
+
+        def _get_schema(self) -> None:
+            self._send_json(200, server.handle_schema())
+
+        def _get_stats(self) -> None:
+            self._send_json(200, server.handle_stats())
+
+        def _get_slo(self) -> None:
+            self._send_json(200, server.handle_slo())
+
+        def _get_workload(self) -> None:
+            self._send_json(200, server.handle_workload(self._limit()))
+
+        def _get_quality(self) -> None:
+            self._send_json(200, server.handle_quality())
+
+        def _get_metrics(self) -> None:
+            query = self._query()
+            if query.get("format", [""])[-1] == "prometheus":
+                self._send_text(
+                    200, server.metrics.render_prometheus())
+            else:
+                self._send_json(200, server.metrics.snapshot())
+
+        def _get_traces(self) -> None:
+            query = self._query()
+            limit = self._limit()
+            log = get_trace_log()
+            if query.get("format", [""])[-1] == "jsonl":
+                self._send_text(200, log.to_jsonl(limit))
+            else:
+                self._send_json(200, {
+                    "traces": [trace.to_dict()
+                               for trace in log.tail(limit)]})
+
+        def _post_ask(self) -> None:
             length = int(self.headers.get("Content-Length", "0"))
             raw = self.rfile.read(length) if length else b"{}"
             try:
@@ -423,9 +499,9 @@ def _make_handler(server: MuveDemoServer):
             self._send_json(200, result)
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            self._handle("GET", self._route_get)
+            self._handle("GET")
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
-            self._handle("POST", self._route_post)
+            self._handle("POST")
 
     return Handler

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.caching import PlanCache, QueryResultCache, register_cache_metrics
 from repro.core.model import Multiplot, ScreenGeometry
@@ -21,7 +21,25 @@ from repro.execution.progressive import ProcessingStrategy
 from repro.nlq.candidates import CandidateGenerator, CandidateQuery
 from repro.nlq.speech import SpeechSimulator, build_default_vocabulary
 from repro.nlq.text_to_sql import TextToSql
-from repro.observability import MetricsRegistry, get_registry, trace_span
+from repro.observability import (
+    MetricsRegistry,
+    QualityRecord,
+    SloEngine,
+    assess_response,
+    current_trace_id,
+    get_registry,
+    get_slo_engine,
+    get_workload_analytics,
+    record_quality,
+    register_trace_log_metrics,
+    trace_span,
+)
+from repro.observability.quality import assess_trend_response
+from repro.observability.slo import (
+    default_coverage_floor,
+    default_latency_slo_ms,
+)
+from repro.observability.workload import template_signature
 from repro.resilience import (
     CANDIDATE_PRESSURE_FRACTION,
     EXECUTION_PRESSURE_FRACTION,
@@ -54,6 +72,7 @@ class TrendResponse:
     multiplot: object  # SeriesMultiplot (duck-typed like Multiplot)
     expected_cost: float
     degradations: tuple[DegradationEvent, ...] = ()
+    quality: QualityRecord | None = None
 
     @property
     def degraded(self) -> bool:
@@ -88,6 +107,7 @@ class MuveResponse:
     headline: str
     geometry: ScreenGeometry = field(default_factory=ScreenGeometry)
     degradations: tuple[DegradationEvent, ...] = ()
+    quality: QualityRecord | None = None
 
     @property
     def degraded(self) -> bool:
@@ -139,6 +159,12 @@ class Muve:
         The :class:`~repro.observability.MetricsRegistry` receiving
         request counters/latency histograms and the cache gauges;
         defaults to the process-wide registry.
+    slo:
+        The :class:`~repro.observability.SloEngine` scoring every
+        request against the serving objectives (latency, error rate,
+        truth coverage); defaults to the process-wide engine
+        (``GET /api/slo``).  Thresholds come from ``MUVE_SLO_LATENCY_MS``
+        and ``MUVE_SLO_COVERAGE``.
     batch_execution:
         ``None`` (the default) follows the global batch-executor flag
         (:func:`repro.execution.batch.batch_enabled`, the CLI's
@@ -174,6 +200,7 @@ class Muve:
                  seed: int = 0,
                  enable_caching: bool = True,
                  metrics: MetricsRegistry | None = None,
+                 slo: SloEngine | None = None,
                  batch_execution: bool | None = None,
                  deadline_ms: float | None = None) -> None:
         self.database = database
@@ -202,6 +229,13 @@ class Muve:
                                       result_cache=self.result_cache,
                                       batch=batch_execution)
         self.metrics = metrics if metrics is not None else get_registry()
+        self.slo = slo if slo is not None else get_slo_engine()
+        from repro.observability.slo import default_objectives
+        for objective in default_objectives():
+            self.slo.ensure(objective)
+        self._slo_latency_ms = default_latency_slo_ms()
+        self._slo_coverage_floor = default_coverage_floor()
+        register_trace_log_metrics(self.metrics)
         if self.result_cache is not None:
             register_cache_metrics(self.metrics, "query_results",
                                    self.result_cache)
@@ -272,10 +306,16 @@ class Muve:
         unless the caller already set one — the instance deadline."""
         begin = time.perf_counter()
         error_type: str | None = None
+        trace_ref: str | None = None
         budget = (None if current_deadline() is not None
                   else self.deadline_ms)
         try:
             with trace_span(name) as span:
+                # Captured while the root span is open: by the time the
+                # finally block runs the span has closed and the
+                # contextvar is reset, so this is the only place the
+                # request's trace id is reachable for the exemplar.
+                trace_ref = current_trace_id()
                 with degradation_scope(), deadline_scope(budget):
                     yield span
         except Exception as exc:
@@ -285,19 +325,30 @@ class Muve:
             elapsed_ms = (time.perf_counter() - begin) * 1000.0
             request = name.removeprefix("muve.")
             self.metrics.histogram("muve_request_ms",
-                                   request=request).observe(elapsed_ms)
+                                   request=request).observe(
+                                       elapsed_ms, exemplar=trace_ref)
             status = "error" if error_type is not None else "ok"
             self.metrics.counter("muve_requests", request=request,
                                  status=status).inc()
             if error_type is not None:
                 self.metrics.counter("errors", where="muve",
                                      type=error_type).inc()
+            self.slo.record("latency_p95",
+                            elapsed_ms <= self._slo_latency_ms)
+            self.slo.record("error_rate", error_type is None)
 
     def ask_voice(self, utterance: str,
                   strategy: ProcessingStrategy | None = None,
+                  intended: AggregateQuery | None = None,
                   ) -> MuveResponse:
         """Answer a spoken query: noisy transcription, then the shared
-        text pipeline (what :meth:`ask` runs)."""
+        text pipeline (what :meth:`ask` runs).
+
+        *intended* is the ground-truth query when the caller knows it
+        (the workload generator speaks a query it chose, so it does);
+        quality telemetry then reports the intended query's candidate
+        rank and whether the answer highlighted, showed, or missed it.
+        """
         with self._request("muve.ask_voice") as span:
             with trace_span("muve.speech") as speech_span:
                 try:
@@ -315,18 +366,25 @@ class Muve:
                 speech_span.set_attribute("exact",
                                           transcript == utterance)
             span.set_attribute("transcript", transcript)
-            return self._run_pipeline(transcript, strategy, utterance)
+            return self._run_pipeline(transcript, strategy, utterance,
+                                      intended=intended,
+                                      request="ask_voice")
 
     def ask(self, text: str,
             strategy: ProcessingStrategy | None = None,
-            utterance: str | None = None) -> MuveResponse:
-        """Answer a typed (or already transcribed) query."""
+            utterance: str | None = None,
+            intended: AggregateQuery | None = None) -> MuveResponse:
+        """Answer a typed (or already transcribed) query.  *intended*
+        is the ground-truth query when known (see :meth:`ask_voice`)."""
         with self._request("muve.ask"):
-            return self._run_pipeline(text, strategy, utterance)
+            return self._run_pipeline(text, strategy, utterance,
+                                      intended=intended)
 
     def _run_pipeline(self, text: str,
                       strategy: ProcessingStrategy | None,
-                      utterance: str | None) -> MuveResponse:
+                      utterance: str | None,
+                      intended: AggregateQuery | None = None,
+                      request: str = "ask") -> MuveResponse:
         """Translate -> candidates -> plan -> execute, stage by stage."""
         with trace_span("muve.translate") as span:
             seed_query = self._text_to_sql.translate(text)
@@ -347,7 +405,7 @@ class Muve:
                                      processing_groups=processing_groups)
         shown, updates = self._execute_resilient(planning.multiplot,
                                                  strategy)
-        return MuveResponse(
+        response = MuveResponse(
             utterance=utterance if utterance is not None else text,
             transcript=text,
             seed_query=seed_query,
@@ -358,6 +416,25 @@ class Muve:
             geometry=self.geometry,
             degradations=current_degradations(),
         )
+        record = self._assess(response, assess_response, intended,
+                              request)
+        return replace(response, quality=record)
+
+    def _assess(self, response, assess, intended, request,
+                ) -> QualityRecord:
+        """Score the finished answer: quality record -> ``quality_*``
+        instruments, workload analytics, and the truth-coverage SLO.
+        Pure arithmetic over the response, so it costs microseconds and
+        works with tracing off."""
+        get_workload_analytics().record_template(
+            template_signature(response.seed_query))
+        record = assess(response, intended=intended)
+        record_quality(record, self.metrics, request=request,
+                       exemplar=current_trace_id())
+        self.slo.record("truth_coverage",
+                        record.truth_coverage
+                        >= self._slo_coverage_floor)
+        return record
 
     def _candidate_distribution(self, seed_query: AggregateQuery,
                                 ) -> tuple[CandidateQuery, ...]:
@@ -445,7 +522,9 @@ class Muve:
                     self._executor.run(multiplot, strategy=strategy))
 
     def ask_trend(self, text: str,
-                  utterance: str | None = None) -> TrendResponse:
+                  utterance: str | None = None,
+                  intended: AggregateQuery | None = None,
+                  ) -> TrendResponse:
         """Answer a trend question ("average arr delay by month ...")
         with a line-plot multiplot (the Section 11 extension)."""
         from repro.timeseries import (
@@ -474,7 +553,7 @@ class Muve:
             with trace_span("executor.run", strategy="series"):
                 filled = execute_series_multiplot(self.database,
                                                   solution.multiplot)
-            return TrendResponse(
+            response = TrendResponse(
                 utterance=utterance if utterance is not None else text,
                 transcript=text,
                 seed_query=base,
@@ -484,6 +563,9 @@ class Muve:
                 expected_cost=solution.expected_cost,
                 degradations=current_degradations(),
             )
+            record = self._assess(response, assess_trend_response,
+                                  intended, "ask_trend")
+            return replace(response, quality=record)
 
     # ------------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.errors import (
     DeadlineExceeded,
     TransientError,
 )
+from repro.observability.workload import get_workload_analytics
 from repro.phonetics.index import PhoneticIndex, phonetic_similarity
 from repro.resilience import (
     current_deadline,
@@ -284,6 +285,9 @@ class CandidateGenerator:
                 deadline.check("phonetics.lookup")
             ranked = phonetic_probe_cache().most_similar(
                 index, element.text, self._k, include_self=False)
+            # What vocabulary the traffic actually probes — the
+            # workload-analytics stream behind ``GET /api/workload``.
+            get_workload_analytics().record_probe(element.text)
         except (DeadlineExceeded, TransientError) as exc:
             # One failed lookup costs this element its alternatives, not
             # the whole request: the other elements (and the seed query)

@@ -26,16 +26,35 @@ from repro.observability.metrics import (
     get_registry,
 )
 from repro.observability.profile import render_profile
+from repro.observability.quality import (
+    QualityRecord,
+    assess_response,
+    quality_summary,
+    record_quality,
+)
+from repro.observability.slo import (
+    Objective,
+    SloEngine,
+    get_slo_engine,
+)
 from repro.observability.tracing import (
     NOOP_SPAN,
     Span,
     Trace,
     TraceLog,
     current_span,
+    current_trace_id,
     get_trace_log,
+    register_trace_log_metrics,
     set_tracing_enabled,
     trace_span,
     tracing_enabled,
+)
+from repro.observability.workload import (
+    SlidingTopK,
+    SpaceSavingSketch,
+    WorkloadAnalytics,
+    get_workload_analytics,
 )
 
 __all__ = [
@@ -45,13 +64,26 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "Objective",
+    "QualityRecord",
+    "SlidingTopK",
+    "SloEngine",
+    "SpaceSavingSketch",
     "Span",
     "StructuredLogger",
     "Trace",
     "TraceLog",
+    "WorkloadAnalytics",
+    "assess_response",
     "current_span",
+    "current_trace_id",
     "get_registry",
+    "get_slo_engine",
     "get_trace_log",
+    "get_workload_analytics",
+    "quality_summary",
+    "record_quality",
+    "register_trace_log_metrics",
     "render_profile",
     "set_tracing_enabled",
     "trace_span",

@@ -15,7 +15,14 @@ Design constraints, in order:
   same memory as ten requests.  Percentiles (p50/p95/p99) are estimated
   by linear interpolation inside the owning bucket and clamped to the
   observed min/max, which makes single-value and narrow distributions
-  exact.
+  exact; an empty histogram has no quantiles (``percentile`` returns
+  ``None``).
+
+Histograms optionally carry **exemplars**: ``observe(value,
+exemplar=trace_id)`` keeps, per bucket, the slowest recent observation's
+reference, so a p99 bucket in ``/api/metrics`` links straight to the
+``/api/traces`` entry that produced it (see
+:func:`repro.observability.tracing.current_trace_id`).
 
 Instruments are identified by ``(name, labels)``; labels are plain
 keyword arguments (``registry.counter("errors", type="ValueError")``),
@@ -111,16 +118,23 @@ class Gauge:
         return float(callback())
 
 
+#: An exemplar older than this many same-bucket observations is replaced
+#: even by a faster value — "slowest recent", not "slowest ever", so a
+#: one-off cold-start outlier does not pin the link forever.
+EXEMPLAR_STALENESS = 1024
+
+
 class Histogram:
     """Fixed-bucket distribution with estimated percentiles.
 
     ``bounds`` are inclusive upper bucket edges; one implicit overflow
-    bucket catches everything larger.  Only counts, the sum, and the
-    observed min/max are stored.
+    bucket catches everything larger.  Only counts, the sum, the
+    observed min/max, and (when the caller supplies them) one exemplar
+    per bucket are stored.
     """
 
     __slots__ = ("_bounds", "_counts", "_count", "_sum", "_min", "_max",
-                 "_lock")
+                 "_exemplars", "_lock")
 
     def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
         bounds = tuple(bounds) if bounds else DEFAULT_LATENCY_BUCKETS_MS
@@ -133,13 +147,16 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: Per bucket: (value, reference, observation seq) or None.
+        self._exemplars: list[tuple[float, str, int] | None] = \
+            [None] * (len(bounds) + 1)
         self._lock = threading.Lock()
 
     @property
     def bounds(self) -> tuple[float, ...]:
         return self._bounds
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         index = self._bucket_index(value)
         with self._lock:
@@ -150,6 +167,13 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if exemplar is not None:
+                stored = self._exemplars[index]
+                if (stored is None or value >= stored[0]
+                        or self._counts[index] - stored[2]
+                        > EXEMPLAR_STALENESS):
+                    self._exemplars[index] = (value, exemplar,
+                                              self._counts[index])
 
     def _bucket_index(self, value: float) -> int:
         # Linear scan: bucket lists are short (~17) and typical latencies
@@ -184,8 +208,11 @@ class Histogram:
         with self._lock:
             return self._max if self._count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """The estimated q-quantile (q in [0, 1]) of observed values."""
+    def percentile(self, q: float) -> float | None:
+        """The estimated q-quantile (q in [0, 1]) of observed values,
+        or ``None`` when nothing has been observed — an empty
+        distribution has no quantiles, and 0 would read as "everything
+        was instant"."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
@@ -194,7 +221,7 @@ class Histogram:
             observed_min = self._min
             observed_max = self._max
         if total == 0:
-            return 0.0
+            return None
         rank = max(q * total, 1e-12)
         cumulative = 0.0
         for index, count in enumerate(counts):
@@ -213,6 +240,7 @@ class Histogram:
     def snapshot(self) -> dict[str, object]:
         with self._lock:
             counts = list(self._counts)
+            exemplars = list(self._exemplars)
             total = self._count
             total_sum = self._sum
         buckets: dict[str, int] = {}
@@ -221,17 +249,31 @@ class Histogram:
             cumulative += count
             buckets[f"{bound:g}"] = cumulative
         buckets["+Inf"] = total
-        return {
+
+        def rounded(q: float) -> float | None:
+            value = self.percentile(q)
+            return None if value is None else round(value, 6)
+
+        snap: dict[str, object] = {
             "count": total,
             "sum": round(total_sum, 6),
             "mean": round(total_sum / total, 6) if total else 0.0,
             "min": round(self.min, 6),
             "max": round(self.max, 6),
-            "p50": round(self.percentile(0.50), 6),
-            "p95": round(self.percentile(0.95), 6),
-            "p99": round(self.percentile(0.99), 6),
+            "p50": rounded(0.50),
+            "p95": rounded(0.95),
+            "p99": rounded(0.99),
             "buckets": buckets,
         }
+        labelled = {}
+        bucket_labels = [f"{bound:g}" for bound in self._bounds] + ["+Inf"]
+        for label, stored in zip(bucket_labels, exemplars):
+            if stored is not None:
+                labelled[label] = {"value": round(stored[0], 6),
+                                   "trace_id": stored[1]}
+        if labelled:
+            snap["exemplars"] = labelled
+        return snap
 
 
 class MetricsRegistry:
@@ -361,6 +403,13 @@ def _prom_name(name: str) -> str:
     return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote, and newline would otherwise corrupt the line."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels: _LabelKey,
                  extra: tuple[str, str] | None = None) -> str:
     pairs = list(labels)
@@ -368,7 +417,8 @@ def _prom_labels(labels: _LabelKey,
         pairs.append(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{_prom_name(k)}="{_prom_escape(v)}"'
+                     for k, v in pairs)
     return f"{{{inner}}}"
 
 

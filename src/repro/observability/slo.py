@@ -1,0 +1,332 @@
+"""Service-level objectives with multi-window burn-rate monitoring.
+
+An :class:`Objective` is declarative: a name, a *goal* (the fraction of
+events that must be good, e.g. 0.95 for "95% of requests answer within
+the latency threshold"), and the windows it is judged over (5 minutes
+and 1 hour by default — the classic fast/slow pair).  The serving path
+reports one boolean per event (:meth:`SloEngine.record`); the engine
+keeps per-objective ring buffers of good/bad counts bucketed by time, so
+memory is fixed regardless of traffic.
+
+**Burn rate** is the SRE-workbook quantity: the observed bad fraction in
+a window divided by the objective's error budget (``1 - goal``).  A burn
+rate of 1.0 spends the budget exactly at the allowed pace; 14.4 spends a
+30-day budget in 2 days.  ``GET /api/slo`` serves
+:meth:`SloEngine.report`, which classifies each objective:
+
+* ``fast_burn`` — every window's burn rate is at or above
+  ``fast_burn_threshold`` (default 10.0): page-worthy, the budget is
+  vanishing now.
+* ``slow_burn`` — every window is at or above 1.0: ticket-worthy, the
+  budget will not last the period.
+* ``ok`` — otherwise (including "no traffic yet": an idle service burns
+  nothing).
+
+Requiring *every* window to burn is what makes the alert both fast and
+sticky-free: the short window gives low detection latency, the long
+window stops a single spike from paging, and recovery resets the short
+window first.
+
+The process-wide engine (:func:`get_slo_engine`) comes pre-registered
+with the three serving objectives — latency, error rate, and
+truth-coverage quality — thresholds configurable by environment::
+
+    MUVE_SLO_LATENCY_MS    good request = answered within this (500)
+    MUVE_SLO_COVERAGE      good answer = candidate probability mass
+                           shown in the multiplot >= this (0.9)
+
+Everything is stdlib-only and thread-safe; recording is O(1) (index
+arithmetic on a preallocated ring), reporting is O(ring size).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "DEFAULT_WINDOWS_SECONDS",
+    "Objective",
+    "SloEngine",
+    "default_coverage_floor",
+    "default_latency_slo_ms",
+    "get_slo_engine",
+    "render_slo",
+]
+
+#: The fast/slow window pair burn rates are computed over.
+DEFAULT_WINDOWS_SECONDS: tuple[float, ...] = (300.0, 3600.0)
+
+#: Ring bucket width: 15 s keeps the 1 h window at 240 slots while the
+#: 5 m window still spans 20 buckets (5% quantisation error at worst).
+_BUCKET_SECONDS = 15.0
+
+
+def default_latency_slo_ms() -> float:
+    """The request-latency threshold (``MUVE_SLO_LATENCY_MS``)."""
+    raw = os.environ.get("MUVE_SLO_LATENCY_MS", "").strip()
+    try:
+        value = float(raw) if raw else 500.0
+    except ValueError:
+        raise ValueError(
+            f"MUVE_SLO_LATENCY_MS must be a number, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"MUVE_SLO_LATENCY_MS must be positive, got {value}")
+    return value
+
+
+def default_coverage_floor() -> float:
+    """The truth-coverage threshold (``MUVE_SLO_COVERAGE``)."""
+    raw = os.environ.get("MUVE_SLO_COVERAGE", "").strip()
+    try:
+        value = float(raw) if raw else 0.9
+    except ValueError:
+        raise ValueError(
+            f"MUVE_SLO_COVERAGE must be a number, got {raw!r}") from None
+    if not 0.0 < value <= 1.0:
+        raise ValueError(
+            f"MUVE_SLO_COVERAGE must be in (0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective: *goal* fraction of events are good."""
+
+    name: str
+    description: str
+    goal: float
+    windows: tuple[float, ...] = DEFAULT_WINDOWS_SECONDS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.goal < 1.0:
+            raise ValueError(
+                f"goal must be in (0, 1) — a goal of 1.0 has no error "
+                f"budget to burn — got {self.goal}")
+        if not self.windows:
+            raise ValueError("an objective needs at least one window")
+        if any(w <= 0 for w in self.windows):
+            raise ValueError(f"windows must be positive, "
+                             f"got {self.windows}")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.goal
+
+
+class _Ring:
+    """Good/bad counts bucketed by wall-clock, fixed memory.
+
+    Slot *i* of the ring holds the counts for time-bucket ``b`` where
+    ``b % slots == i``; a slot stamped with an older bucket index is
+    zeroed on first touch, so expiry costs nothing until the slot is
+    reused or read.
+    """
+
+    __slots__ = ("_span", "_stamps", "_good", "_bad", "_lock")
+
+    def __init__(self, longest_window: float) -> None:
+        slots = max(2, int(longest_window / _BUCKET_SECONDS) + 1)
+        self._span = slots
+        self._stamps = [-1] * slots
+        self._good = [0] * slots
+        self._bad = [0] * slots
+        self._lock = threading.Lock()
+
+    def record(self, good: bool, now: float) -> None:
+        bucket = int(now / _BUCKET_SECONDS)
+        index = bucket % self._span
+        with self._lock:
+            if self._stamps[index] != bucket:
+                self._stamps[index] = bucket
+                self._good[index] = 0
+                self._bad[index] = 0
+            if good:
+                self._good[index] += 1
+            else:
+                self._bad[index] += 1
+
+    def window_counts(self, window: float, now: float) -> tuple[int, int]:
+        """(good, bad) over the trailing *window* seconds."""
+        current = int(now / _BUCKET_SECONDS)
+        oldest = current - int(window / _BUCKET_SECONDS)
+        good = bad = 0
+        with self._lock:
+            for index in range(self._span):
+                stamp = self._stamps[index]
+                if oldest < stamp <= current:
+                    good += self._good[index]
+                    bad += self._bad[index]
+        return good, bad
+
+
+class SloEngine:
+    """Registered objectives plus their ring-buffered event history.
+
+    ``clock`` is injectable for tests; production uses ``time.time`` so
+    windows mean wall-clock (monotonic would also work — only
+    differences matter — but wall-clock makes the report timestamps
+    meaningful to an operator).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time,
+                 fast_burn_threshold: float = 10.0) -> None:
+        self._clock = clock
+        self.fast_burn_threshold = fast_burn_threshold
+        self._objectives: dict[str, Objective] = {}
+        self._rings: dict[str, _Ring] = {}
+        self._lock = threading.Lock()
+
+    def register(self, objective: Objective) -> Objective:
+        """Idempotent for an identical definition; re-registering a
+        *different* definition under the same name raises (two call
+        sites disagreeing about a goal is a bug, not a race)."""
+        with self._lock:
+            existing = self._objectives.get(objective.name)
+            if existing is not None:
+                if existing != objective:
+                    raise ValueError(
+                        f"objective {objective.name!r} already "
+                        f"registered with a different definition")
+                return existing
+            self._objectives[objective.name] = objective
+            self._rings[objective.name] = _Ring(max(objective.windows))
+            return objective
+
+    def ensure(self, objective: Objective) -> Objective:
+        """Register *objective* unless some definition already owns the
+        name (serving code path: wire defaults without clobbering an
+        operator's deliberate override)."""
+        with self._lock:
+            existing = self._objectives.get(objective.name)
+            if existing is not None:
+                return existing
+            self._objectives[objective.name] = objective
+            self._rings[objective.name] = _Ring(max(objective.windows))
+            return objective
+
+    def objectives(self) -> tuple[Objective, ...]:
+        with self._lock:
+            return tuple(self._objectives.values())
+
+    def record(self, name: str, good: bool) -> None:
+        """Count one event against objective *name* (must exist)."""
+        ring = self._rings.get(name)
+        if ring is None:
+            raise KeyError(f"unknown SLO objective {name!r}")
+        ring.record(good, self._clock())
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict[str, object]:
+        """Burn rates per objective per window plus an alert status."""
+        now = self._clock()
+        objectives = {}
+        for objective in self.objectives():
+            ring = self._rings[objective.name]
+            windows = {}
+            burns = []
+            for window in objective.windows:
+                good, bad = ring.window_counts(window, now)
+                events = good + bad
+                bad_fraction = bad / events if events else 0.0
+                burn = bad_fraction / objective.error_budget
+                burns.append(burn)
+                windows[f"{window:g}s"] = {
+                    "events": events,
+                    "good": good,
+                    "bad": bad,
+                    "bad_fraction": round(bad_fraction, 6),
+                    "burn_rate": round(burn, 4),
+                }
+            if burns and min(burns) >= self.fast_burn_threshold:
+                status = "fast_burn"
+            elif burns and min(burns) >= 1.0:
+                status = "slow_burn"
+            else:
+                status = "ok"
+            objectives[objective.name] = {
+                "description": objective.description,
+                "goal": objective.goal,
+                "error_budget": round(objective.error_budget, 6),
+                "windows": windows,
+                "status": status,
+            }
+        return {
+            "generated_at": round(now, 3),
+            "fast_burn_threshold": self.fast_burn_threshold,
+            "objectives": objectives,
+        }
+
+
+def render_slo(engine: "SloEngine | None" = None) -> str:
+    """The report as a terminal table (``muve.cli --profile``)."""
+    engine = engine if engine is not None else get_slo_engine()
+    report = engine.report()
+    objectives = report["objectives"]
+    if not objectives:
+        return "slo report: no objectives registered"
+    window_names: list[str] = []
+    for entry in objectives.values():
+        for window in entry["windows"]:
+            if window not in window_names:
+                window_names.append(window)
+    width = max(len("objective"), *(len(name) for name in objectives))
+    header = f"{'objective':<{width}}  {'goal':>6}  {'status':>9}"
+    for window in window_names:
+        header += f"  {'burn ' + window:>12}"
+    lines = ["slo burn rates:", header, "-" * len(header)]
+    for name, entry in objectives.items():
+        line = (f"{name:<{width}}  {entry['goal']:>6.2%}  "
+                f"{entry['status']:>9}")
+        for window in window_names:
+            stats = entry["windows"].get(window)
+            cell = (f"{stats['burn_rate']:.2f}"
+                    if stats is not None else "-")
+            line += f"  {cell:>12}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def default_objectives() -> tuple[Objective, ...]:
+    """The three serving objectives every MUVE process watches."""
+    latency_ms = default_latency_slo_ms()
+    coverage = default_coverage_floor()
+    return (
+        Objective(
+            name="latency_p95",
+            description=f"95% of requests answer within "
+                        f"{latency_ms:g} ms",
+            goal=0.95),
+        Objective(
+            name="error_rate",
+            description="99% of requests succeed",
+            goal=0.99),
+        Objective(
+            name="truth_coverage",
+            description=f"95% of answers show >= {coverage:g} of the "
+                        f"candidate probability mass",
+            goal=0.95),
+    )
+
+
+_GLOBAL_ENGINE: SloEngine | None = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_slo_engine() -> SloEngine:
+    """The process-wide engine (what ``GET /api/slo`` serves), created
+    on first use with the default serving objectives registered."""
+    global _GLOBAL_ENGINE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_ENGINE is None:
+            engine = SloEngine()
+            for objective in default_objectives():
+                engine.register(objective)
+            _GLOBAL_ENGINE = engine
+        return _GLOBAL_ENGINE

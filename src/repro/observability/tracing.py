@@ -18,9 +18,11 @@ Propagation uses a :mod:`contextvars` variable, so concurrent requests on
 different threads (the demo server, ``--load-test --workers``) build
 disjoint trees — spans never leak across requests.  When a root span
 (no active parent) finishes, its :class:`Trace` is appended to the global
-:class:`TraceLog` ring buffer (``GET /api/traces``) and its duration is
-recorded into the ``span_ms`` histogram family of the default metrics
-registry, which is what ``muve.cli --profile`` tabulates.
+:class:`TraceLog` ring buffer (``GET /api/traces``; capacity via
+``MUVE_TRACE_LOG_SIZE``, default 256) and its duration is recorded into
+the ``span_ms`` histogram family of the default metrics registry — with
+the request's trace id as the bucket exemplar — which is what
+``muve.cli --profile`` tabulates.
 
 Tracing is **on by default** and globally disabled with the environment
 variable ``MUVE_TRACING=off`` (or :func:`set_tracing_enabled`).  The
@@ -42,12 +44,16 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 __all__ = [
+    "DEFAULT_TRACE_LOG_CAPACITY",
     "Span",
     "Trace",
     "TraceLog",
     "current_span",
+    "current_trace_id",
     "get_trace_log",
+    "register_trace_log_metrics",
     "set_tracing_enabled",
+    "trace_log_capacity_from_env",
     "trace_span",
     "tracing_enabled",
 ]
@@ -143,6 +149,8 @@ NOOP_SPAN = _NoopSpan()
 
 _CURRENT: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
     "muve_current_span", default=None)
+_CURRENT_TRACE_ID: contextvars.ContextVar[str | None] = \
+    contextvars.ContextVar("muve_current_trace_id", default=None)
 
 
 def current_span() -> Span | _NoopSpan:
@@ -152,6 +160,16 @@ def current_span() -> Span | _NoopSpan:
         return NOOP_SPAN
     span = _CURRENT.get()
     return span if span is not None else NOOP_SPAN
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the request this context is serving, assigned
+    when its root span opened; ``None`` outside a trace (or with tracing
+    off).  This is what histogram exemplars carry, linking a latency
+    bucket back to its ``/api/traces`` entry."""
+    if not _enabled:
+        return None
+    return _CURRENT_TRACE_ID.get()
 
 
 class Trace:
@@ -181,10 +199,39 @@ class Trace:
         return json.dumps(self.to_dict(), default=str)
 
 
+#: Default ring-buffer capacity; override process-wide with the
+#: ``MUVE_TRACE_LOG_SIZE`` environment variable.
+DEFAULT_TRACE_LOG_CAPACITY = 256
+
+
+def trace_log_capacity_from_env() -> int:
+    """The validated ``MUVE_TRACE_LOG_SIZE`` value (default 256).
+
+    Raises :class:`ValueError` on a non-integer or non-positive setting
+    — a silently ignored misconfiguration would leave an operator
+    convinced they resized the buffer.
+    """
+    raw = os.environ.get("MUVE_TRACE_LOG_SIZE", "").strip()
+    if not raw:
+        return DEFAULT_TRACE_LOG_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"MUVE_TRACE_LOG_SIZE must be an integer, got {raw!r}"
+        ) from None
+    if capacity <= 0:
+        raise ValueError(
+            f"MUVE_TRACE_LOG_SIZE must be positive, got {capacity}")
+    return capacity
+
+
 class TraceLog:
     """A bounded ring buffer of recent traces (oldest evicted first)."""
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is None:
+            capacity = trace_log_capacity_from_env()
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._traces: deque[Trace] = deque(maxlen=capacity)
@@ -215,13 +262,38 @@ class TraceLog:
             return len(self._traces)
 
 
-_TRACE_LOG = TraceLog()
+def _default_trace_log() -> TraceLog:
+    """The process-wide log, built at import: a malformed
+    ``MUVE_TRACE_LOG_SIZE`` must not make ``import repro`` impossible,
+    so here (and only here) validation degrades to a warning."""
+    try:
+        return TraceLog()
+    except ValueError as exc:
+        import warnings
+        warnings.warn(f"{exc}; using default capacity "
+                      f"{DEFAULT_TRACE_LOG_CAPACITY}", stacklevel=1)
+        return TraceLog(DEFAULT_TRACE_LOG_CAPACITY)
+
+
+_TRACE_LOG = _default_trace_log()
 _trace_ids = itertools.count(1)
 
 
 def get_trace_log() -> TraceLog:
     """The process-wide ring buffer of finished request traces."""
     return _TRACE_LOG
+
+
+def register_trace_log_metrics(registry=None) -> None:
+    """Expose the global trace log as gauges: ``trace_log_entries``
+    (current fill) and ``trace_log_capacity`` (configured size), pulled
+    through callbacks at read time."""
+    from repro.observability.metrics import get_registry
+    registry = registry if registry is not None else get_registry()
+    registry.register_gauge("trace_log_entries",
+                            lambda: float(len(_TRACE_LOG)))
+    registry.register_gauge("trace_log_capacity",
+                            lambda: float(_TRACE_LOG.capacity))
 
 
 @contextmanager
@@ -242,6 +314,12 @@ def trace_span(name: str, **attributes: Any):
     parent = _CURRENT.get()
     span = Span(name, dict(attributes) if attributes else None)
     started_at = time.time() if parent is None else 0.0
+    id_token = None
+    if parent is None:
+        # The trace id is assigned when the root *opens* so every span
+        # finishing inside the request (children finish first) can stamp
+        # it onto its histogram exemplar.
+        id_token = _CURRENT_TRACE_ID.set(f"t{next(_trace_ids):08d}")
     token = _CURRENT.set(span)
     begin = time.perf_counter()
     try:
@@ -253,15 +331,17 @@ def trace_span(name: str, **attributes: Any):
     finally:
         span.duration_ms = (time.perf_counter() - begin) * 1000.0
         _CURRENT.reset(token)
-        if parent is not None:
-            parent.children.append(span)
+        trace_id = _CURRENT_TRACE_ID.get()
+        if parent is None:
+            _TRACE_LOG.append(Trace(trace_id, started_at, span))
         else:
-            _TRACE_LOG.append(Trace(f"t{next(_trace_ids):08d}",
-                                    started_at, span))
-        _record_span_metrics(span)
+            parent.children.append(span)
+        _record_span_metrics(span, trace_id)
+        if id_token is not None:
+            _CURRENT_TRACE_ID.reset(id_token)
 
 
-def _record_span_metrics(span: Span) -> None:
+def _record_span_metrics(span: Span, trace_id: str | None) -> None:
     from repro.observability.metrics import get_registry
     get_registry().histogram("span_ms", name=span.name).observe(
-        span.duration_ms)
+        span.duration_ms, exemplar=trace_id)

@@ -1,0 +1,224 @@
+"""Workload analytics: sliding-window top-k over queries and probes.
+
+Answers "what is this process actually being asked?" without storing the
+stream: a **space-saving sketch** (Metwally, Agrawal & El Abbadi,
+ICDT'05) keeps a fixed number of counters and guarantees that any key
+whose true frequency exceeds ``N / capacity`` is present, with a
+per-key overestimate bounded by the smallest tracked count (reported as
+``error``).  Staleness is handled by **bucketed rotation**: the window
+is cut into fixed time slices, each with its own sketch; reads merge
+the live slices, expired slices are dropped whole.  Memory is
+``O(capacity x buckets)`` regardless of traffic.
+
+Two streams are tracked process-wide (:func:`get_workload_analytics`):
+
+* **query templates** — the structural shape of each request's seed
+  query (aggregate + predicate columns, constants stripped), recorded
+  by the MUVE pipeline; the top entries are the workload's hot shapes,
+  the thing a DBA would index or a cache would pin for.
+* **vocabulary probes** — the terms sent to the phonetic index by
+  candidate generation; the top entries are what voice traffic actually
+  sounds like, and a skew here is what makes the probe cache pay.
+
+``GET /api/workload`` serves :meth:`WorkloadAnalytics.report`; the demo
+dashboard renders it as plain HTML.  Stdlib-only, thread-safe, O(
+capacity) per observation (capacity defaults to 64).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = [
+    "SlidingTopK",
+    "SpaceSavingSketch",
+    "WorkloadAnalytics",
+    "get_workload_analytics",
+    "template_signature",
+]
+
+
+class SpaceSavingSketch:
+    """Fixed-capacity heavy-hitter counters (not thread-safe on its own;
+    :class:`SlidingTopK` provides the locking)."""
+
+    __slots__ = ("_capacity", "_counts")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        #: key -> [count, overestimate error]
+        self._counts: dict[str, list[int]] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def offer(self, key: str, weight: int = 1) -> None:
+        """Count one occurrence of *key* (evicting the current minimum
+        when full — the evicted count is inherited, which is what bounds
+        the overestimate)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        entry = self._counts.get(key)
+        if entry is not None:
+            entry[0] += weight
+            return
+        if len(self._counts) < self._capacity:
+            self._counts[key] = [weight, 0]
+            return
+        victim = min(self._counts, key=lambda k: self._counts[k][0])
+        floor = self._counts.pop(victim)[0]
+        self._counts[key] = [floor + weight, floor]
+
+    def items(self) -> list[tuple[str, int, int]]:
+        """(key, count, error) tuples, unordered."""
+        return [(key, count, error)
+                for key, (count, error) in self._counts.items()]
+
+    def merge_into(self, accumulator: dict[str, list[int]]) -> None:
+        """Add this sketch's counters into *accumulator* (for window
+        merges; errors add because each slice may overestimate)."""
+        for key, (count, error) in self._counts.items():
+            entry = accumulator.get(key)
+            if entry is None:
+                accumulator[key] = [count, error]
+            else:
+                entry[0] += count
+                entry[1] += error
+
+
+class SlidingTopK:
+    """A sliding window of space-saving sketches, one per time slice.
+
+    ``window_seconds`` is covered by ``buckets`` slices; a slice older
+    than the window is dropped on the next observe/read.  The clock is
+    injectable for tests.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 window_seconds: float = 3600.0,
+                 buckets: int = 6,
+                 clock: Callable[[], float] = time.time) -> None:
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window must be positive, got {window_seconds}")
+        if buckets <= 0:
+            raise ValueError(f"buckets must be positive, got {buckets}")
+        self.capacity = capacity
+        self.window_seconds = float(window_seconds)
+        self._slice_seconds = self.window_seconds / buckets
+        self._clock = clock
+        #: (slice index, sketch), newest last.
+        self._slices: deque[tuple[int, SpaceSavingSketch]] = deque()
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def _current_slice(self, now: float) -> SpaceSavingSketch:
+        index = int(now / self._slice_seconds)
+        if not self._slices or self._slices[-1][0] != index:
+            self._slices.append((index, SpaceSavingSketch(self.capacity)))
+        oldest_live = index - int(self.window_seconds
+                                  / self._slice_seconds) + 1
+        while self._slices and self._slices[0][0] < oldest_live:
+            self._slices.popleft()
+        return self._slices[-1][1]
+
+    def observe(self, key: str) -> None:
+        now = self._clock()
+        with self._lock:
+            self._current_slice(now).offer(key)
+            self._total += 1
+
+    @property
+    def total_observed(self) -> int:
+        """Lifetime observation count (not windowed; cheap sanity
+        signal for "is anything flowing at all")."""
+        with self._lock:
+            return self._total
+
+    def top(self, n: int = 20) -> list[dict[str, object]]:
+        """The up-to-*n* heaviest keys of the live window, heaviest
+        first; ``count`` may overestimate by at most ``error``."""
+        now = self._clock()
+        merged: dict[str, list[int]] = {}
+        with self._lock:
+            self._current_slice(now)  # expire stale slices
+            for _, sketch in self._slices:
+                sketch.merge_into(merged)
+        ranked = sorted(merged.items(),
+                        key=lambda item: (-item[1][0], item[0]))
+        return [{"key": key, "count": count, "error": error}
+                for key, (count, error) in ranked[:max(n, 0)]]
+
+
+class WorkloadAnalytics:
+    """The two serving-path streams behind ``GET /api/workload``."""
+
+    def __init__(self, capacity: int = 64,
+                 window_seconds: float = 3600.0,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.templates = SlidingTopK(capacity, window_seconds,
+                                     clock=clock)
+        self.probes = SlidingTopK(capacity, window_seconds, clock=clock)
+
+    def record_template(self, signature: str) -> None:
+        self.templates.observe(signature)
+
+    def record_probe(self, term: str) -> None:
+        self.probes.observe(term)
+
+    def report(self, n: int = 20) -> dict[str, object]:
+        return {
+            "window_seconds": self.templates.window_seconds,
+            "templates": {
+                "total_observed": self.templates.total_observed,
+                "top": self.templates.top(n),
+            },
+            "probes": {
+                "total_observed": self.probes.total_observed,
+                "top": self.probes.top(n),
+            },
+        }
+
+    def reset(self) -> None:
+        """Fresh sketches (test isolation / baseline regeneration)."""
+        self.templates = SlidingTopK(self.templates.capacity,
+                                     self.templates.window_seconds,
+                                     clock=self.templates._clock)
+        self.probes = SlidingTopK(self.probes.capacity,
+                                  self.probes.window_seconds,
+                                  clock=self.probes._clock)
+
+
+def template_signature(query) -> str:
+    """The constants-stripped shape of an
+    :class:`~repro.sqldb.query.AggregateQuery` — what
+    :meth:`WorkloadAnalytics.record_template` keys on.
+
+    ``avg(resolution_hours) WHERE borough=? AND complaint_type=?``:
+    distinct questions instantiating the same shape collapse, so the
+    top-k reads as "hot query shapes", not "hot literal strings".
+    """
+    aggregate = query.aggregate
+    column = aggregate.column if aggregate.column is not None else "*"
+    parts = [f"{aggregate.func.value}({column})"]
+    if query.predicates:
+        columns = sorted(p.column for p in query.predicates)
+        parts.append("WHERE " + " AND ".join(f"{c}=?" for c in columns))
+    return " ".join(parts)
+
+
+_GLOBAL_ANALYTICS = WorkloadAnalytics()
+
+
+def get_workload_analytics() -> WorkloadAnalytics:
+    """The process-wide analytics (what ``GET /api/workload`` serves)."""
+    return _GLOBAL_ANALYTICS

@@ -35,6 +35,9 @@ class SeriesSolution:
     multiplot: SeriesMultiplot
     expected_cost: float
     elapsed_seconds: float
+    #: Candidate probability mass the multiplot displays (the trend
+    #: path's truth-coverage signal for quality telemetry).
+    covered_probability: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -86,11 +89,14 @@ class SeriesPlanner:
 
         selected = maximize_cardinality(items, gain, budget)
         multiplot = _assemble(tuple(selected), self.geometry.num_rows)
+        covered = sum(c.probability for c in candidates
+                      if multiplot.shows(c.query))
         return SeriesSolution(
             multiplot=multiplot,
             expected_cost=self.cost_model.expected_cost(multiplot,
                                                         candidates),
             elapsed_seconds=time.perf_counter() - start,
+            covered_probability=covered,
         )
 
     # ------------------------------------------------------------------

@@ -27,8 +27,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import Multiplot
+from repro.observability import MetricsRegistry
 from repro.sqldb.query import AggregateQuery
 from repro.users.model import ReaderParameters
+
+#: Simulated reading-time buckets (ms): the requery penalty alone is
+#: 30 s, hence the tail.
+_READ_BUCKETS_MS = (500.0, 1000.0, 2000.0, 4000.0, 8000.0, 15000.0,
+                    30000.0, 60000.0)
 
 
 @dataclass(frozen=True)
@@ -46,9 +52,16 @@ class SimulatedUser:
     """Stochastic plot-by-plot reader over multiplots."""
 
     def __init__(self, parameters: ReaderParameters | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 metrics: MetricsRegistry | None = None) -> None:
+        """*metrics*, when given, receives one ``user_sim_read_ms``
+        observation and a ``user_sim_outcomes`` count per
+        :meth:`disambiguate` call — the realized-cost side of the
+        quality telemetry (the planner's *expected* costs live in the
+        ``quality_*`` family, so the two are directly comparable)."""
         self.parameters = parameters or ReaderParameters()
         self._rng = np.random.default_rng(seed)
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
 
@@ -99,13 +112,22 @@ class SimulatedUser:
             elapsed += params.click_ms * self._noise()
         else:
             elapsed += params.requery_ms
-        return ReadingOutcome(
+        outcome = ReadingOutcome(
             milliseconds=elapsed,
             found=found,
             target_was_highlighted=target_highlighted,
             bars_read=bars_read,
             plots_read=len(plots_understood),
         )
+        if self._metrics is not None:
+            kind = ("highlighted" if target_highlighted
+                    else "shown" if found else "missing")
+            self._metrics.histogram("user_sim_read_ms",
+                                    _READ_BUCKETS_MS,
+                                    target=kind).observe(elapsed)
+            self._metrics.counter("user_sim_outcomes",
+                                  target=kind).inc()
+        return outcome
 
     def _noise(self) -> float:
         sigma = self.parameters.noise_sigma

@@ -77,13 +77,17 @@ class TestGauge:
 
 
 class TestHistogram:
-    def test_empty_histogram_reports_zeroes(self):
+    def test_empty_histogram_has_no_quantiles(self):
+        # 0.0 would read as "everything was instant"; an empty
+        # distribution has no quantiles at all.
         histogram = Histogram()
         assert histogram.count == 0
-        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(0.5) is None
         snap = histogram.snapshot()
         assert snap["count"] == 0
-        assert snap["p95"] == 0.0
+        assert snap["p50"] is None
+        assert snap["p95"] is None
+        assert snap["buckets"]["+Inf"] == 0
 
     def test_single_value_percentiles_are_exact(self):
         # Min/max clamping makes degenerate distributions exact even

@@ -1,0 +1,135 @@
+"""The regression sentinel: snapshot collection and tolerance diffs."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.quality import QualityRecord, record_quality
+from repro.observability.report import (
+    DEFAULT_BANDS,
+    Band,
+    collect_report,
+    compare_reports,
+    render_regressions,
+)
+
+
+def report_with(metrics: dict[str, float]) -> dict:
+    return {"version": 1, "meta": {}, "metrics": metrics}
+
+
+class TestBand:
+    def test_allowed_is_max_of_relative_and_absolute(self):
+        band = Band(rel=0.1, absolute=5.0)
+        assert band.allowed(100.0) == pytest.approx(10.0)
+        assert band.allowed(10.0) == pytest.approx(5.0)
+
+    def test_direction_flips_the_worsening_sign(self):
+        higher = Band(rel=0.0, absolute=0.0, direction="higher")
+        lower = Band(rel=0.0, absolute=0.0, direction="lower")
+        assert higher.worsening(10.0, 12.0) == pytest.approx(2.0)
+        assert lower.worsening(10.0, 12.0) == pytest.approx(-2.0)
+
+
+class TestCompare:
+    def test_within_band_is_clean(self):
+        baseline = report_with({"latency.ask.p50_ms": 100.0})
+        current = report_with({"latency.ask.p50_ms": 110.0})
+        assert compare_reports(baseline, current) == []
+
+    def test_latency_regression_past_band_fails(self):
+        baseline = report_with({"latency.ask.p50_ms": 100.0})
+        current = report_with({"latency.ask.p50_ms": 125.0})
+        regressions = compare_reports(baseline, current)
+        assert len(regressions) == 1
+        assert regressions[0].key == "latency.ask.p50_ms"
+
+    def test_coverage_regresses_downwards_only(self):
+        baseline = report_with(
+            {"quality.truth_coverage.ask.mean": 0.95})
+        improved = report_with(
+            {"quality.truth_coverage.ask.mean": 1.0})
+        worsened = report_with(
+            {"quality.truth_coverage.ask.mean": 0.90})
+        assert compare_reports(baseline, improved) == []
+        assert len(compare_reports(baseline, worsened)) == 1
+
+    def test_any_new_error_is_a_regression(self):
+        baseline = report_with({"errors.total": 0.0})
+        current = report_with({"errors.total": 1.0})
+        assert len(compare_reports(baseline, current)) == 1
+
+    def test_missing_metric_is_a_regression(self):
+        baseline = report_with({"latency.ask.p50_ms": 100.0})
+        regressions = compare_reports(baseline, report_with({}))
+        assert len(regressions) == 1
+        assert regressions[0].current != regressions[0].current  # NaN
+
+    def test_unruled_keys_are_ignored(self):
+        baseline = report_with({"something.else": 1.0})
+        current = report_with({"something.else": 100.0})
+        assert compare_reports(baseline, current) == []
+
+    def test_longest_prefix_rule_wins(self):
+        bands = (("a.", Band(rel=0.0, absolute=0.0)),
+                 ("a.b", Band(rel=0.0, absolute=100.0)))
+        baseline = report_with({"a.b.x": 1.0, "a.c": 1.0})
+        current = report_with({"a.b.x": 50.0, "a.c": 50.0})
+        regressions = compare_reports(baseline, current, bands=bands)
+        assert [r.key for r in regressions] == ["a.c"]
+
+    def test_injected_twenty_percent_latency_trips_default_bands(self):
+        baseline = report_with({"latency.ask.p95_ms": 80.0,
+                                "latency.ask.mean_ms": 40.0})
+        inflated = report_with({
+            key: value * 1.2
+            for key, value in baseline["metrics"].items()})
+        regressions = compare_reports(baseline, inflated,
+                                      bands=DEFAULT_BANDS)
+        assert {r.key for r in regressions} == {
+            "latency.ask.p95_ms", "latency.ask.mean_ms"}
+
+
+class TestCollect:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.histogram("muve_request_ms",
+                           request="ask").observe(25.0)
+        record_quality(QualityRecord(
+            truth_coverage=0.9, highlight_coverage=0.8,
+            expected_cost_ms=2000.0, realized_cost_ms=2100.0,
+            optimality_gap=None, degradation_depth=0,
+            intended_rank=1, intended_outcome="highlighted"),
+            registry, request="ask")
+        return registry
+
+    def test_collect_flattens_latency_and_quality(self):
+        report = collect_report(self.make_registry(),
+                                meta={"rows": 10})
+        metrics = report["metrics"]
+        assert metrics["latency.ask.p50_ms"] > 0
+        assert metrics["quality.truth_coverage.ask.mean"] == \
+            pytest.approx(0.9)
+        assert metrics["quality.intended_highlighted_rate"] == 1.0
+        assert metrics["errors.total"] == 0.0
+        assert report["meta"] == {"rows": 10}
+
+    def test_extra_entries_override_collected_ones(self):
+        report = collect_report(self.make_registry(),
+                                extra={"latency.ask.p50_ms": 7.0})
+        assert report["metrics"]["latency.ask.p50_ms"] == 7.0
+
+    def test_roundtrip_through_compare_is_clean(self):
+        report = collect_report(self.make_registry())
+        assert compare_reports(report, report) == []
+
+
+class TestRender:
+    def test_render_clean(self):
+        assert "no regressions" in render_regressions([])
+
+    def test_render_names_the_failures(self):
+        baseline = report_with({"errors.total": 0.0})
+        regressions = compare_reports(baseline,
+                                      report_with({"errors.total": 2.0}))
+        text = render_regressions(regressions)
+        assert "FAIL" in text and "errors.total" in text

@@ -1,0 +1,185 @@
+"""SLO objectives, burn-rate windows, and the engine report."""
+
+import pytest
+
+from repro.observability.slo import (
+    Objective,
+    SloEngine,
+    default_coverage_floor,
+    default_latency_slo_ms,
+    default_objectives,
+    get_slo_engine,
+    render_slo,
+)
+
+
+def make_engine(start: float = 1_000_000.0,
+                **kwargs) -> tuple[SloEngine, list[float]]:
+    """An engine on a controllable clock (a one-element list)."""
+    now = [start]
+    engine = SloEngine(clock=lambda: now[0], **kwargs)
+    return engine, now
+
+
+OBJ = Objective(name="latency", description="fast", goal=0.9,
+                windows=(300.0, 3600.0))
+
+
+class TestObjective:
+    def test_error_budget(self):
+        assert Objective("x", "", goal=0.95).error_budget == \
+            pytest.approx(0.05)
+
+    @pytest.mark.parametrize("goal", [0.0, 1.0, -0.1, 1.5])
+    def test_goal_must_leave_budget(self, goal):
+        with pytest.raises(ValueError):
+            Objective("x", "", goal=goal)
+
+    def test_windows_must_be_positive_and_nonempty(self):
+        with pytest.raises(ValueError):
+            Objective("x", "", goal=0.5, windows=())
+        with pytest.raises(ValueError):
+            Objective("x", "", goal=0.5, windows=(300.0, -1.0))
+
+
+class TestRegistration:
+    def test_register_is_idempotent_for_identical(self):
+        engine, _ = make_engine()
+        assert engine.register(OBJ) is engine.register(OBJ)
+
+    def test_register_rejects_conflicting_definition(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)
+        with pytest.raises(ValueError, match="different definition"):
+            engine.register(Objective(name="latency",
+                                      description="fast", goal=0.5))
+
+    def test_ensure_keeps_existing_definition(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)
+        other = Objective(name="latency", description="x", goal=0.5)
+        assert engine.ensure(other) == OBJ
+        assert engine.ensure(
+            Objective(name="new", description="", goal=0.5)).name == "new"
+
+    def test_record_unknown_objective_raises(self):
+        engine, _ = make_engine()
+        with pytest.raises(KeyError):
+            engine.record("nope", True)
+
+
+class TestBurnRates:
+    def test_idle_engine_is_ok(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)
+        entry = engine.report()["objectives"]["latency"]
+        assert entry["status"] == "ok"
+        for window in entry["windows"].values():
+            assert window["events"] == 0
+            assert window["burn_rate"] == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)  # budget 0.1
+        for _ in range(8):
+            engine.record("latency", True)
+        for _ in range(2):
+            engine.record("latency", False)
+        window = engine.report()["objectives"]["latency"][
+            "windows"]["300s"]
+        assert window["events"] == 10
+        assert window["bad_fraction"] == pytest.approx(0.2)
+        assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_all_bad_traffic_is_fast_burn(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)
+        for _ in range(10):
+            engine.record("latency", False)
+        assert engine.report()["objectives"]["latency"][
+            "status"] == "fast_burn"
+
+    def test_slow_burn_needs_every_window_burning(self):
+        # Bad events an hour ago burn the long window but not the short
+        # one -> status stays ok (the sticky-free property).
+        engine, now = make_engine()
+        engine.register(OBJ)
+        for _ in range(10):
+            engine.record("latency", False)
+        now[0] += 1800.0
+        report = engine.report()["objectives"]["latency"]
+        assert report["windows"]["300s"]["events"] == 0
+        assert report["windows"]["3600s"]["bad"] == 10
+        assert report["status"] == "ok"
+
+    def test_events_expire_out_of_the_long_window(self):
+        engine, now = make_engine()
+        engine.register(OBJ)
+        engine.record("latency", False)
+        now[0] += 4000.0
+        windows = engine.report()["objectives"]["latency"]["windows"]
+        assert windows["3600s"]["events"] == 0
+
+    def test_slow_burn_between_one_and_threshold(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)  # budget 0.1: 20% bad -> burn 2.0
+        for good in [True] * 8 + [False] * 2:
+            engine.record("latency", good)
+        assert engine.report()["objectives"]["latency"][
+            "status"] == "slow_burn"
+
+    def test_ring_reuses_slots_after_wraparound(self):
+        engine, now = make_engine()
+        engine.register(Objective("x", "", goal=0.9, windows=(60.0,)))
+        engine.record("x", False)
+        # Far enough ahead that the old slot index is reused.
+        now[0] += 120.0
+        engine.record("x", True)
+        window = engine.report()["objectives"]["x"]["windows"]["60s"]
+        assert (window["good"], window["bad"]) == (1, 0)
+
+
+class TestEnvironmentDefaults:
+    def test_latency_threshold_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("MUVE_SLO_LATENCY_MS", raising=False)
+        assert default_latency_slo_ms() == 500.0
+        monkeypatch.setenv("MUVE_SLO_LATENCY_MS", "750")
+        assert default_latency_slo_ms() == 750.0
+
+    @pytest.mark.parametrize("raw", ["abc", "-5", "0"])
+    def test_latency_threshold_rejects_garbage(self, monkeypatch, raw):
+        monkeypatch.setenv("MUVE_SLO_LATENCY_MS", raw)
+        with pytest.raises(ValueError):
+            default_latency_slo_ms()
+
+    def test_coverage_floor_default_and_validation(self, monkeypatch):
+        monkeypatch.delenv("MUVE_SLO_COVERAGE", raising=False)
+        assert default_coverage_floor() == 0.9
+        monkeypatch.setenv("MUVE_SLO_COVERAGE", "1.5")
+        with pytest.raises(ValueError):
+            default_coverage_floor()
+
+    def test_default_objectives_cover_the_serving_path(self):
+        names = {objective.name for objective in default_objectives()}
+        assert names == {"latency_p95", "error_rate", "truth_coverage"}
+
+    def test_global_engine_is_preregistered(self):
+        engine = get_slo_engine()
+        assert engine is get_slo_engine()
+        names = {objective.name for objective in engine.objectives()}
+        assert {"latency_p95", "error_rate",
+                "truth_coverage"} <= names
+
+
+class TestRender:
+    def test_render_contains_objectives_and_burns(self):
+        engine, _ = make_engine()
+        engine.register(OBJ)
+        engine.record("latency", False)
+        text = render_slo(engine)
+        assert "latency" in text
+        assert "burn 300s" in text
+
+    def test_render_empty_engine(self):
+        engine, _ = make_engine()
+        assert "no objectives" in render_slo(engine)

@@ -194,3 +194,78 @@ class TestSpanMetrics:
             pass
         after = registry.histogram("span_ms", name="unit.test").count
         assert after == before + 1
+
+
+class TestTraceLogCapacity:
+    def test_default_capacity(self, monkeypatch):
+        monkeypatch.delenv("MUVE_TRACE_LOG_SIZE", raising=False)
+        assert TraceLog().capacity == \
+            tracing.DEFAULT_TRACE_LOG_CAPACITY
+
+    def test_env_sets_capacity(self, monkeypatch):
+        monkeypatch.setenv("MUVE_TRACE_LOG_SIZE", "7")
+        assert TraceLog().capacity == 7
+
+    def test_explicit_capacity_beats_env(self, monkeypatch):
+        monkeypatch.setenv("MUVE_TRACE_LOG_SIZE", "7")
+        assert TraceLog(capacity=3).capacity == 3
+
+    @pytest.mark.parametrize("raw", ["zero", "0", "-4", "2.5"])
+    def test_invalid_env_raises_on_explicit_construction(
+            self, monkeypatch, raw):
+        monkeypatch.setenv("MUVE_TRACE_LOG_SIZE", raw)
+        with pytest.raises(ValueError):
+            TraceLog()
+        with pytest.raises(ValueError):
+            tracing.trace_log_capacity_from_env()
+
+    def test_capacity_is_enforced(self):
+        log = TraceLog(capacity=2)
+        for index in range(5):
+            log.append(Trace(root=Span(name=f"s{index}"),
+                             trace_id=f"t{index}", started_at=0.0))
+        assert len(log) == 2
+
+    def test_capacity_gauges(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.tracing import (
+            register_trace_log_metrics,
+        )
+        registry = MetricsRegistry()
+        register_trace_log_metrics(registry)
+        snapshot = registry.snapshot()["gauges"]
+        assert snapshot["trace_log_capacity"] == \
+            get_trace_log().capacity
+        assert snapshot["trace_log_entries"] == len(get_trace_log())
+
+
+class TestTraceIds:
+    def test_no_trace_id_outside_a_span(self):
+        from repro.observability.tracing import current_trace_id
+        assert current_trace_id() is None
+
+    def test_root_span_assigns_an_id_visible_to_children(self):
+        from repro.observability.tracing import current_trace_id
+        with trace_span("request"):
+            root_id = current_trace_id()
+            assert root_id is not None
+            with trace_span("child"):
+                assert current_trace_id() == root_id
+        assert current_trace_id() is None
+
+    def test_disabled_tracing_has_no_trace_id(self):
+        from repro.observability.tracing import current_trace_id
+        set_tracing_enabled(False)
+        with trace_span("request"):
+            assert current_trace_id() is None
+
+    def test_span_metrics_carry_the_trace_exemplar(self):
+        from repro.observability.metrics import get_registry
+        from repro.observability.tracing import current_trace_id
+        with trace_span("exemplar.unit"):
+            trace_id = current_trace_id()
+        snap = get_registry().histogram(
+            "span_ms", name="exemplar.unit").snapshot()
+        refs = {entry["trace_id"]
+                for entry in snap.get("exemplars", {}).values()}
+        assert trace_id in refs

@@ -1,0 +1,160 @@
+"""Space-saving sketch, sliding top-k, and workload analytics."""
+
+import threading
+
+import pytest
+
+from repro.observability.workload import (
+    SlidingTopK,
+    SpaceSavingSketch,
+    WorkloadAnalytics,
+    get_workload_analytics,
+    template_signature,
+)
+from repro.sqldb.query import AggregateQuery
+
+
+class TestSpaceSavingSketch:
+    def test_exact_under_capacity(self):
+        sketch = SpaceSavingSketch(capacity=8)
+        for key in "aababc":
+            sketch.offer(key)
+        counts = {key: (count, error)
+                  for key, count, error in sketch.items()}
+        assert counts == {"a": (3, 0), "b": (2, 0), "c": (1, 0)}
+
+    def test_eviction_inherits_minimum_count(self):
+        sketch = SpaceSavingSketch(capacity=2)
+        sketch.offer("a")
+        sketch.offer("a")
+        sketch.offer("b")
+        sketch.offer("c")  # evicts b (count 1): c starts at 2, error 1
+        counts = {key: (count, error)
+                  for key, count, error in sketch.items()}
+        assert counts == {"a": (2, 0), "c": (2, 1)}
+
+    def test_heavy_hitter_survives_a_long_tail(self):
+        # The space-saving guarantee: any key with true frequency above
+        # N/capacity is tracked, whatever the tail does.
+        sketch = SpaceSavingSketch(capacity=10)
+        for i in range(300):
+            sketch.offer("hot" if i % 3 == 0 else f"tail{i}")
+        tracked = {key for key, _, _ in sketch.items()}
+        assert "hot" in tracked
+        hot = next(count for key, count, _ in sketch.items()
+                   if key == "hot")
+        assert hot >= 100  # never undercounts
+
+    def test_capacity_and_weight_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(capacity=0)
+        with pytest.raises(ValueError):
+            SpaceSavingSketch().offer("x", weight=0)
+
+    def test_merge_into_adds_counts_and_errors(self):
+        first, second = SpaceSavingSketch(4), SpaceSavingSketch(4)
+        first.offer("a")
+        second.offer("a")
+        second.offer("b")
+        merged: dict[str, list[int]] = {}
+        first.merge_into(merged)
+        second.merge_into(merged)
+        assert merged == {"a": [2, 0], "b": [1, 0]}
+
+
+class TestSlidingTopK:
+    def make(self, window=60.0, buckets=6):
+        now = [1_000_000.0]
+        top = SlidingTopK(capacity=8, window_seconds=window,
+                          buckets=buckets, clock=lambda: now[0])
+        return top, now
+
+    def test_top_orders_by_count_then_key(self):
+        top, _ = self.make()
+        for key in ["b", "a", "b", "c", "a", "b"]:
+            top.observe(key)
+        ranked = top.top(3)
+        assert [entry["key"] for entry in ranked] == ["b", "a", "c"]
+        assert ranked[0]["count"] == 3
+
+    def test_old_slices_expire(self):
+        top, now = self.make(window=60.0)
+        top.observe("old")
+        now[0] += 61.0
+        top.observe("new")
+        assert [entry["key"] for entry in top.top(10)] == ["new"]
+
+    def test_window_merges_live_slices(self):
+        top, now = self.make(window=60.0, buckets=6)
+        top.observe("x")
+        now[0] += 15.0  # next slice, still inside the window
+        top.observe("x")
+        assert top.top(1)[0]["count"] == 2
+
+    def test_total_observed_is_lifetime(self):
+        top, now = self.make(window=60.0)
+        top.observe("a")
+        now[0] += 120.0
+        top.observe("b")
+        assert top.total_observed == 2
+
+    def test_concurrent_observes_all_counted(self):
+        top, _ = self.make(window=3600.0)
+
+        def hammer():
+            for _ in range(500):
+                top.observe("k")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert top.total_observed == 4000
+        assert top.top(1)[0]["count"] == 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingTopK(window_seconds=0)
+        with pytest.raises(ValueError):
+            SlidingTopK(buckets=0)
+
+
+class TestTemplateSignature:
+    def test_strips_constants_and_sorts_columns(self):
+        query = AggregateQuery.build(
+            "nyc311", "avg", "resolution_hours",
+            {"complaint_type": "Noise", "borough": "Brooklyn"})
+        assert template_signature(query) == (
+            "avg(resolution_hours) WHERE borough=? AND "
+            "complaint_type=?")
+
+    def test_count_star_without_predicates(self):
+        query = AggregateQuery.build("nyc311", "count", None, {})
+        assert template_signature(query) == "count(*)"
+
+    def test_same_shape_different_constants_collapse(self):
+        one = AggregateQuery.build("nyc311", "avg", "resolution_hours",
+                                   {"borough": "Brooklyn"})
+        two = AggregateQuery.build("nyc311", "avg", "resolution_hours",
+                                   {"borough": "Queens"})
+        assert template_signature(one) == template_signature(two)
+
+
+class TestWorkloadAnalytics:
+    def test_report_shape(self):
+        analytics = WorkloadAnalytics(clock=lambda: 1_000.0)
+        analytics.record_template("avg(x)")
+        analytics.record_probe("brooklyn")
+        report = analytics.report(5)
+        assert report["templates"]["total_observed"] == 1
+        assert report["probes"]["top"][0]["key"] == "brooklyn"
+
+    def test_reset_clears_both_streams(self):
+        analytics = WorkloadAnalytics(clock=lambda: 1_000.0)
+        analytics.record_template("avg(x)")
+        analytics.reset()
+        assert analytics.report()["templates"]["total_observed"] == 0
+
+    def test_global_analytics_is_a_singleton(self):
+        assert get_workload_analytics() is get_workload_analytics()

@@ -458,3 +458,103 @@ class TestTrendAsk:
             assert "polyline" in payload["svg"]
         finally:
             demo.shutdown()
+
+
+class TestObservabilityEndpoints:
+    def test_slo_report_served(self, server):
+        status, raw = request(server, "GET", "/api/slo")
+        assert status == 200
+        payload = json.loads(raw)
+        assert {"latency_p95", "error_rate", "truth_coverage"} <= \
+            set(payload["objectives"])
+        for entry in payload["objectives"].values():
+            assert entry["status"] in ("ok", "slow_burn", "fast_burn")
+            assert "300s" in entry["windows"]
+
+    def test_slo_counts_requests(self, server):
+        request(server, "POST", "/api/ask",
+                {"question": "count requests where borough brooklyn"})
+        status, raw = request(server, "GET", "/api/slo")
+        payload = json.loads(raw)
+        window = payload["objectives"]["error_rate"]["windows"]["300s"]
+        assert window["events"] >= 1
+
+    def test_workload_endpoint(self, server):
+        request(server, "POST", "/api/ask",
+                {"question": "average resolution hours where "
+                             "borough brooklyn"})
+        status, raw = request(server, "GET", "/api/workload?n=5")
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["templates"]["total_observed"] >= 1
+        assert len(payload["templates"]["top"]) <= 5
+
+    def test_workload_rejects_bad_limit(self, server):
+        status, raw = request(server, "GET", "/api/workload?n=xx")
+        assert status == 400
+        assert json.loads(raw)["error_type"] == "ReproError"
+
+    def test_quality_endpoint(self, server):
+        request(server, "POST", "/api/ask",
+                {"question": "average resolution hours where "
+                             "borough brooklyn"})
+        status, raw = request(server, "GET", "/api/quality")
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["requests"] >= 1
+        assert any(key.startswith("truth_coverage")
+                   for key in payload["histograms"])
+
+    def test_ask_payload_carries_quality_record(self, server):
+        status, raw = request(
+            server, "POST", "/api/ask",
+            {"question": "average resolution hours where "
+                         "borough brooklyn"})
+        assert status == 200
+        quality = json.loads(raw)["quality"]
+        assert 0.0 <= quality["highlight_coverage"] \
+            <= quality["truth_coverage"] <= 1.0
+        assert quality["intended_outcome"] == "unknown"
+
+    def test_dashboard_served(self, server):
+        request(server, "POST", "/api/ask",
+                {"question": "average resolution hours where "
+                             "borough brooklyn"})
+        status, raw = request(server, "GET", "/dashboard")
+        assert status == 200
+        page = raw.decode("utf-8")
+        assert "SLO burn rates" in page
+        assert "Top query templates" in page
+        assert "<script>" not in page  # server-rendered, no JS
+
+    def test_known_paths_derive_from_route_table(self):
+        from repro.demo.server import _KNOWN_PATHS, _ROUTES
+        assert set(_KNOWN_PATHS) == {path for _, path in _ROUTES}
+        assert "/api/slo" in _KNOWN_PATHS
+        assert "/dashboard" in _KNOWN_PATHS
+
+    def test_every_route_has_a_handler(self, server):
+        from repro.demo.server import _ROUTES, _make_handler
+        handler = _make_handler(server)
+        for (_, path), name in _ROUTES.items():
+            assert callable(getattr(handler, name)), (path, name)
+
+    def test_ask_response_carries_latency_exemplar(self, server):
+        # A traced ask leaves an exemplar pointing at its trace.
+        request(server, "POST", "/api/ask?trace=1",
+                {"question": "count requests where borough queens"})
+        status, raw = request(server, "GET", "/api/metrics")
+        snapshot = json.loads(raw)
+        histograms = snapshot["histograms"]
+        exemplars = [
+            entry.get("exemplars", {})
+            for key, entry in histograms.items()
+            if key.startswith("muve_request_ms")]
+        refs = {exemplar["trace_id"]
+                for per_bucket in exemplars
+                for exemplar in per_bucket.values()}
+        assert refs, "expected at least one latency exemplar"
+        status, raw = request(server, "GET", "/api/traces?n=64")
+        trace_ids = {trace["trace_id"]
+                     for trace in json.loads(raw)["traces"]}
+        assert refs & trace_ids, (refs, trace_ids)
