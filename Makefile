@@ -1,14 +1,16 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check fast concurrency bench bench-serve bench-phonetics \
-	bench-quality sentinel profile chaos
+.PHONY: check fast concurrency bench bench-serve bench-index \
+	bench-phonetics bench-quality sentinel profile chaos
 
 # The gating suite: the full test tree (tier 1), then the concurrency
-# and caching suites once more on their own.  Test-order randomisation
+# and caching suites plus the index differential suite (indexed ==
+# scan, bit for bit) once more on their own.  Test-order randomisation
 # is disabled so failures bisect deterministically.
 check:
 	$(PYTEST) -x -q -p no:randomly
-	$(PYTEST) -q -p no:randomly tests/test_concurrency.py tests/caching
+	$(PYTEST) -q -p no:randomly tests/test_concurrency.py tests/caching \
+		tests/sqldb/test_index_differential.py
 
 # Fast development loop: everything except the paper-experiment
 # regeneration suite (marked `slow`).
@@ -29,6 +31,12 @@ bench:
 bench-serve:
 	PYTHONPATH=src python scripts/bench_serving.py
 
+# Secondary-index benchmark: the grouped-equality row-scaling sweep
+# alone (indexed vs MUVE_INDEXES=0 across 20k/200k/1M rows); the full
+# report including this sweep is written by bench-serve.
+bench-index:
+	PYTHONPATH=src python scripts/check_index_speedup.py
+
 # Phonetic retrieval benchmark: pruned exact top-k vs the exhaustive
 # scan on synthetic 10k/100k (1M with MUVE_BENCH_FULL=1) vocabularies;
 # writes BENCH_phonetics.json.
@@ -41,16 +49,20 @@ bench-phonetics:
 # MUVE_BATCH_SCAN_FACTOR); (3) pruned phonetic retrieval must beat the
 # exhaustive scan by MUVE_PHONETIC_SPEEDUP_FACTOR at 100k terms within
 # the MUVE_PHONETIC_P50_MS latency budget.
-# (4) under overload the server must shed with typed 429s while
+# (4) secondary indexes must beat MUVE_INDEXES=0 scans by
+# MUVE_INDEX_SPEEDUP_FACTOR at p50 on the 1M-row grouped-equality
+# workload, with bit-identical results (MUVE_INDEX_ROWS).
+# (5) under overload the server must shed with typed 429s while
 # admitted requests still meet their deadlines (MUVE_SHED_CLIENTS,
 # MUVE_SHED_INFLIGHT, MUVE_SHED_DEADLINE_MS).
-# (5) the regression sentinel: the seeded voice workload's quality and
+# (6) the regression sentinel: the seeded voice workload's quality and
 # latency snapshot must stay within the tolerance bands of the
 # committed BENCH_quality.json baseline (MUVE_SENTINEL_LATENCY_REL).
 profile:
 	PYTHONPATH=src python scripts/check_overhead.py
 	PYTHONPATH=src python scripts/check_batch_speedup.py
 	PYTHONPATH=src python scripts/check_phonetics_speedup.py
+	PYTHONPATH=src python scripts/check_index_speedup.py
 	PYTHONPATH=src python scripts/check_shedding.py
 	PYTHONPATH=src python scripts/obs_report.py --check BENCH_quality.json
 

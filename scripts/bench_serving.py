@@ -16,6 +16,12 @@ The report also carries a ``candidate_generation`` section: end-to-end
 vocabulary (pruned phonetic retrieval is the dominant cost there), both
 cold (probe cache cleared per round) and warm.
 
+The ``row_scaling`` section replays a dedicated grouped-equality
+candidate workload — the shape secondary indexes target — across a
+``--rows`` sweep (default 20k/200k/1M), once with index access paths and
+once with ``MUVE_INDEXES=0`` scans, so scan-bound O(rows) cost is
+visible instead of hidden by a small table.
+
 Environment knobs::
 
     MUVE_BENCH_REQUESTS     number of requests (default 30)
@@ -25,15 +31,21 @@ Environment knobs::
     MUVE_BENCH_VOCAB        candidate-generation vocabulary size
                             (default 50000)
     MUVE_BENCH_OUTPUT       output path (default BENCH_serving.json)
+    MUVE_BENCH_ROW_SWEEP    row-scaling sweep sizes (default
+                            "20000,200000,1000000"; same as --rows)
+    MUVE_BENCH_SCALING_REQUESTS   requests per sweep point (default 8)
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import statistics
 import sys
 import time
+
+import numpy as np
 
 from repro.caching.phonetic import phonetic_probe_cache
 from repro.datasets.generators import DATASET_GENERATORS
@@ -42,6 +54,11 @@ from repro.execution.batch import plan_scan_counts
 from repro.execution.merging import plan_execution
 from repro.nlq.candidates import CandidateGenerator
 from repro.sqldb.database import Database
+from repro.sqldb.index import set_indexes_enabled
+from repro.sqldb.query import AggregateQuery
+from repro.sqldb.schema import ColumnSchema, TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
 
 
 def build_requests(rows: int, count: int, candidates: int, seed: int = 0):
@@ -91,6 +108,91 @@ def measure(database: Database, plans, batch: bool, rounds: int) -> dict:
         "mean_ms": round(statistics.fmean(latencies), 4),
         "queries_per_second": round(len(plans) / best_wall, 2),
     }
+
+
+def make_events_table(num_rows: int, seed: int = 0,
+                      n_categories: int = 1000,
+                      n_regions: int = 8) -> Table:
+    """A synthetic event-log table for the grouped-equality workload.
+
+    ``cat`` is the candidate predicate column (~1000 distinct values, so
+    each equality matches ~0.1% of rows), ``region`` the GROUP BY
+    dimension, ``value`` the aggregated measure.  Built columnar-first so
+    the 1M-row sweep point loads in milliseconds.
+    """
+    rng = np.random.default_rng(seed)
+    categories = np.array([f"cat_{i:04d}" for i in range(n_categories)],
+                          dtype=object)
+    regions = np.array([f"region_{i}" for i in range(n_regions)],
+                       dtype=object)
+    schema = TableSchema("events", (
+        ColumnSchema("cat", DataType.TEXT),
+        ColumnSchema("region", DataType.TEXT),
+        ColumnSchema("value", DataType.FLOAT),
+    ))
+    return Table(schema, {
+        "cat": categories[rng.integers(0, n_categories, num_rows)],
+        "region": regions[rng.integers(0, n_regions, num_rows)],
+        "value": rng.lognormal(1.0, 0.5, num_rows),
+    })
+
+
+def build_grouped_equality_requests(rows: int, count: int,
+                                    candidates: int, seed: int = 0):
+    """(database, plans) for the secondary-index target workload.
+
+    Each request is *candidates* equality candidates on ``events.cat``
+    merged by the cost-based planner — typically into one
+    ``WHERE cat IN (...) GROUP BY cat`` statement, the dominant
+    candidate-query shape the inverted group indexes accelerate.
+    """
+    database = Database(seed=seed)
+    database.register_table(make_events_table(rows, seed=seed))
+    n_categories = len(np.unique(database.table("events").column("cat")))
+    rng = np.random.default_rng(seed + 1)
+    plans = []
+    for _ in range(count):
+        chosen = rng.choice(n_categories, size=min(candidates,
+                                                   n_categories),
+                            replace=False)
+        queries = [AggregateQuery.build("events", "sum", "value",
+                                        {"cat": f"cat_{code:04d}"})
+                   for code in chosen]
+        plans.append(plan_execution(database, queries, merge=True))
+    return database, plans
+
+
+def measure_row_scaling(rows_list, requests: int, candidates: int,
+                        rounds: int, seed: int = 0) -> list[dict]:
+    """Indexed vs forced-scan latency per table size.
+
+    Both modes run the batch executor over identical plans; only the
+    index flag differs, so the comparison isolates probe-vs-scan data
+    access.  Results are asserted identical before timing — the scan
+    path stays the differential oracle even in the benchmark.
+    """
+    entries = []
+    for rows in rows_list:
+        database, plans = build_grouped_equality_requests(
+            rows, requests, candidates, seed)
+        reference = [plan.run(database, batch=True) for plan in plans]
+        set_indexes_enabled(False)
+        try:
+            for plan, expected in zip(plans, reference):
+                assert plan.run(database, batch=True) == expected, \
+                    "indexed and scan results diverged"
+            scan = measure(database, plans, batch=True, rounds=rounds)
+        finally:
+            set_indexes_enabled(True)
+        indexed = measure(database, plans, batch=True, rounds=rounds)
+        entries.append({
+            "rows": rows,
+            "indexed": indexed,
+            "scan": scan,
+            "speedup_p50": round(
+                scan["p50_ms"] / max(indexed["p50_ms"], 1e-9), 2),
+        })
+    return entries
 
 
 def measure_candidate_generation(vocabulary_size: int, requests: int,
@@ -154,12 +256,23 @@ def measure_candidate_generation(vocabulary_size: int, requests: int,
     }
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows", default=os.environ.get("MUVE_BENCH_ROW_SWEEP",
+                                         "20000,200000,1000000"),
+        help="comma-separated table sizes for the row_scaling sweep "
+             "(grouped-equality workload, indexed vs MUVE_INDEXES=0)")
+    args = parser.parse_args(argv)
+    sweep = [int(token) for token in str(args.rows).split(",") if token]
+
     requests = int(os.environ.get("MUVE_BENCH_REQUESTS", "30"))
     rows = int(os.environ.get("MUVE_BENCH_ROWS", "20000"))
     candidates = int(os.environ.get("MUVE_BENCH_CANDIDATES", "50"))
     rounds = int(os.environ.get("MUVE_BENCH_ROUNDS", "5"))
     vocabulary = int(os.environ.get("MUVE_BENCH_VOCAB", "50000"))
+    scaling_requests = int(os.environ.get("MUVE_BENCH_SCALING_REQUESTS",
+                                          "8"))
     output = os.environ.get("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
 
     database, plans = build_requests(rows, requests, candidates)
@@ -192,6 +305,16 @@ def main() -> int:
             / max(batched["scans_per_request"], 1e-9), 2),
         "candidate_generation": measure_candidate_generation(
             vocabulary, requests, max(2, rounds - 2)),
+        "row_scaling": {
+            "workload": {
+                "dataset": "events",
+                "requests": scaling_requests,
+                "candidates_per_request": candidates,
+            },
+            "sweep": measure_row_scaling(sweep, scaling_requests,
+                                         candidates,
+                                         max(2, rounds - 2)),
+        },
     }
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -214,6 +337,12 @@ def main() -> int:
           f"{generation['vocabulary_terms']} terms: "
           f"cold p50 {generation['cold']['p50_ms']:.2f} ms, "
           f"warm p50 {generation['warm']['p50_ms']:.2f} ms")
+    print("  row scaling (grouped-equality, indexed vs scan):")
+    for entry in report["row_scaling"]["sweep"]:
+        print(f"    {entry['rows']:>9} rows: "
+              f"indexed p50 {entry['indexed']['p50_ms']:.3f} ms, "
+              f"scan p50 {entry['scan']['p50_ms']:.3f} ms "
+              f"({entry['speedup_p50']}x)")
     return 0
 
 

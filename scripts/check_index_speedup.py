@@ -1,0 +1,62 @@
+"""Secondary-index speedup gate (``make profile``).
+
+Replays the grouped-equality candidate workload — *requests* per round,
+each a merged ``WHERE cat IN (...) GROUP BY cat`` statement over the
+synthetic events table — once through the secondary-index access paths
+and once with ``MUVE_INDEXES=0`` full scans, and fails (exit 1) if the
+indexed p50 per-request latency is not at least
+``MUVE_INDEX_SPEEDUP_FACTOR`` times faster at ``MUVE_INDEX_ROWS`` rows.
+
+Results are asserted bit-identical between the two modes before any
+timing (see :func:`bench_serving.measure_row_scaling`), so a passing
+gate also re-confirms the scan path as differential oracle.
+
+Environment knobs::
+
+    MUVE_INDEX_ROWS             table rows (default 1000000)
+    MUVE_INDEX_SPEEDUP_FACTOR   required p50 speedup (default 5)
+    MUVE_INDEX_REQUESTS         requests per round (default 8)
+    MUVE_INDEX_CANDIDATES       candidates per request (default 50)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_serving import measure_row_scaling  # noqa: E402
+
+ROUNDS = 3
+
+
+def main() -> int:
+    rows = int(os.environ.get("MUVE_INDEX_ROWS", "1000000"))
+    factor = float(os.environ.get("MUVE_INDEX_SPEEDUP_FACTOR", "5"))
+    requests = int(os.environ.get("MUVE_INDEX_REQUESTS", "8"))
+    candidates = int(os.environ.get("MUVE_INDEX_CANDIDATES", "50"))
+
+    entry = measure_row_scaling([rows], requests, candidates, ROUNDS)[0]
+    indexed = entry["indexed"]
+    scan = entry["scan"]
+    speedup = entry["speedup_p50"]
+
+    print(f"grouped-equality workload: {requests} requests x "
+          f"{candidates} candidates on {rows} rows")
+    print(f"  p50 per request (best of {ROUNDS}): "
+          f"scan {scan['p50_ms']:.3f} ms, "
+          f"indexed {indexed['p50_ms']:.3f} ms "
+          f"({speedup:.2f}x, required {factor:.2f}x)")
+
+    if speedup < factor:
+        print(f"FAIL: secondary indexes do not deliver a {factor:.1f}x "
+              f"p50 speedup at {rows} rows", file=sys.stderr)
+        return 1
+    print("OK: secondary indexes beat the scan path and match it "
+          "bit for bit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from repro.caching.phonetic import (
     phonetic_probe_cache,
     reset_phonetic_probe_cache,
 )
+from repro.caching.selection import SelectionCache
 from repro.caching.sql import normalize_sql
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "PhoneticProbeCache",
     "PlanCache",
     "QueryResultCache",
+    "SelectionCache",
     "normalize_sql",
     "phonetic_probe_cache",
     "register_cache_metrics",

@@ -1,0 +1,76 @@
+"""Cross-request cache of predicate selections (masks and postings).
+
+Leaf-predicate selections — boolean masks from full scans, int64
+position arrays from secondary-index probes — are pure functions of
+table data, so one request's work can serve every later request until
+the data changes.  :class:`SelectionCache` is the byte-budgeted store
+:class:`~repro.sqldb.database.Database` keeps for the batch executor;
+the database drops the whole cache on any DDL or data mutation.
+
+Eviction is clear-all: predicate working sets are small (one entry per
+distinct candidate leaf), so the budget only trips when the workload
+churns through predicates — at which point nothing in the cache is
+worth ranking.  Plain-dict operations keep the read path lock-free
+under the GIL; a racing double-store is harmless (both stores are the
+same pure value).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["SelectionCache"]
+
+
+class SelectionCache:
+    """A byte-budgeted ``key -> numpy selection`` store.
+
+    Stored arrays are shared across threads and requests — callers must
+    treat them as immutable.  A budget of 0 disables storage entirely
+    (lookups simply always miss).
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        self._budget = budget_bytes
+        self._entries: dict[Hashable, np.ndarray] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._clears = 0
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        entry = self._entries.get(key)
+        # Racing increments may drop a count; the stats are advisory.
+        if entry is not None:
+            self._hits += 1
+        else:
+            self._misses += 1
+        return entry
+
+    def store(self, key: Hashable, selection: np.ndarray) -> None:
+        if self._budget <= 0:
+            return
+        if self._bytes + selection.nbytes > self._budget:
+            self._entries = {}
+            self._bytes = 0
+            self._clears += 1
+            if selection.nbytes > self._budget:
+                return
+        self._entries[key] = selection
+        self._bytes += selection.nbytes
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._bytes = 0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": float(len(self._entries)),
+            "bytes": float(self._bytes),
+            "budget_bytes": float(self._budget),
+            "hits": float(self._hits),
+            "misses": float(self._misses),
+            "clears": float(self._clears),
+        }

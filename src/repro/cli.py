@@ -101,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable pruned phonetic retrieval and scan "
                              "the whole vocabulary per probe (identical "
                              "results, debugging escape hatch)")
+    parser.add_argument("--no-indexes", action="store_true",
+                        help="disable secondary-index access paths and "
+                             "answer every predicate with full scans "
+                             "(identical results, debugging escape hatch)")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request latency budget; stages that "
                              "would blow it degrade instead of running "
@@ -125,6 +129,9 @@ def make_muve(args: argparse.Namespace) -> Muve:
     if getattr(args, "no_phonetic_pruning", False):
         from repro.phonetics.index import set_pruning_enabled
         set_pruning_enabled(False)
+    if getattr(args, "no_indexes", False):
+        from repro.sqldb.index import set_indexes_enabled
+        set_indexes_enabled(False)
     if getattr(args, "faults", None):
         from repro.testing.faults import FaultPlan, set_fault_plan
         set_fault_plan(FaultPlan.parse(args.faults, seed=args.seed))

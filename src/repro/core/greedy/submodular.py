@@ -97,11 +97,32 @@ def maximize_cardinality(items: Sequence[Item], gain: GainFunction,
             # submodularity no fresh gain can beat it.  Done.
             break
         if round_ == len(selected):
-            # Fresh for the current selection: since every other entry is
-            # an upper bound (submodularity), this is the true argmax —
-            # and the smallest index among equal gains, matching eager.
+            # Fresh for the current selection: every other entry is an
+            # upper bound (submodularity) — but only up to floating-point
+            # rounding.  A competitor whose stale bound sits a few ulps
+            # below this gain can refresh *above* it (current_value is a
+            # running sum, so fresh gains are not associativity-exact),
+            # and the eager loop would then see the tie and keep the
+            # lower index.  Refresh every stale entry inside that tie
+            # band before committing, so heap order — (-gain, index) —
+            # reproduces the eager selection exactly.
+            gain = -neg_delta
+            band = 1e-9 * max(1.0, abs(gain))
+            stale_near = [entry for entry in heap
+                          if entry[3] != len(selected)
+                          and -entry[0] >= gain - band]
+            if stale_near:
+                heapq.heappush(heap, (neg_delta, index, item, round_))
+                base = tuple(selected)
+                for entry in stale_near:
+                    heap.remove(entry)
+                    delta = memo(base + (entry[2],)) - current_value
+                    heap.append((-delta, entry[1], entry[2],
+                                 len(selected)))
+                heapq.heapify(heap)
+                continue
             selected.append(item)
-            current_value += -neg_delta
+            current_value += gain
             continue
         delta = memo(tuple(selected) + (item,)) - current_value
         heapq.heappush(heap, (-delta, index, item, len(selected)))

@@ -65,6 +65,14 @@ from repro.sqldb.executor import (
     _scalar_aggregate,
 )
 from repro.sqldb.expressions import And, BooleanExpr, Not, Or
+from repro.sqldb.index import (
+    indexes_enabled,
+    record_index_fallback,
+    record_index_statement,
+    resolve_leaf,
+    resolve_selection,
+    selection_size,
+)
 from repro.sqldb.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -121,9 +129,11 @@ class _BatchStats:
             self.masks_computed = 0
             self.masks_reused = 0
             self.scans_saved = 0
+            self.index_statements = 0
 
     def record(self, groups: int, fallbacks: int, masks_computed: int,
-               masks_reused: int, scans_saved: int) -> None:
+               masks_reused: int, scans_saved: int,
+               index_statements: int = 0) -> None:
         with self._lock:
             self.requests += 1
             self.groups += groups
@@ -131,6 +141,7 @@ class _BatchStats:
             self.masks_computed += masks_computed
             self.masks_reused += masks_reused
             self.scans_saved += scans_saved
+            self.index_statements += index_statements
 
     def snapshot(self) -> dict[str, float]:
         with self._lock:
@@ -141,6 +152,7 @@ class _BatchStats:
                 "masks_computed": float(self.masks_computed),
                 "masks_reused": float(self.masks_reused),
                 "scans_saved": float(self.scans_saved),
+                "index_statements": float(self.index_statements),
             }
 
 
@@ -159,7 +171,7 @@ def reset_batch_stats() -> None:
 def register_batch_metrics(registry) -> None:
     """Expose the batch counters as callback gauges on *registry*."""
     for key in ("requests", "groups", "fallback_groups", "masks_computed",
-                "masks_reused", "scans_saved"):
+                "masks_reused", "scans_saved", "index_statements"):
         registry.register_gauge(f"batch_{key}",
                                 lambda key=key: batch_stats()[key])
 
@@ -182,12 +194,15 @@ class _RequestContext:
     def __init__(self, database: Database) -> None:
         self.database = database
         self._masks: dict[tuple[str, BooleanExpr], np.ndarray] = {}
+        self._selections: dict[
+            tuple[str, str, BooleanExpr], np.ndarray | None] = {}
         self._numeric_factors: dict[
             tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
         self.masks_computed = 0
         self.masks_reused = 0
         self.sample_masks = 0
         self.legacy_scans = 0  # masks the per-group path would have built
+        self.index_statements = 0
         self._leaf_counts: dict[int, int] = {}
 
     def leaf_count(self, where: BooleanExpr | None) -> int:
@@ -260,6 +275,41 @@ class _RequestContext:
         self._masks[key] = mask
         return mask
 
+    # -- index selections ------------------------------------------------
+
+    def selection(self, where: BooleanExpr,
+                  table: Table) -> np.ndarray | None:
+        """Index-resolved selection of a bound WHERE tree, or None.
+
+        Leaf selections (postings, range positions/masks) share the same
+        two-level memoisation as boolean leaf masks — this request's
+        dict, then the database's cross-request cache (dropped on any
+        data mutation) — under ``("idx", table, expr)`` keys so they
+        never collide with scan masks for the same predicate.  A leaf
+        with no index path memoises ``None`` for the request, which
+        makes the whole tree fall back to the mask path.
+        """
+        table_key = table.schema.name.lower()
+
+        def leaf(expr: BooleanExpr, leaf_table: Table):
+            key = ("idx", table_key, expr)
+            if key in self._selections:
+                cached = self._selections[key]
+                if cached is not None:
+                    self.masks_reused += 1
+                return cached
+            selection = self.database.cached_mask(key)
+            if selection is not None:
+                self.masks_reused += 1
+            else:
+                selection = resolve_leaf(expr, leaf_table)
+                if selection is not None:
+                    self.database.store_mask(key, selection)
+            self._selections[key] = selection
+            return selection
+
+        return resolve_selection(where, table, leaf_cache=leaf)
+
     # -- shared numeric factorisation ------------------------------------
 
     def numeric_factor(self, table: Table,
@@ -313,30 +363,53 @@ def _execute_statement(ctx: _RequestContext,
         span.set_attribute("batch", True)
         start = time.perf_counter()
 
-        mask: np.ndarray | None = None
+        # Like the engine, ``selection`` is either a boolean mask or an
+        # int64 positions array; ``legacy_scans`` keeps charging what
+        # the per-group path *would* have scanned either way.
+        selection: np.ndarray | None = None
+        access_path = "scan"
         if statement.sample_fraction is not None \
                 and statement.sample_fraction < 1.0:
             rng = database.sampling_rng(statement)
-            mask = rng.random(table.num_rows) < statement.sample_fraction
+            selection = (rng.random(table.num_rows)
+                         < statement.sample_fraction)
             ctx.sample_masks += 1
             ctx.legacy_scans += 1
-        if bound.where is not None:
-            where_mask = ctx.mask(bound.where, table)
-            mask = where_mask if mask is None else (mask & where_mask)
+            if bound.where is not None:
+                selection = selection & ctx.mask(bound.where, table)
+                ctx.legacy_scans += ctx.leaf_count(bound.where)
+        elif bound.where is not None:
             ctx.legacy_scans += ctx.leaf_count(bound.where)
+            if indexes_enabled():
+                selection = ctx.selection(bound.where, table)
+            if selection is not None:
+                access_path = "index"
+                ctx.index_statements += 1
+                record_index_statement(selection_size(selection),
+                                       table.num_rows)
+            else:
+                if indexes_enabled():
+                    record_index_fallback()
+                selection = ctx.mask(bound.where, table)
 
         needed = {agg.column for agg in bound.aggregates
                   if agg.column is not None}
-        if mask is None:
+        if selection is None:
             arrays = {name: table.column(name) for name in needed}
             row_count = table.num_rows
         else:
-            arrays = {name: table.column(name)[mask] for name in needed}
-            row_count = int(mask.sum())
+            arrays = {name: table.column(name)[selection]
+                      for name in needed}
+            row_count = selection_size(selection)
         span.set_attribute("rows_scanned", row_count)
         span.set_attribute("rows_total", table.num_rows)
+        span.set_attribute("access_path", access_path)
 
         if bound.group_columns:
+            # The pre-grouped aggregate probe: full-table group codes
+            # (dictionary or shared factorisation) gathered at only the
+            # selected positions — O(result), not O(rows), when the
+            # predicate came out of an index.
             group_factors: list[tuple[np.ndarray, np.ndarray]] = []
             for name in bound.group_columns:
                 column = table.column(name)
@@ -345,15 +418,16 @@ def _execute_statement(ctx: _RequestContext,
                 else:
                     uniques, codes = ctx.numeric_factor(table, name)
                 group_factors.append(
-                    (uniques, codes if mask is None else codes[mask]))
+                    (uniques,
+                     codes if selection is None else codes[selection]))
             names, rows = _grouped_aggregate(
                 arrays, row_count, bound.group_columns, group_factors,
-                bound.aggregates)
+                bound.aggregates, having=statement.having)
         else:
             names, rows = _scalar_aggregate(arrays, row_count,
                                             bound.aggregates)
-        if statement.having:
-            rows = _apply_having(names, rows, statement)
+            if statement.having:
+                rows = _apply_having(names, rows, statement)
         rows = _order_and_limit(names, rows, statement)
         elapsed = time.perf_counter() - start
         span.set_attribute("rows_returned", len(rows))
@@ -454,11 +528,13 @@ def run_plan(plan: "ExecutionPlan", database: Database,
         batch_span.set_attribute("masks_computed", ctx.masks_computed)
         batch_span.set_attribute("masks_reused", ctx.masks_reused)
         batch_span.set_attribute("scans_saved", scans_saved)
+        batch_span.set_attribute("index_statements", ctx.index_statements)
         if fallbacks:
             batch_span.set_attribute("fallback_groups", len(fallbacks))
     _STATS.record(groups=len(plan.groups), fallbacks=len(fallbacks),
                   masks_computed=ctx.masks_computed,
-                  masks_reused=ctx.masks_reused, scans_saved=scans_saved)
+                  masks_reused=ctx.masks_reused, scans_saved=scans_saved,
+                  index_statements=ctx.index_statements)
     registry = get_registry()
     registry.counter("batch_plans").inc()
     if ctx.masks_reused:

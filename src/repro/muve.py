@@ -246,7 +246,9 @@ class Muve:
         from repro.execution.batch import register_batch_metrics
         from repro.nlq.candidates import index_bundle_cache
         from repro.phonetics.index import register_phonetic_metrics
+        from repro.sqldb.index import register_index_metrics
         register_batch_metrics(self.metrics)
+        register_index_metrics(self.metrics)
         register_cache_metrics(self.metrics, "phonetic_probes",
                                phonetic_probe_cache())
         register_cache_metrics(self.metrics, "phonetic_indexes",

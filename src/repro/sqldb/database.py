@@ -11,6 +11,7 @@ from typing import Any, Hashable, Iterable, Sequence
 import numpy as np
 
 from repro.caching.lru import CacheStats, LruCache
+from repro.caching.selection import SelectionCache
 from repro.caching.sql import normalize_sql
 from repro.errors import CatalogError, ExecutionError
 from repro.observability import trace_span
@@ -19,6 +20,7 @@ from repro.sqldb.executor import (
     bind_statement,
     execute_bound,
 )
+from repro.sqldb.index import index_eligible, indexes_enabled
 from repro.sqldb.parser import SelectStatement, parse
 from repro.sqldb.planner import PlanNode, plan_select
 from repro.sqldb.query import AggregateQuery
@@ -104,12 +106,11 @@ class Database:
         # costs every candidate (and every tentative merged statement) on
         # each request; estimates only change when data changes.
         self._costs = LruCache(cost_cache_size)
-        # (table, bound leaf predicate) -> boolean mask.  Leaf masks are
-        # pure functions of table data, so the batch executor shares them
-        # across requests; see cached_mask()/store_mask().
-        self._mask_budget = mask_cache_bytes
-        self._masks: dict[Hashable, np.ndarray] = {}
-        self._mask_bytes = 0
+        # (table, bound leaf predicate) -> selection (boolean mask or
+        # index postings).  Selections are pure functions of table data,
+        # so the batch executor shares them across requests; see
+        # cached_mask()/store_mask().
+        self._masks = SelectionCache(mask_cache_bytes)
         # Monotone counter bumped by every DDL/data mutation; phonetic
         # index bundles and probe caches key on it, so a mutation
         # implicitly invalidates every vocabulary-derived cache entry.
@@ -175,8 +176,7 @@ class Database:
         self._statements.clear()
         self._raw_statements = {}
         self._costs.clear()
-        self._masks = {}
-        self._mask_bytes = 0
+        self._masks.clear()
         self._vocabulary_version += 1
 
     # ------------------------------------------------------------------
@@ -184,7 +184,7 @@ class Database:
     # ------------------------------------------------------------------
 
     def cached_mask(self, key: Hashable) -> np.ndarray | None:
-        """A leaf-predicate mask stored by a previous request, or None.
+        """A leaf selection stored by a previous request, or None.
 
         Returned arrays are shared across threads and requests — callers
         must treat them as immutable.
@@ -192,23 +192,13 @@ class Database:
         return self._masks.get(key)
 
     def store_mask(self, key: Hashable, mask: np.ndarray) -> None:
-        """Retain *mask* for later requests, within the byte budget.
+        """Retain a leaf selection for later requests, within the byte
+        budget (see :class:`~repro.caching.selection.SelectionCache`)."""
+        self._masks.store(key, mask)
 
-        Eviction is clear-all: predicate working sets are small (one mask
-        per distinct candidate leaf), so the budget only trips when the
-        workload churns through predicates — at which point nothing in
-        the cache is worth ranking.  Plain-dict operations keep the read
-        path lock-free; a racing double-store is harmless.
-        """
-        if self._mask_budget <= 0:
-            return
-        if self._mask_bytes + mask.nbytes > self._mask_budget:
-            self._masks = {}
-            self._mask_bytes = 0
-            if mask.nbytes > self._mask_budget:
-                return
-        self._masks[key] = mask
-        self._mask_bytes += mask.nbytes
+    def selection_cache_stats(self) -> dict[str, float]:
+        """Occupancy/hit counters of the cross-request selection cache."""
+        return self._masks.stats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -343,7 +333,7 @@ class Database:
             start = time.perf_counter()
             columns, rows = execute_bound(bound, table, rng)
             if self.io_millis_per_page > 0.0:
-                self._simulate_io(statement, table)
+                self._simulate_io(bound, table)
             elapsed = time.perf_counter() - start
             span.set_attribute("rows_returned", len(rows))
             span.set_attribute("elapsed_ms", round(elapsed * 1000.0, 4))
@@ -351,12 +341,27 @@ class Database:
                            rows=tuple(tuple(row) for row in rows),
                            elapsed_seconds=elapsed)
 
-    def _simulate_io(self, statement: SelectStatement,
-                     table: Table) -> None:
-        """Sleep for the simulated page reads of a scan (see __init__)."""
-        from repro.sqldb.planner import PAGE_SIZE_BYTES
+    def _simulate_io(self, bound: BoundStatement, table: Table) -> None:
+        """Sleep for the simulated page reads of the access path.
+
+        A sequential scan reads every page (scaled by the SYSTEM-style
+        sample fraction).  When the statement runs through a secondary
+        index instead, only the pages holding matching rows are touched
+        — estimated from predicate selectivity, with each probe page
+        charged at :data:`~repro.sqldb.planner.RANDOM_PAGE_COST` seq
+        pages since index access is random I/O (see __init__).
+        """
+        from repro.sqldb.planner import PAGE_SIZE_BYTES, RANDOM_PAGE_COST
+        statement = bound.statement
         pages = max(1.0, table.estimated_bytes() / PAGE_SIZE_BYTES)
         fraction = statement.sample_fraction or 1.0
+        if statement.sample_fraction is None and indexes_enabled() \
+                and bound.where is not None \
+                and index_eligible(bound.where, table.schema):
+            selectivity = self.statistics(
+                statement.table).selectivity(bound.where)
+            pages = max(1.0, pages * min(1.0,
+                                         selectivity * RANDOM_PAGE_COST))
         time.sleep(pages * fraction * self.io_millis_per_page / 1000.0)
 
     def explain(self, query: str | SelectStatement | AggregateQuery,
@@ -376,8 +381,11 @@ class Database:
             sql = query.to_sql()
         else:
             sql = query
+        # The chosen access path (and hence the estimate) depends on the
+        # index flag, which tests toggle at runtime — key on it too.
+        key = f"idx{int(indexes_enabled())}:{normalize_sql(sql)}"
         return self._costs.get_or_compute(
-            normalize_sql(sql), lambda: self.explain(query).cost.total)
+            key, lambda: self.explain(query).cost.total)
 
     # ------------------------------------------------------------------
     # Cache introspection

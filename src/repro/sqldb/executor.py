@@ -25,6 +25,13 @@ from repro.sqldb.expressions import (
     AggregateFunction,
     BooleanExpr,
 )
+from repro.sqldb.index import (
+    indexes_enabled,
+    record_index_fallback,
+    record_index_statement,
+    resolve_selection,
+    selection_size,
+)
 from repro.sqldb.parser import SelectStatement
 from repro.sqldb.table import Table
 
@@ -81,31 +88,46 @@ def execute_bound(bound: BoundStatement, table: Table,
     bound_aggs = bound.aggregates
     group_columns = bound.group_columns
 
-    mask: np.ndarray | None = None
+    # ``selection`` is either a boolean mask or an int64 array of row
+    # positions in ascending order — numpy fancy indexing treats both
+    # identically, so everything downstream is representation-agnostic.
+    selection: np.ndarray | None = None
+    access_path = "scan"
     if statement.sample_fraction is not None \
             and statement.sample_fraction < 1.0:
         if rng is None:
             raise ExecutionError(
                 "TABLESAMPLE execution requires an explicit rng")
-        mask = rng.random(table.num_rows) < statement.sample_fraction
-    if bound_where is not None:
-        where_mask = bound_where.evaluate(table)
-        mask = where_mask if mask is None else (mask & where_mask)
+        selection = rng.random(table.num_rows) < statement.sample_fraction
+        if bound_where is not None:
+            selection = selection & bound_where.evaluate(table)
+    elif bound_where is not None:
+        if indexes_enabled():
+            selection = resolve_selection(bound_where, table)
+        if selection is not None:
+            access_path = "index"
+            record_index_statement(selection_size(selection),
+                                   table.num_rows)
+        else:
+            if indexes_enabled():
+                record_index_fallback()
+            selection = bound_where.evaluate(table)
 
     needed = {agg.column for agg in bound_aggs
               if agg.column is not None}
-    if mask is None:
+    if selection is None:
         arrays = {name: table.column(name) for name in needed}
         row_count = table.num_rows
     else:
-        arrays = {name: table.column(name)[mask] for name in needed}
-        row_count = int(mask.sum())
+        arrays = {name: table.column(name)[selection] for name in needed}
+        row_count = selection_size(selection)
     # Annotate whatever stage is being traced (typically the enclosing
     # ``sqldb.execute`` span) with the scan shape; a no-op when tracing
     # is off or no span is active.
     span = current_span()
     span.set_attribute("rows_scanned", row_count)
     span.set_attribute("rows_total", table.num_rows)
+    span.set_attribute("access_path", access_path)
 
     if group_columns:
         # Grouping on TEXT columns reuses the table's dictionary codes;
@@ -116,16 +138,19 @@ def execute_bound(bound: BoundStatement, table: Table,
             if column.dtype == object:
                 uniques, codes, _ = table.dictionary(name)
                 group_factors.append(
-                    (uniques, codes if mask is None else codes[mask]))
+                    (uniques,
+                     codes if selection is None else codes[selection]))
             else:
-                filtered = column if mask is None else column[mask]
+                filtered = (column if selection is None
+                            else column[selection])
                 group_factors.append(_factorize(filtered))
         names, rows = _grouped_aggregate(arrays, row_count, group_columns,
-                                         group_factors, bound_aggs)
+                                         group_factors, bound_aggs,
+                                         having=statement.having)
     else:
         names, rows = _scalar_aggregate(arrays, row_count, bound_aggs)
-    if statement.having:
-        rows = _apply_having(names, rows, statement)
+        if statement.having:
+            rows = _apply_having(names, rows, statement)
     rows = _order_and_limit(names, rows, statement)
     return names, rows
 
@@ -140,13 +165,14 @@ _HAVING_COMPARATORS = {
 }
 
 
-def _apply_having(names: tuple[str, ...], rows: list[tuple[Any, ...]],
-                  statement: SelectStatement) -> list[tuple[Any, ...]]:
-    """Post-aggregation group filter; NULL measures never qualify."""
+def _resolve_having(names: tuple[str, ...],
+                    having) -> list[tuple[int, Any, Any]]:
+    """Map HAVING clauses to result-column positions (validates even
+    when there are zero groups to filter)."""
     indexed = {name.lower(): position
                for position, name in enumerate(names)}
     resolved = []
-    for clause in statement.having:
+    for clause in having:
         position = indexed.get(clause.target.lower())
         if position is None:
             raise ExecutionError(
@@ -155,6 +181,34 @@ def _apply_having(names: tuple[str, ...], rows: list[tuple[Any, ...]],
         resolved.append((position,
                          _HAVING_COMPARATORS[clause.op.value],
                          clause.value))
+    return resolved
+
+
+def _having_mask(values, comparator, value, n_groups: int) -> np.ndarray:
+    """Per-group HAVING verdicts over one aggregate (or key) column.
+
+    Numeric aggregate arrays compare vectorized — NaN measures fail
+    every comparator, matching the per-row semantics.  Object columns
+    (text keys, DISTINCT result lists) fall back to a per-value loop
+    with the NULL-never-qualifies guard.
+    """
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        with np.errstate(invalid="ignore"):
+            return np.asarray(comparator(values, value), dtype=bool)
+    return np.fromiter(
+        (v is not None and bool(comparator(v, value)) for v in values),
+        dtype=bool, count=n_groups)
+
+
+def _apply_having(names: tuple[str, ...], rows: list[tuple[Any, ...]],
+                  statement: SelectStatement) -> list[tuple[Any, ...]]:
+    """Post-aggregation group filter; NULL measures never qualify.
+
+    Retained for the scalar-aggregate path (one row); the grouped path
+    filters vectorized inside :func:`_grouped_aggregate` before any row
+    materialisation.
+    """
+    resolved = _resolve_having(names, statement.having)
     kept = []
     for row in rows:
         if all(row[position] is not None
@@ -167,21 +221,68 @@ def _apply_having(names: tuple[str, ...], rows: list[tuple[Any, ...]],
 def _order_and_limit(names: tuple[str, ...],
                      rows: list[tuple[Any, ...]],
                      statement: SelectStatement) -> list[tuple[Any, ...]]:
-    """Apply ORDER BY (stable, last key applied first) and LIMIT."""
+    """Apply ORDER BY (stable, last key applied first) and LIMIT.
+
+    The common single-key ORDER BY + LIMIT k shape selects the top k
+    with ``np.argpartition`` — O(groups + k log k) instead of a full
+    O(groups log groups) sort — whenever the key column is numeric.
+    """
     if statement.order_by:
         indexed = {name.lower(): position
                    for position, name in enumerate(names)}
+        positions = []
         for item in reversed(statement.order_by):
             position = indexed.get(item.target.lower())
             if position is None:
                 raise ExecutionError(
                     f"ORDER BY target {item.target!r} is not in the "
                     f"result columns {list(names)}")
+            positions.append(position)
+        if len(statement.order_by) == 1 and statement.limit is not None \
+                and 0 < statement.limit < len(rows):
+            selected = _stable_topk(rows, positions[0],
+                                    statement.order_by[0].descending,
+                                    statement.limit)
+            if selected is not None:
+                return selected
+        for position, item in zip(positions,
+                                  reversed(statement.order_by)):
             rows = sorted(rows, key=lambda row: row[position],
                           reverse=item.descending)
     if statement.limit is not None:
         rows = rows[:statement.limit]
     return rows
+
+
+def _stable_topk(rows: list[tuple[Any, ...]], position: int,
+                 descending: bool, k: int) -> list[tuple[Any, ...]] | None:
+    """Top-k rows by one numeric key, replicating a stable full sort.
+
+    Partitions to find the k-th value, keeps everything strictly inside
+    the threshold plus just enough threshold ties *in ascending row
+    order* (what a stable sort — ascending or descending — would keep),
+    then stably sorts only those k survivors.  Returns None when the key
+    is non-numeric or contains NaN, deferring to the general sort.
+    """
+    try:
+        values = np.asarray([row[position] for row in rows],
+                            dtype=np.float64)
+    except (TypeError, ValueError):
+        return None
+    if np.isnan(values).any():
+        return None
+    if len(values) and np.abs(values).max() >= 2.0 ** 53:
+        # Integer keys beyond float53 could collide after conversion;
+        # defer to the exact Python sort.
+        return None
+    if descending:
+        values = -values
+    threshold = np.partition(values, k - 1)[k - 1]
+    inside = np.nonzero(values < threshold)[0]
+    ties = np.nonzero(values == threshold)[0][:k - len(inside)]
+    candidates = np.concatenate([inside, ties])
+    order = np.argsort(values[candidates], kind="stable")
+    return [rows[index] for index in candidates[order]]
 
 
 def _scalar_aggregate(arrays: dict[str, np.ndarray], row_count: int,
@@ -252,9 +353,14 @@ def _grouped_aggregate(arrays: dict[str, np.ndarray], row_count: int,
                        group_by: tuple[str, ...],
                        group_factors: list[tuple[np.ndarray, np.ndarray]],
                        aggs: tuple[AggregateCall, ...],
+                       having=(),
                        ) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
     names = tuple(name for name in group_by)
     names += tuple(agg.to_sql().lower() for agg in aggs)
+
+    # HAVING targets must resolve even when no groups survive the
+    # filter, so validation precedes the empty-result early return.
+    resolved_having = _resolve_having(names, having) if having else []
 
     if row_count == 0:
         return names, []
@@ -282,8 +388,24 @@ def _grouped_aggregate(arrays: dict[str, np.ndarray], row_count: int,
         for agg in aggs
     ]
 
+    # Evaluate HAVING over the per-group aggregate arrays so only the
+    # surviving groups are ever materialised into Python tuples.
+    if resolved_having:
+        n_keys = len(group_by)
+        keep = np.ones(n_groups, dtype=bool)
+        for position, comparator, value in resolved_having:
+            if position < n_keys:
+                column_values = group_values[position][decoded[position]]
+            else:
+                column_values = agg_columns[position - n_keys]
+            keep &= _having_mask(column_values, comparator, value,
+                                 n_groups)
+        group_indices = np.nonzero(keep)[0]
+    else:
+        group_indices = range(n_groups)
+
     rows: list[tuple[Any, ...]] = []
-    for group_index in range(n_groups):
+    for group_index in group_indices:
         key = tuple(group_values[level][decoded[level][group_index]]
                     for level in range(len(group_by)))
         key = tuple(v.item() if isinstance(v, np.generic) else v

@@ -14,12 +14,14 @@ from dataclasses import dataclass, field
 import math
 
 from repro.sqldb.expressions import And, Between, BooleanExpr, InList
+from repro.sqldb.index import index_leaf_columns, indexes_enabled
 from repro.sqldb.parser import SelectStatement
 from repro.sqldb.statistics import TableStatistics
 from repro.sqldb.table import Table
 
 # Cost constants, matching Postgres defaults.
 SEQ_PAGE_COST = 1.0
+RANDOM_PAGE_COST = 4.0
 CPU_TUPLE_COST = 0.01
 CPU_OPERATOR_COST = 0.0025
 PAGE_SIZE_BYTES = 8192
@@ -79,10 +81,14 @@ def plan_select(statement: SelectStatement, table: Table,
                 statistics: TableStatistics) -> PlanNode:
     """Build the plan tree with cost annotations for *statement*.
 
-    The plan shape is fixed (there is one access path): a sequential scan
-    with the filter folded in, optionally under a hash aggregate.  Costing
-    follows Postgres: scan cost = pages * seq_page_cost + rows *
-    cpu_tuple_cost + rows * filter_ops * cpu_operator_cost; aggregation adds
+    There are two access paths: a sequential scan with the filter folded
+    in, and — when every leaf of the WHERE clause is servable by a
+    secondary index — an index scan; the cheaper one wins, and either
+    sits optionally under a hash aggregate.  Scan costing follows
+    Postgres: pages * seq_page_cost + rows * cpu_tuple_cost + rows *
+    filter_ops * cpu_operator_cost; probe costing charges a binary
+    search per leaf, random-page I/O for the touched fraction of the
+    table, and cpu_tuple_cost per matching row.  Aggregation adds
     cpu_operator_cost per input row per aggregate and cpu_tuple_cost per
     output group.
     """
@@ -112,6 +118,31 @@ def plan_select(statement: SelectStatement, table: Table,
         detail="; ".join(detail_parts),
         cost=CostEstimate(startup=0.0, total=scan_cost, rows=out_rows),
     )
+
+    # Index access path: one dictionary/sorted-projection search per
+    # leaf, random I/O proportional to the matched fraction of the
+    # table, then per-matched-row CPU.  RANDOM_PAGE_COST keeps the probe
+    # from winning on tiny tables, mirroring Postgres' preference for a
+    # seq scan when everything fits in a few pages.
+    if indexes_enabled() and statement.where is not None \
+            and statement.sample_fraction is None:
+        leaf_columns = index_leaf_columns(statement.where, table.schema)
+        if leaf_columns is not None:
+            search_cost = sum(
+                math.log2(max(2.0, statistics.n_distinct(column)))
+                for column in leaf_columns) * CPU_OPERATOR_COST
+            probe_cost = (search_cost
+                          + max(1.0, pages * min(1.0, selectivity))
+                          * RANDOM_PAGE_COST
+                          + out_rows * CPU_TUPLE_COST)
+            if probe_cost < scan_cost:
+                scan_node = PlanNode(
+                    kind=f"Index Scan on {statement.table}",
+                    detail=f"Index Cond: {statement.where.to_sql()}",
+                    cost=CostEstimate(startup=0.0, total=probe_cost,
+                                      rows=out_rows),
+                )
+    scan_cost = scan_node.cost.total
 
     needs_aggregate = bool(statement.aggregates) or bool(statement.group_by)
     if not needs_aggregate:

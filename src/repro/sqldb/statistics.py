@@ -93,6 +93,13 @@ class TableStatistics:
     def column(self, name: str) -> ColumnStatistics:
         return self._columns[name.lower()]
 
+    def n_distinct(self, name: str) -> float:
+        """Distinct-value count of a column (the secondary-index probe
+        cost model's search-depth input); 200.0 when unanalyzed, like
+        the GROUP BY estimate's default."""
+        stats = self._columns.get(name.lower())
+        return float(stats.n_distinct) if stats else 200.0
+
     # ------------------------------------------------------------------
     # Selectivity of predicate trees
     # ------------------------------------------------------------------

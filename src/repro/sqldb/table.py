@@ -28,6 +28,7 @@ class Table:
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray,
                                             dict[Any, int]]] = {}
         self._dictionary_lock = threading.Lock()
+        self._indexes = None
         if columns is None:
             for column in schema.columns:
                 self._columns[column.name] = np.empty(
@@ -121,6 +122,23 @@ class Table:
             self._dictionaries[key] = encoded
             return encoded
 
+    def indexes(self):
+        """The table's secondary-index container (lazily created).
+
+        The container itself is cheap; the individual inverted indexes
+        and sorted projections inside it are built on first probe.  Like
+        the dictionary cache, it is dropped by :meth:`append_rows` so a
+        rebuilt index can never mix old and new rows.
+        """
+        container = self._indexes
+        if container is not None:
+            return container
+        with self._dictionary_lock:
+            if self._indexes is None:
+                from repro.sqldb.index import TableIndexes
+                self._indexes = TableIndexes(self)
+            return self._indexes
+
     def rows(self) -> Iterable[tuple[Any, ...]]:
         """Iterate rows as tuples (test/debug convenience; O(rows*cols))."""
         arrays = [self._columns[c.name] for c in self.schema.columns]
@@ -165,6 +183,7 @@ class Table:
                 [self._columns[column.name], extension._columns[column.name]])
         self._num_rows += extension.num_rows
         self._dictionaries.clear()
+        self._indexes = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"Table({self.schema.name!r}, rows={self._num_rows}, "

@@ -97,6 +97,22 @@ class TestReplMode:
                       "WHERE borough = 'Bronx'\n\\quit\n")
         code, output = run_cli(["--rows", "2000"], stdin_text=stdin_text)
         assert code == 0
+        # The selective equality predicate takes the secondary-index
+        # access path; --no-indexes below restores the sequential scan.
+        assert "Index Scan on nyc311" in output
+        assert "Index Cond: borough = 'Bronx'" in output
+
+    def test_explain_command_no_indexes(self):
+        from repro.sqldb.index import set_indexes_enabled
+        stdin_text = ("\\explain SELECT COUNT(*) FROM nyc311 "
+                      "WHERE borough = 'Bronx'\n\\quit\n")
+        try:
+            code, output = run_cli(["--rows", "2000", "--no-indexes"],
+                                   stdin_text=stdin_text)
+        finally:
+            # The flag is process-global; don't leak into later tests.
+            set_indexes_enabled(True)
+        assert code == 0
         assert "Seq Scan on nyc311" in output
 
     def test_sql_error_does_not_crash_repl(self):

@@ -171,12 +171,15 @@ class TestParallelAsk:
         assert set(stats) >= {"responses", "query_results", "plans",
                               "statements", "plan_costs",
                               "batch_executor", "phonetic_probes",
-                              "phonetic_indexes", "phonetics"}
+                              "phonetic_indexes", "phonetics", "indexes"}
         for name, counters in stats.items():
-            if name in ("batch_executor", "phonetics"):
+            if name in ("batch_executor", "phonetics", "indexes"):
                 continue  # subsystem counters, not a cache
             assert counters["hits"] + counters["misses"] >= 0
             assert 0.0 <= counters["hit_rate"] <= 1.0
+        indexes = stats["indexes"]
+        assert indexes["statements"] >= 0
+        assert indexes["rows_avoided"] >= 0
         phonetics = stats["phonetics"]
         assert phonetics["probes"] >= 0
         assert 0.0 <= phonetics["scanned_fraction"] <= 1.0
