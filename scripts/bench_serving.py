@@ -78,7 +78,8 @@ def build_requests(rows: int, count: int, candidates: int, seed: int = 0):
     return database, plans
 
 
-def measure(database: Database, plans, batch: bool, rounds: int) -> dict:
+def measure(database: Database, plans, batch: bool, rounds: int,
+            **run_kwargs) -> dict:
     """Latency/throughput over all requests in one mode.
 
     An untimed warmup pass first: both modes then run with warm
@@ -86,17 +87,19 @@ def measure(database: Database, plans, batch: bool, rounds: int) -> dict:
     compares execution strategies, not cache state.  Each request keeps
     its best latency across *rounds* passes — per-request minima are the
     standard way to strip scheduler noise from microsecond-scale
-    measurements (scan work only ever adds time).
+    measurements (scan work only ever adds time).  Extra keyword
+    arguments pass through to :meth:`ExecutionPlan.run` (the parallel
+    sweep pins ``parallel=``).
     """
     for plan in plans:
-        plan.run(database, batch=batch)
+        plan.run(database, batch=batch, **run_kwargs)
     best = [float("inf")] * len(plans)
     best_wall = float("inf")
     for _ in range(rounds):
         begin = time.perf_counter()
         for index, plan in enumerate(plans):
             start = time.perf_counter()
-            plan.run(database, batch=batch)
+            plan.run(database, batch=batch, **run_kwargs)
             best[index] = min(best[index],
                               (time.perf_counter() - start) * 1000.0)
         best_wall = min(best_wall, time.perf_counter() - begin)

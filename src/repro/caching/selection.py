@@ -11,12 +11,15 @@ Eviction is clear-all: predicate working sets are small (one entry per
 distinct candidate leaf), so the budget only trips when the workload
 churns through predicates — at which point nothing in the cache is
 worth ranking.  Plain-dict operations keep the read path lock-free
-under the GIL; a racing double-store is harmless (both stores are the
-same pure value).
+under the GIL; mutations serialise on a small lock so the byte
+accounting and the monotonic :attr:`~SelectionCache.version` counter
+stay consistent under the worker pool's concurrent stores.  A racing
+double-store is harmless (both stores are the same pure value).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable
 
 import numpy as np
@@ -30,17 +33,36 @@ class SelectionCache:
     Stored arrays are shared across threads and requests — callers must
     treat them as immutable.  A budget of 0 disables storage entirely
     (lookups simply always miss).
+
+    ``version`` increments under the mutation lock on every state
+    change (store, budget eviction, clear) and never decreases — a
+    reader that captures the version before and after a lookup can
+    detect concurrent mutation, and the concurrency suite asserts
+    monotonicity under a multi-thread hammer.
     """
 
     def __init__(self, budget_bytes: int) -> None:
         self._budget = budget_bytes
+        self._lock = threading.Lock()
         self._entries: dict[Hashable, np.ndarray] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._clears = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (reads are lock-free; the int is
+        replaced atomically under the GIL)."""
+        return self._version
 
     def get(self, key: Hashable) -> np.ndarray | None:
+        # Lock-free: dict reads are atomic under the GIL, and values are
+        # only ever whole immutable arrays — a concurrent clear swaps
+        # the dict object, it never mutates entries in place, so a read
+        # observes either the complete array or a miss, never a torn
+        # value.
         entry = self._entries.get(key)
         # Racing increments may drop a count; the stats are advisory.
         if entry is not None:
@@ -52,18 +74,28 @@ class SelectionCache:
     def store(self, key: Hashable, selection: np.ndarray) -> None:
         if self._budget <= 0:
             return
-        if self._bytes + selection.nbytes > self._budget:
-            self._entries = {}
-            self._bytes = 0
-            self._clears += 1
-            if selection.nbytes > self._budget:
-                return
-        self._entries[key] = selection
-        self._bytes += selection.nbytes
+        with self._lock:
+            if self._bytes + selection.nbytes > self._budget:
+                self._entries = {}
+                self._bytes = 0
+                self._clears += 1
+                self._version += 1
+                if selection.nbytes > self._budget:
+                    return
+            # Replacing dicts on eviction (rather than .clear()) keeps
+            # concurrent lock-free readers iterating a stable snapshot.
+            previous = self._entries.get(key)
+            self._entries[key] = selection
+            self._bytes += selection.nbytes
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._version += 1
 
     def clear(self) -> None:
-        self._entries = {}
-        self._bytes = 0
+        with self._lock:
+            self._entries = {}
+            self._bytes = 0
+            self._version += 1
 
     def stats(self) -> dict[str, float]:
         return {
@@ -73,4 +105,5 @@ class SelectionCache:
             "hits": float(self._hits),
             "misses": float(self._misses),
             "clears": float(self._clears),
+            "version": float(self._version),
         }

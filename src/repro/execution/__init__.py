@@ -12,10 +12,23 @@ first and refines in the background.
 from repro.execution.batch import (
     batch_enabled,
     batch_stats,
+    request_context,
     reset_batch_stats,
     set_batch_enabled,
 )
 from repro.execution.engine import MuveExecutor, VisualizationUpdate
+from repro.execution.parallel import (
+    WorkerPool,
+    configure_pool,
+    get_pool,
+    parallel_enabled,
+    pool_stats,
+    register_parallel_metrics,
+    reset_parallel_stats,
+    reset_pool,
+    set_parallel_enabled,
+    warm_database,
+)
 from repro.execution.merging import (
     ExecutionPlan,
     MergedGroup,
@@ -37,9 +50,20 @@ __all__ = [
     "MuveExecutor",
     "ProcessingStrategy",
     "VisualizationUpdate",
+    "WorkerPool",
     "batch_enabled",
     "batch_stats",
+    "configure_pool",
+    "get_pool",
+    "parallel_enabled",
     "plan_execution",
+    "pool_stats",
+    "register_parallel_metrics",
+    "request_context",
     "reset_batch_stats",
+    "reset_parallel_stats",
+    "reset_pool",
     "set_batch_enabled",
+    "set_parallel_enabled",
+    "warm_database",
 ]

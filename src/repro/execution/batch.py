@@ -33,6 +33,16 @@ Shapes the batch kernels do not cover fall back to a plain
 simulates page I/O (the disk-resident scaling regime, where per-statement
 sleeps model the scan cost the batch path would skip).
 
+On top of the shared work, plans execute in parallel on the shared
+worker pool (:mod:`repro.execution.parallel`): independent merged
+groups become pool tasks, and within a group the leaf-mask scans,
+selection gathers and grouped-aggregate kernels scatter across fixed
+64k-row morsels.  The per-request memo below is single-flight, so
+concurrent groups wanting the same leaf mask compute it exactly once.
+Results stay bit-identical to serial execution (``MUVE_PARALLEL=0`` /
+``--no-parallel`` keeps the serial oracle) because morsel boundaries
+are fixed and every reduction combines partials in morsel order.
+
 Observability: each plan runs inside an ``executor.batch`` span carrying
 mask-reuse and scans-saved attributes; per-group ``executor.group`` and
 ``sqldb.execute`` spans match the legacy path's shape so traces stay
@@ -56,6 +66,13 @@ import numpy as np
 
 from repro.errors import NullAggregateError
 from repro.observability import get_registry, trace_span
+from repro.resilience import current_deadline
+from repro.execution.parallel import (
+    WorkerPool,
+    get_pool,
+    parallel_enabled,
+    parallel_gather,
+)
 from repro.sqldb.database import Database, QueryResult
 from repro.sqldb.executor import (
     BoundStatement,
@@ -64,6 +81,7 @@ from repro.sqldb.executor import (
     _order_and_limit,
     _scalar_aggregate,
 )
+from repro.sqldb import executor as _kernels
 from repro.sqldb.expressions import And, BooleanExpr, Not, Or
 from repro.sqldb.index import (
     indexes_enabled,
@@ -84,6 +102,7 @@ __all__ = [
     "batch_enabled",
     "batch_stats",
     "register_batch_metrics",
+    "request_context",
     "reset_batch_stats",
     "run_plan",
     "set_batch_enabled",
@@ -181,23 +200,99 @@ def register_batch_metrics(registry) -> None:
 # ---------------------------------------------------------------------------
 
 
-class _RequestContext:
-    """Work shared across all groups of one plan execution.
+class _MorselView:
+    """A contiguous row window of a :class:`Table` for per-morsel leaf
+    evaluation.
 
-    Holds the leaf-predicate mask cache and the numeric GROUP BY
-    factorisations; both are keyed on bound (schema-canonical) objects so
-    textual variations of the same predicate share one entry.  The
-    context lives for a single request and is confined to one thread, so
-    no locking is needed.
+    Exposes exactly the surface leaf predicates touch — ``schema``,
+    ``num_rows``, ``column`` and ``dictionary`` — as zero-copy slices.
+    Every leaf evaluates elementwise per row (comparisons, dictionary
+    code membership, LIKE over dictionary matches), so concatenating
+    per-morsel masks in index order reproduces the full-table
+    ``expr.evaluate(table)`` bit for bit.
     """
 
-    def __init__(self, database: Database) -> None:
+    __slots__ = ("_table", "_lo", "_hi", "schema")
+
+    def __init__(self, table: Table, lo: int, hi: int) -> None:
+        self._table = table
+        self._lo = lo
+        self._hi = hi
+        self.schema = table.schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._hi - self._lo
+
+    def column(self, name: str) -> np.ndarray:
+        return self._table.column(name)[self._lo:self._hi]
+
+    def dictionary(self, name: str):
+        uniques, codes, index = self._table.dictionary(name)
+        return uniques, codes[self._lo:self._hi], index
+
+
+def _evaluate_leaf(expr: BooleanExpr, table: Table,
+                   runner) -> np.ndarray:
+    """Evaluate one leaf predicate, scattered across morsels when the
+    table is big enough for the pool to pay for itself."""
+    n_rows = table.num_rows
+    if runner is None or n_rows < 2 * _kernels.MORSEL_ROWS:
+        return expr.evaluate(table)
+    # Lazy structures (column arrays, dictionaries) build under the
+    # table's double-checked locks: the first morsel builds, siblings
+    # wait — same total cost as the serial path.
+    parts = runner([
+        lambda lo=lo, hi=hi: expr.evaluate(_MorselView(table, lo, hi))
+        for lo, hi in _kernels._chunk_bounds(n_rows)])
+    return np.concatenate(parts)
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()
+
+
+class _Pending:
+    """In-flight marker for the single-flight memo cells."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class _RequestContext:
+    """Work shared across all groups of one request.
+
+    Holds the leaf-predicate mask cache, index-selection cache and the
+    numeric GROUP BY factorisations; all are keyed on bound
+    (schema-canonical) objects so textual variations of the same
+    predicate share one entry.  Since groups of one plan now execute
+    concurrently on the worker pool, every memo is **single-flight**:
+    the first group to want a key computes it while later groups block
+    on its event, so each distinct leaf is still scanned exactly once
+    per request.  One context may serve several ``run_plan`` calls of
+    the same request (the progressive strategies execute one plan per
+    emitted update) — create it with :func:`request_context`.
+    """
+
+    def __init__(self, database: Database,
+                 pool: WorkerPool | None = None) -> None:
         self.database = database
-        self._masks: dict[tuple[str, BooleanExpr], np.ndarray] = {}
+        self.pool = pool
+        if pool is not None:
+            self.runner = (lambda thunks:
+                           pool.run_tasks(thunks, site="executor.morsel"))
+        else:
+            self.runner = None
+        self._lock = threading.Lock()
+        self._masks: dict[tuple[str, BooleanExpr], object] = {}
         self._selections: dict[
-            tuple[str, str, BooleanExpr], np.ndarray | None] = {}
-        self._numeric_factors: dict[
-            tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+            tuple[str, str, BooleanExpr], object] = {}
+        self._numeric_factors: dict[tuple[str, str], object] = {}
         self.masks_computed = 0
         self.masks_reused = 0
         self.sample_masks = 0
@@ -205,9 +300,63 @@ class _RequestContext:
         self.index_statements = 0
         self._leaf_counts: dict[int, int] = {}
 
+    # -- thread-safe counters --------------------------------------------
+
+    def bump(self, counter: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the effectiveness counters; ``run_plan`` records
+        per-plan deltas between two snapshots so a shared context keeps
+        every plan's numbers honest."""
+        with self._lock:
+            return {
+                "masks_computed": self.masks_computed,
+                "masks_reused": self.masks_reused,
+                "sample_masks": self.sample_masks,
+                "legacy_scans": self.legacy_scans,
+                "index_statements": self.index_statements,
+            }
+
+    # -- single-flight memoisation ---------------------------------------
+
+    def _single_flight(self, store: dict, key, compute):
+        """``(value, cached)`` from *store*, computing at most once.
+
+        The first caller installs a :class:`_Pending` cell and computes
+        outside the lock; concurrent callers wait on its event and
+        re-read.  A failed compute removes the cell so the next caller
+        retries.  ``None`` is a legitimate cached value (index
+        selections memoise misses).
+        """
+        while True:
+            with self._lock:
+                cell = store.get(key, _MISSING)
+                if cell is _MISSING:
+                    pending = _Pending()
+                    store[key] = pending
+                    break
+                if not isinstance(cell, _Pending):
+                    return cell, True
+            cell.event.wait()
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                del store[key]
+            pending.event.set()
+            raise
+        with self._lock:
+            store[key] = value
+        pending.event.set()
+        return value, False
+
     def leaf_count(self, where: BooleanExpr | None) -> int:
         """Leaf predicates of a bound WHERE tree, memoised by identity
-        (bound statements are cached, so trees recur across requests)."""
+        (bound statements are cached, so trees recur across requests).
+        Plain dict ops are atomic under the GIL and the count is
+        idempotent, so concurrent groups at worst compute it twice."""
         if where is None:
             return 0
         key = id(where)
@@ -227,13 +376,13 @@ class _RequestContext:
         combinator results almost never recur once identical WHERE
         clauses have been merged away (hashing whole subtrees per lookup
         cost more than it saved).  The cache has two levels — this
-        request's dict, then the database's cross-request mask cache
-        (leaf masks are pure functions of table data; the database drops
-        them on any mutation).  Combinators replicate the engine's
-        evaluation (including its short-circuiting) exactly.  Returned
-        arrays may be cache-owned — callers must not mutate them in
-        place (all call sites combine with ``&``/``~``/fancy indexing,
-        which allocate).
+        request's single-flight dict, then the database's cross-request
+        mask cache (leaf masks are pure functions of table data; the
+        database drops them on any mutation).  Combinators replicate
+        the engine's evaluation (including its short-circuiting)
+        exactly.  Returned arrays may be cache-owned — callers must not
+        mutate them in place (all call sites combine with
+        ``&``/``~``/fancy indexing, which allocate).
         """
         return self._mask(expr, table, table.schema.name.lower())
 
@@ -260,19 +409,22 @@ class _RequestContext:
         if isinstance(expr, Not):
             return ~self._mask(expr.child, table, table_key)
         key = (table_key, expr)
-        cached = self._masks.get(key)
-        if cached is not None:
-            self.masks_reused += 1
-            return cached
-        mask = self.database.cached_mask(key)
-        if mask is not None:
-            # Warm from an earlier request: the leaf was never scanned.
-            self.masks_reused += 1
-        else:
-            mask = expr.evaluate(table)
-            self.masks_computed += 1
-            self.database.store_mask(key, mask)
-        self._masks[key] = mask
+
+        def compute() -> np.ndarray:
+            cached = self.database.cached_mask(key)
+            if cached is not None:
+                # Warm from an earlier request: the leaf was never
+                # scanned.
+                self.bump("masks_reused")
+                return cached
+            computed = _evaluate_leaf(expr, table, self.runner)
+            self.bump("masks_computed")
+            self.database.store_mask(key, computed)
+            return computed
+
+        mask, cached = self._single_flight(self._masks, key, compute)
+        if cached:
+            self.bump("masks_reused")
         return mask
 
     # -- index selections ------------------------------------------------
@@ -283,30 +435,32 @@ class _RequestContext:
 
         Leaf selections (postings, range positions/masks) share the same
         two-level memoisation as boolean leaf masks — this request's
-        dict, then the database's cross-request cache (dropped on any
-        data mutation) — under ``("idx", table, expr)`` keys so they
-        never collide with scan masks for the same predicate.  A leaf
-        with no index path memoises ``None`` for the request, which
-        makes the whole tree fall back to the mask path.
+        single-flight dict, then the database's cross-request cache
+        (dropped on any data mutation) — under ``("idx", table, expr)``
+        keys so they never collide with scan masks for the same
+        predicate.  A leaf with no index path memoises ``None`` for the
+        request, which makes the whole tree fall back to the mask path.
         """
         table_key = table.schema.name.lower()
 
         def leaf(expr: BooleanExpr, leaf_table: Table):
             key = ("idx", table_key, expr)
-            if key in self._selections:
-                cached = self._selections[key]
-                if cached is not None:
-                    self.masks_reused += 1
-                return cached
-            selection = self.database.cached_mask(key)
-            if selection is not None:
-                self.masks_reused += 1
-            else:
+
+            def compute():
+                selection = self.database.cached_mask(key)
+                if selection is not None:
+                    self.bump("masks_reused")
+                    return selection
                 selection = resolve_leaf(expr, leaf_table)
                 if selection is not None:
                     self.database.store_mask(key, selection)
-            self._selections[key] = selection
-            return selection
+                return selection
+
+            value, cached = self._single_flight(self._selections, key,
+                                                compute)
+            if cached and value is not None:
+                self.bump("masks_reused")
+            return value
 
         return resolve_selection(where, table, leaf_cache=leaf)
 
@@ -321,13 +475,39 @@ class _RequestContext:
         per-group factorisation would produce.
         """
         key = (table.schema.name.lower(), column)
-        cached = self._numeric_factors.get(key)
-        if cached is None:
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
             array = table.column(column)
             uniques, codes = np.unique(array, return_inverse=True)
-            cached = (uniques, codes)
-            self._numeric_factors[key] = cached
-        return cached
+            return uniques, codes
+
+        value, _ = self._single_flight(self._numeric_factors, key,
+                                       compute)
+        return value
+
+
+def request_context(database: Database,
+                    parallel: bool | None = None) -> _RequestContext:
+    """Shared per-request batch state, pool-backed when parallel
+    execution is on.
+
+    The progressive strategies create one context per request and pass
+    it through every ``run_plan`` call they make, so all emitted updates
+    share one mask cache and one pool.  *parallel* is three-valued:
+    ``None`` (auto, the serving default) uses the pool when the global
+    :func:`~repro.execution.parallel.parallel_enabled` flag is on *and*
+    the pool has more than one worker — a one-worker pool (e.g. the
+    ``min(8, cpu_count)`` default on a single-core host) can never run
+    tasks concurrently with a participating submitter paying for it, so
+    auto mode keeps such hosts on the plain serial path.  ``True``
+    forces the pool regardless of size (differential tests and the
+    scaling benchmark measure the pool itself); ``False`` is the serial
+    oracle.
+    """
+    if parallel is None:
+        parallel = parallel_enabled() and get_pool().workers > 1
+    pool = get_pool() if parallel else None
+    return _RequestContext(database, pool=pool)
 
 
 def _count_leaves(expr: BooleanExpr | None) -> int:
@@ -373,18 +553,18 @@ def _execute_statement(ctx: _RequestContext,
             rng = database.sampling_rng(statement)
             selection = (rng.random(table.num_rows)
                          < statement.sample_fraction)
-            ctx.sample_masks += 1
-            ctx.legacy_scans += 1
+            ctx.bump("sample_masks")
+            ctx.bump("legacy_scans")
             if bound.where is not None:
                 selection = selection & ctx.mask(bound.where, table)
-                ctx.legacy_scans += ctx.leaf_count(bound.where)
+                ctx.bump("legacy_scans", ctx.leaf_count(bound.where))
         elif bound.where is not None:
-            ctx.legacy_scans += ctx.leaf_count(bound.where)
+            ctx.bump("legacy_scans", ctx.leaf_count(bound.where))
             if indexes_enabled():
                 selection = ctx.selection(bound.where, table)
             if selection is not None:
                 access_path = "index"
-                ctx.index_statements += 1
+                ctx.bump("index_statements")
                 record_index_statement(selection_size(selection),
                                        table.num_rows)
             else:
@@ -398,7 +578,8 @@ def _execute_statement(ctx: _RequestContext,
             arrays = {name: table.column(name) for name in needed}
             row_count = table.num_rows
         else:
-            arrays = {name: table.column(name)[selection]
+            arrays = {name: parallel_gather(table.column(name), selection,
+                                            ctx.runner)
                       for name in needed}
             row_count = selection_size(selection)
         span.set_attribute("rows_scanned", row_count)
@@ -419,10 +600,12 @@ def _execute_statement(ctx: _RequestContext,
                     uniques, codes = ctx.numeric_factor(table, name)
                 group_factors.append(
                     (uniques,
-                     codes if selection is None else codes[selection]))
+                     codes if selection is None
+                     else parallel_gather(codes, selection, ctx.runner)))
             names, rows = _grouped_aggregate(
                 arrays, row_count, bound.group_columns, group_factors,
-                bound.aggregates, having=statement.having)
+                bound.aggregates, having=statement.having,
+                runner=ctx.runner)
         else:
             names, rows = _scalar_aggregate(arrays, row_count,
                                             bound.aggregates)
@@ -448,8 +631,8 @@ def _execute_group(ctx: _RequestContext, sql: str,
     bound = ctx.database.bound_statement(sql)
     if not _supported(bound):
         fallbacks.append(sql)
-        ctx.legacy_scans += ctx.leaf_count(bound.where)
-        ctx.masks_computed += ctx.leaf_count(bound.where)
+        ctx.bump("legacy_scans", ctx.leaf_count(bound.where))
+        ctx.bump("masks_computed", ctx.leaf_count(bound.where))
         return ctx.database.execute(sql)
     return _execute_statement(ctx, bound)
 
@@ -459,9 +642,17 @@ def _execute_group(ctx: _RequestContext, sql: str,
 # ---------------------------------------------------------------------------
 
 
+#: Sentinel a group task returns for the NullAggregateError outcome
+#: (aggregate over zero qualifying rows) so the expected case never
+#: travels as an exception through the pool.
+_NULL_RESULT = object()
+
+
 def run_plan(plan: "ExecutionPlan", database: Database,
              sample_fraction: float | None = None,
              cache: "QueryResultCache | None" = None,
+             ctx: _RequestContext | None = None,
+             parallel: bool | None = None,
              ) -> dict["AggregateQuery", float | None]:
     """Answer every group of *plan* with request-shared work.
 
@@ -471,18 +662,32 @@ def run_plan(plan: "ExecutionPlan", database: Database,
     normalisation), same result-cache interoperation, same span shape —
     but each distinct predicate mask and GROUP BY factorisation is
     computed once per request instead of once per group.
+
+    Independent groups execute as tasks on the shared worker pool (and
+    within each group the kernels scatter across morsels); pass
+    ``parallel=False`` — or flip ``MUVE_PARALLEL=0`` — for the serial
+    oracle.  The request deadline is polled per group and per morsel
+    either way.  *ctx* lets one request share a context (mask cache,
+    pool) across several plans; counters are recorded as per-plan
+    deltas.
     """
     from repro.execution.merging import (
         _extract_group_results,
         _normalize,
         _with_sample,
     )
-    ctx = _RequestContext(database)
+    if ctx is None:
+        ctx = request_context(database, parallel=parallel)
+    base = ctx.counters()
     fallbacks: list[str] = []
     results: dict["AggregateQuery", float | None] = {}
     with trace_span("executor.batch") as batch_span:
         batch_span.set_attribute("groups", len(plan.groups))
-        for group in plan.groups:
+        batch_span.set_attribute("parallel", ctx.pool is not None)
+        if ctx.pool is not None:
+            batch_span.set_attribute("workers", ctx.pool.workers)
+
+        def run_group(group):
             sql = group.sql
             if sample_fraction is not None and sample_fraction < 1.0:
                 sql = _with_sample(sql, sample_fraction)
@@ -512,9 +717,7 @@ def run_plan(plan: "ExecutionPlan", database: Database,
                     # report every member query as missing/zero.  Real
                     # execution failures propagate to the caller.
                     span.set_attribute("null_result", True)
-                    for query in group.queries:
-                        results[query] = _normalize(query, None)
-                    continue
+                    return _NULL_RESULT
                 if executed:
                     actual_ms = outcome.elapsed_seconds * 1000.0
                     span.set_attribute("actual_ms", round(actual_ms, 4))
@@ -522,23 +725,47 @@ def run_plan(plan: "ExecutionPlan", database: Database,
                         span.set_attribute(
                             "ms_per_cost_unit",
                             round(actual_ms / group.estimated_cost, 6))
-            _extract_group_results(group, outcome, results)
-        batch_scans = ctx.masks_computed + ctx.sample_masks
-        scans_saved = max(0, ctx.legacy_scans - batch_scans)
-        batch_span.set_attribute("masks_computed", ctx.masks_computed)
-        batch_span.set_attribute("masks_reused", ctx.masks_reused)
+                return outcome
+
+        if ctx.pool is not None and len(plan.groups) > 1:
+            outcomes = ctx.pool.run_tasks(
+                [lambda group=group: run_group(group)
+                 for group in plan.groups],
+                site="executor.group")
+        else:
+            deadline = current_deadline()
+            outcomes = []
+            for group in plan.groups:
+                if deadline is not None:
+                    deadline.check("executor.group")
+                outcomes.append(run_group(group))
+        for group, outcome in zip(plan.groups, outcomes):
+            if outcome is _NULL_RESULT:
+                for query in group.queries:
+                    results[query] = _normalize(query, None)
+            else:
+                _extract_group_results(group, outcome, results)
+        current = ctx.counters()
+        delta = {key: current[key] - base[key] for key in current}
+        batch_scans = delta["masks_computed"] + delta["sample_masks"]
+        scans_saved = max(0, delta["legacy_scans"] - batch_scans)
+        batch_span.set_attribute("masks_computed", delta["masks_computed"])
+        batch_span.set_attribute("masks_reused", delta["masks_reused"])
         batch_span.set_attribute("scans_saved", scans_saved)
-        batch_span.set_attribute("index_statements", ctx.index_statements)
+        batch_span.set_attribute("index_statements",
+                                 delta["index_statements"])
         if fallbacks:
             batch_span.set_attribute("fallback_groups", len(fallbacks))
     _STATS.record(groups=len(plan.groups), fallbacks=len(fallbacks),
-                  masks_computed=ctx.masks_computed,
-                  masks_reused=ctx.masks_reused, scans_saved=scans_saved,
-                  index_statements=ctx.index_statements)
+                  masks_computed=delta["masks_computed"],
+                  masks_reused=delta["masks_reused"],
+                  scans_saved=scans_saved,
+                  index_statements=delta["index_statements"])
     registry = get_registry()
     registry.counter("batch_plans").inc()
-    if ctx.masks_reused:
-        registry.counter("batch_masks_reused_total").inc(ctx.masks_reused)
+    if delta["masks_reused"]:
+        registry.counter("batch_masks_reused_total").inc(
+            delta["masks_reused"])
     if scans_saved:
         registry.counter("batch_scans_saved_total").inc(scans_saved)
     return results

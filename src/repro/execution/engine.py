@@ -104,10 +104,15 @@ class MuveExecutor:
         seen in earlier steps are cached), so later steps mostly pay
         optimisation time.
         """
+        from repro.execution.batch import request_context
         with trace_span("executor.ilp_inc") as span:
             start = time.perf_counter()
             updates: list[VisualizationUpdate] = []
             cache: dict[AggregateQuery, float | None] = {}
+            # All per-step plans of one incremental solve share one
+            # request context (mask cache + pool): successive steps
+            # mostly re-select queries over the same predicates.
+            ctx = request_context(self._database)
             steps = list(incremental_solve(
                 problem, solver=solver, initial_timeout=initial_timeout,
                 growth_factor=growth_factor, total_budget=total_budget))
@@ -122,7 +127,8 @@ class MuveExecutor:
                                           merge=self._merge)
                     cache.update(plan.run(self._database,
                                           cache=self.result_cache,
-                                          batch=self._batch))
+                                          batch=self._batch,
+                                          request_ctx=ctx))
                 updates.append(VisualizationUpdate(
                     elapsed_seconds=time.perf_counter() - start,
                     multiplot=_fill_values(multiplot, cache),

@@ -66,6 +66,8 @@ class ExecutionPlan:
             sample_fraction: float | None = None,
             cache: "QueryResultCache | None" = None,
             batch: bool | None = None,
+            request_ctx=None,
+            parallel: bool | None = None,
             ) -> dict[AggregateQuery, float | None]:
         """Execute every group; returns per-query results.
 
@@ -79,12 +81,19 @@ class ExecutionPlan:
 
         ``batch`` routes the whole plan through the one-pass batch
         executor (:mod:`repro.execution.batch`), which shares predicate
-        masks and GROUP BY factorisations across groups and returns
+        masks and GROUP BY factorisations across groups — and executes
+        groups and morsels on the shared worker pool — and returns
         results identical to this per-group loop.  ``None`` (the default)
         follows the global flag (:func:`repro.execution.batch
         .batch_enabled`); the batch path is skipped when the database
         simulates page I/O, whose per-statement sleeps model exactly the
         repeated scans the batch executor elides.
+
+        ``request_ctx`` (from :func:`repro.execution.batch
+        .request_context`) shares one mask cache and pool across several
+        plans of the same request — the progressive strategies run one
+        plan per emitted update; ``parallel`` overrides the global
+        parallel flag for this plan (the benchmark's A/B switch).
         """
         from repro.execution import batch as batch_executor
         if batch is None:
@@ -97,7 +106,7 @@ class ExecutionPlan:
                     deadline.check("executor.batch")
                 return batch_executor.run_plan(
                     self, database, sample_fraction=sample_fraction,
-                    cache=cache)
+                    cache=cache, ctx=request_ctx, parallel=parallel)
             except TransientError as exc:
                 # batch→per-group rung: a transient batch failure falls
                 # back to the legacy loop, which computes bit-identical

@@ -101,14 +101,17 @@ class DefaultProcessing(ProcessingStrategy):
                 cache: "QueryResultCache | None" = None,
                 batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
+        from repro.execution.batch import request_context
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         queries = list(multiplot.displayed_queries())
         plan = _plan_with_span(database, queries, merge)
+        ctx = request_context(database)
         # The span closes before the yield: an open span across a yield
         # would tear down in the consumer's context.
         with trace_span("executor.update", final=True) as span:
-            results = plan.run(database, cache=cache, batch=batch)
+            results = plan.run(database, cache=cache, batch=batch,
+                               request_ctx=ctx)
             update = VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
                 multiplot=_fill_values(multiplot, results),
@@ -143,6 +146,7 @@ class IncrementalPlotting(ProcessingStrategy):
                 cache: "QueryResultCache | None" = None,
                 batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
+        from repro.execution.batch import request_context
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         plots = list(enumerate(multiplot.plots()))
@@ -150,6 +154,10 @@ class IncrementalPlotting(ProcessingStrategy):
             plots.sort(key=lambda pair: -pair[1].probability_mass())
         results: dict[AggregateQuery, float | None] = {}
         shown: set[int] = set()
+        # One request context for every per-plot plan: plots of one
+        # multiplot share fixed predicates, so later plots reuse the
+        # leaf masks (and factorisations) the first plot scanned.
+        ctx = request_context(database)
         for step, (index, plot) in enumerate(plots):
             with trace_span("executor.update",
                             step=step + 1, of=len(plots)) as span:
@@ -158,7 +166,8 @@ class IncrementalPlotting(ProcessingStrategy):
                 if queries:
                     plan = _plan_with_span(database, queries, merge)
                     results.update(plan.run(database, cache=cache,
-                                            batch=batch))
+                                            batch=batch,
+                                            request_ctx=ctx))
                 span.set_attribute("new_queries", len(queries))
                 shown.add(index)
                 update = VisualizationUpdate(
@@ -255,6 +264,7 @@ class ApproximateProcessing(ProcessingStrategy):
                 cache: "QueryResultCache | None" = None,
                 batch: bool | None = None,
                 ) -> Iterator["VisualizationUpdate"]:
+        from repro.execution.batch import request_context
         from repro.execution.engine import VisualizationUpdate
         start = time.perf_counter()
         queries = list(multiplot.displayed_queries())
@@ -264,11 +274,15 @@ class ApproximateProcessing(ProcessingStrategy):
         else:
             fraction = self.fraction
 
+        # The sampled and the precise pass share one request context:
+        # the WHERE masks are identical (sampling ANDs a Bernoulli draw
+        # on top), so the refinement pass reuses every leaf scan.
+        ctx = request_context(database)
         if fraction < 1.0:
             with trace_span("executor.update", approximate=True) as span:
                 span.set_attribute("sample_fraction", round(fraction, 6))
                 raw = plan.run(database, sample_fraction=fraction,
-                               cache=cache, batch=batch)
+                               cache=cache, batch=batch, request_ctx=ctx)
                 scaled = {
                     query: (None if value is None else
                             scale_aggregate(query.aggregate.func, value,
@@ -285,7 +299,8 @@ class ApproximateProcessing(ProcessingStrategy):
                 )
             yield update
         with trace_span("executor.update", final=True) as span:
-            results = plan.run(database, cache=cache, batch=batch)
+            results = plan.run(database, cache=cache, batch=batch,
+                               request_ctx=ctx)
             update = VisualizationUpdate(
                 elapsed_seconds=time.perf_counter() - start,
                 multiplot=_fill_values(multiplot, results),

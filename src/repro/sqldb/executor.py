@@ -14,7 +14,7 @@ engine-level optimisations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.sqldb.expressions import (
     BooleanExpr,
 )
 from repro.sqldb.index import (
+    ZONE_BLOCK_ROWS,
     indexes_enabled,
     record_index_fallback,
     record_index_statement,
@@ -34,6 +35,23 @@ from repro.sqldb.index import (
 )
 from repro.sqldb.parser import SelectStatement
 from repro.sqldb.table import Table
+
+#: Rows per morsel: the fixed chunk granularity of both the
+#: order-sensitive aggregate kernels below and the parallel scatter in
+#: :mod:`repro.execution.parallel` — 8 zone-map blocks, so morsel
+#: boundaries align with zone-map pruning granularity.  Chunk boundaries
+#: depend only on the row count (never on worker count or thread
+#: scheduling), which is what makes parallel execution bit-identical to
+#: serial: both perform the same per-chunk operations and combine the
+#: partials in the same chunk order.  Tests may monkeypatch this to a
+#: small value to exercise chunk-boundary behaviour on small tables.
+MORSEL_ROWS = 8 * ZONE_BLOCK_ROWS
+
+#: A runner maps a list of zero-argument thunks to their results in
+#: submission order (``repro.execution.parallel.WorkerPool.run_tasks``
+#: curried with a site).  ``None`` runs the thunks serially — the
+#: results are identical by the fixed-chunk contract.
+MorselRunner = Callable[[Sequence[Callable[[], Any]]], list]
 
 
 @dataclass(frozen=True)
@@ -349,11 +367,97 @@ def _factorize(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return uniques, codes
 
 
+def _chunk_bounds(n_rows: int) -> list[tuple[int, int]]:
+    """Fixed ``[lo, hi)`` morsel boundaries over *n_rows* rows."""
+    step = MORSEL_ROWS
+    return [(lo, min(lo + step, n_rows)) for lo in range(0, n_rows, step)]
+
+
+def _run_chunks(thunks: list, runner: MorselRunner | None) -> list:
+    """Run per-chunk thunks (serially or on the pool), results in chunk
+    order."""
+    if runner is None or len(thunks) <= 1:
+        return [thunk() for thunk in thunks]
+    return runner(thunks)
+
+
+def _chunked_weighted_bincount(row_groups: np.ndarray, array: np.ndarray,
+                               n_groups: int,
+                               runner: MorselRunner | None) -> np.ndarray:
+    """``np.bincount(row_groups, weights=array.astype(float))`` computed
+    in fixed :data:`MORSEL_ROWS` chunks, partials summed in chunk order.
+
+    Float addition is not associative, so the chunking *is* the
+    semantics: serial and parallel runs both add per-chunk partial sums
+    in the same fixed order and therefore agree bit for bit.  Inputs of
+    at most one chunk degenerate to the single-pass kernel.
+    """
+    n_rows = len(row_groups)
+    if n_rows <= MORSEL_ROWS:
+        return np.bincount(row_groups, weights=array.astype(float),
+                           minlength=n_groups)
+    parts = _run_chunks(
+        [lambda lo=lo, hi=hi: np.bincount(
+            row_groups[lo:hi], weights=array[lo:hi].astype(float),
+            minlength=n_groups)
+         for lo, hi in _chunk_bounds(n_rows)], runner)
+    totals = parts[0]
+    for part in parts[1:]:
+        totals = totals + part
+    return totals
+
+
+def _chunked_group_counts(row_groups: np.ndarray, n_groups: int,
+                          runner: MorselRunner | None) -> np.ndarray:
+    """Per-group row counts; integer partials sum exactly, so the
+    parallel reduction equals the single-pass bincount for any chunking."""
+    n_rows = len(row_groups)
+    if runner is None or n_rows <= MORSEL_ROWS:
+        return np.bincount(row_groups, minlength=n_groups)
+    parts = _run_chunks(
+        [lambda lo=lo, hi=hi: np.bincount(row_groups[lo:hi],
+                                          minlength=n_groups)
+         for lo, hi in _chunk_bounds(n_rows)], runner)
+    totals = parts[0]
+    for part in parts[1:]:
+        totals = totals + part
+    return totals
+
+
+def _chunked_group_extreme(row_groups: np.ndarray, array: np.ndarray,
+                           n_groups: int, maximize: bool,
+                           runner: MorselRunner | None) -> np.ndarray:
+    """Per-group MIN/MAX; min/max is associative and rounding-free, so
+    per-chunk partials combined in chunk order equal the single pass."""
+    fill = -np.inf if maximize else np.inf
+    reduce_at = np.maximum.at if maximize else np.minimum.at
+    n_rows = len(row_groups)
+    if runner is None or n_rows <= MORSEL_ROWS:
+        out = np.full(n_groups, fill)
+        reduce_at(out, row_groups, array.astype(float))
+        return out
+
+    def partial(lo: int, hi: int) -> np.ndarray:
+        out = np.full(n_groups, fill)
+        reduce_at(out, row_groups[lo:hi], array[lo:hi].astype(float))
+        return out
+
+    parts = _run_chunks(
+        [lambda lo=lo, hi=hi: partial(lo, hi)
+         for lo, hi in _chunk_bounds(n_rows)], runner)
+    combine = np.maximum if maximize else np.minimum
+    totals = parts[0]
+    for part in parts[1:]:
+        totals = combine(totals, part)
+    return totals
+
+
 def _grouped_aggregate(arrays: dict[str, np.ndarray], row_count: int,
                        group_by: tuple[str, ...],
                        group_factors: list[tuple[np.ndarray, np.ndarray]],
                        aggs: tuple[AggregateCall, ...],
                        having=(),
+                       runner: MorselRunner | None = None,
                        ) -> tuple[tuple[str, ...], list[tuple[Any, ...]]]:
     names = tuple(name for name in group_by)
     names += tuple(agg.to_sql().lower() for agg in aggs)
@@ -384,7 +488,7 @@ def _grouped_aggregate(arrays: dict[str, np.ndarray], row_count: int,
 
     agg_columns = [
         _aggregate_per_group(agg, arrays.get(agg.column or ""),
-                             row_groups, n_groups)
+                             row_groups, n_groups, runner=runner)
         for agg in aggs
     ]
 
@@ -416,8 +520,16 @@ def _grouped_aggregate(arrays: dict[str, np.ndarray], row_count: int,
 
 
 def _aggregate_per_group(agg: AggregateCall, array: np.ndarray | None,
-                         row_groups: np.ndarray, n_groups: int):
-    """Compute one aggregate for every group, vectorized where possible."""
+                         row_groups: np.ndarray, n_groups: int,
+                         runner: MorselRunner | None = None):
+    """Compute one aggregate for every group, vectorized where possible.
+
+    The ``bincount``-family kernels (COUNT, SUM, AVG, numeric MIN/MAX)
+    evaluate in fixed :data:`MORSEL_ROWS` chunks combined in chunk
+    order — on the pool when *runner* is given, serially otherwise, with
+    bit-identical results either way.  DISTINCT and object-dtype
+    aggregates are Python loops (they hold the GIL) and stay serial.
+    """
     if agg.distinct and agg.column is not None:
         assert array is not None
         per_group: list[set] = [set() for _ in range(n_groups)]
@@ -440,7 +552,7 @@ def _aggregate_per_group(agg: AggregateCall, array: np.ndarray | None,
         return results
 
     if agg.column is None or agg.func == AggregateFunction.COUNT:
-        counts = np.bincount(row_groups, minlength=n_groups)
+        counts = _chunked_group_counts(row_groups, n_groups, runner)
         return counts.astype(float)
 
     assert array is not None
@@ -457,19 +569,18 @@ def _aggregate_per_group(agg: AggregateCall, array: np.ndarray | None,
         raise ExecutionError(
             f"{agg.func.value.upper()} not supported on text columns")
 
-    data = array.astype(float)
     if agg.func == AggregateFunction.SUM:
-        return np.bincount(row_groups, weights=data, minlength=n_groups)
+        return _chunked_weighted_bincount(row_groups, array, n_groups,
+                                          runner)
     if agg.func == AggregateFunction.AVG:
-        sums = np.bincount(row_groups, weights=data, minlength=n_groups)
-        counts = np.bincount(row_groups, minlength=n_groups)
+        sums = _chunked_weighted_bincount(row_groups, array, n_groups,
+                                          runner)
+        counts = _chunked_group_counts(row_groups, n_groups, runner)
         return sums / np.maximum(counts, 1)
     if agg.func == AggregateFunction.MIN:
-        out = np.full(n_groups, np.inf)
-        np.minimum.at(out, row_groups, data)
-        return out
+        return _chunked_group_extreme(row_groups, array, n_groups,
+                                      maximize=False, runner=runner)
     if agg.func == AggregateFunction.MAX:
-        out = np.full(n_groups, -np.inf)
-        np.maximum.at(out, row_groups, data)
-        return out
+        return _chunked_group_extreme(row_groups, array, n_groups,
+                                      maximize=True, runner=runner)
     raise ExecutionError(f"unsupported aggregate {agg.func}")

@@ -1,0 +1,187 @@
+"""Concurrency tests for the cross-request selection cache.
+
+The worker pool made concurrent stores the normal case, so
+:class:`~repro.caching.selection.SelectionCache` must hold two promises
+under contention: lock-free readers never observe a torn value (every
+``get`` returns either a miss or a complete, correct array), and the
+``version`` counter is monotonic so readers can detect concurrent
+mutation.  The hammer below races 8 threads of ``put``/``clear``/
+byte-budget eviction against readers; the deterministic tests pin the
+byte accounting and version semantics the hammer relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.caching.selection import SelectionCache
+from repro.datasets import make_nyc311_table
+from repro.sqldb.database import Database
+
+_KEYS = list(range(16))
+
+
+def _canonical(key: int) -> np.ndarray:
+    """The one true value for *key*: length and contents both encode the
+    key, so any mixing of two entries is detectable."""
+    return np.full(64 + key, key, dtype=np.int64)
+
+
+def _run_threads(workers, duration=None):
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def wrap(fn):
+        def run():
+            try:
+                fn(stop)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+                stop.set()
+        return run
+
+    threads = [threading.Thread(target=wrap(fn), daemon=True)
+               for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors, errors[0]
+
+
+class TestHammer:
+    """8 threads racing put/clear/eviction against lock-free readers."""
+
+    ITERATIONS = 400
+
+    def test_no_torn_reads_and_monotonic_version(self):
+        # Budget sized so stores regularly trip clear-all eviction.
+        budget = sum(_canonical(k).nbytes for k in _KEYS) // 2
+        cache = SelectionCache(budget_bytes=budget)
+
+        def writer(seed):
+            def run(stop):
+                rng = np.random.default_rng(seed)
+                for _ in range(self.ITERATIONS):
+                    if stop.is_set():
+                        return
+                    key = int(rng.integers(len(_KEYS)))
+                    cache.store(key, _canonical(key))
+            return run
+
+        def clearer(stop):
+            for _ in range(self.ITERATIONS // 4):
+                if stop.is_set():
+                    return
+                cache.clear()
+
+        def reader(seed):
+            def run(stop):
+                rng = np.random.default_rng(seed)
+                last_version = cache.version
+                for _ in range(self.ITERATIONS):
+                    if stop.is_set():
+                        return
+                    version = cache.version
+                    assert version >= last_version, "version went backwards"
+                    last_version = version
+                    key = int(rng.integers(len(_KEYS)))
+                    value = cache.get(key)
+                    if value is not None:
+                        # A torn read would mix length or contents.
+                        expected = _canonical(key)
+                        assert value.shape == expected.shape
+                        assert np.array_equal(value, expected)
+            return run
+
+        _run_threads([writer(1), writer(2), writer(3), clearer,
+                      reader(4), reader(5), reader(6), reader(7)])
+        # Post-hammer the accounting must still be coherent.
+        stats = cache.stats()
+        assert stats["bytes"] <= stats["budget_bytes"]
+        assert stats["entries"] <= len(_KEYS)
+
+    def test_database_mask_cache_survives_mutation_races(self):
+        """The same hammer through the database surface: stores and
+        reads race ``insert_rows`` (which drops the cache)."""
+        db = Database(seed=0)
+        db.register_table(make_nyc311_table(num_rows=64, seed=1))
+        table = db.table("nyc311")
+        names = list(table.schema.column_names)
+        row = tuple(table.column(name)[0] for name in names)
+
+        def writer(seed):
+            def run(stop):
+                rng = np.random.default_rng(seed)
+                for _ in range(200):
+                    if stop.is_set():
+                        return
+                    key = ("nyc311", int(rng.integers(8)))
+                    db.store_mask(key, _canonical(key[1]))
+            return run
+
+        def mutator(stop):
+            for _ in range(40):
+                if stop.is_set():
+                    return
+                db.insert_rows("nyc311", [row])
+
+        def reader(stop):
+            rng = np.random.default_rng(99)
+            for _ in range(400):
+                if stop.is_set():
+                    return
+                key = ("nyc311", int(rng.integers(8)))
+                value = db.cached_mask(key)
+                if value is not None:
+                    assert np.array_equal(value, _canonical(key[1]))
+
+        _run_threads([writer(1), writer(2), mutator, reader])
+
+
+class TestDeterministicSemantics:
+    def test_version_bumps_on_every_mutation(self):
+        cache = SelectionCache(budget_bytes=10_000)
+        v0 = cache.version
+        cache.store("a", np.ones(8, dtype=bool))
+        assert cache.version == v0 + 1
+        cache.clear()
+        assert cache.version == v0 + 2
+        # Reads never bump.
+        cache.get("a")
+        assert cache.version == v0 + 2
+
+    def test_eviction_bumps_version_and_resets_bytes(self):
+        entry = np.ones(100, dtype=np.int64)
+        cache = SelectionCache(budget_bytes=int(entry.nbytes * 1.5))
+        cache.store("a", entry)
+        v_before = cache.version
+        cache.store("b", entry)  # trips clear-all, then stores b
+        assert cache.version >= v_before + 2
+        assert cache.stats()["clears"] == 1.0
+        assert cache.stats()["bytes"] == float(entry.nbytes)
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+
+    def test_double_store_keeps_byte_accounting_exact(self):
+        cache = SelectionCache(budget_bytes=10_000)
+        cache.store("a", np.ones(100, dtype=np.int64))
+        cache.store("a", np.ones(50, dtype=np.int64))
+        assert cache.stats()["bytes"] == 50 * 8.0
+        assert cache.stats()["entries"] == 1.0
+
+    def test_oversized_entry_is_not_stored(self):
+        cache = SelectionCache(budget_bytes=16)
+        cache.store("big", np.ones(100, dtype=np.int64))
+        assert cache.get("big") is None
+        assert cache.stats()["bytes"] == 0.0
+
+    def test_zero_budget_disables_storage(self):
+        cache = SelectionCache(budget_bytes=0)
+        v0 = cache.version
+        cache.store("a", np.ones(4, dtype=bool))
+        assert cache.get("a") is None
+        assert cache.version == v0

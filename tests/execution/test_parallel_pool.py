@@ -1,0 +1,268 @@
+"""Unit tests for the shared worker pool (morsel-driven scheduling).
+
+The pool's contract is behavioural, not performance: results come back
+in submission order regardless of which thread ran what, a failed task
+cancels its scatter (queued siblings drain without running), a saturated
+pool degrades into inline serial execution on the degradation ladder,
+nesting is deadlock-free by caller participation and capped at two
+levels, and the request deadline propagates into every task through its
+copied context.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.execution import parallel as par
+from repro.execution.parallel import (
+    WorkerPool,
+    configure_pool,
+    default_workers,
+    get_pool,
+    morsel_bounds,
+    parallel_gather,
+    pool_stats,
+    register_parallel_metrics,
+    reset_parallel_stats,
+    reset_pool,
+    warm_database,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience import (
+    deadline_scope,
+    degradation_scope,
+)
+from repro.sqldb import executor as _kernels
+
+
+@pytest.fixture()
+def pool():
+    p = WorkerPool(workers=2, name="test-pool")
+    yield p
+    p.shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_parallel_stats()
+    yield
+    reset_parallel_stats()
+
+
+class TestRunTasks:
+    def test_results_in_submission_order(self, pool):
+        thunks = [lambda i=i: i * i for i in range(50)]
+        assert pool.run_tasks(thunks) == [i * i for i in range(50)]
+
+    def test_empty_and_singleton_bypass_the_pool(self, pool):
+        assert pool.run_tasks([]) == []
+        assert pool.run_tasks([lambda: 41 + 1]) == [42]
+        # Neither shape should have started worker threads.
+        assert not pool.started
+
+    def test_lowest_index_error_wins(self, pool):
+        def boom(label):
+            raise ValueError(label)
+
+        thunks = [lambda: 1,
+                  lambda: boom("first"),
+                  lambda: boom("second"),
+                  lambda: 4]
+        with pytest.raises(ValueError, match="first"):
+            pool.run_tasks(thunks)
+
+    def test_failure_cancels_queued_siblings(self):
+        """With the only worker blocked, a failing first task must drain
+        the queued siblings without ever running them."""
+        pool = WorkerPool(workers=1, queue_capacity=16, name="t-cancel")
+        release = threading.Event()
+        blocker = threading.Thread(
+            target=pool.run_tasks,
+            args=([lambda: release.wait(10.0)] * 2,),
+            kwargs={"participate": False},
+            daemon=True)
+        blocker.start()
+        # Wait until the worker has actually picked up the blocking task.
+        for _ in range(1000):
+            if pool.started and pool.queue_depth <= 1:
+                break
+            threading.Event().wait(0.005)
+        ran: list[int] = []
+
+        def boom():
+            raise ValueError("scatter fails fast")
+
+        try:
+            with pytest.raises(ValueError, match="fails fast"):
+                pool.run_tasks(
+                    [boom] + [lambda i=i: ran.append(i) for i in range(8)])
+            # The submitter claimed every task in order: after the
+            # failure, siblings completed as cancelled, not executed.
+            assert ran == []
+            assert pool_stats()["cancelled"] >= 8
+        finally:
+            release.set()
+            blocker.join(timeout=5.0)
+            pool.shutdown()
+
+    def test_deadline_propagates_into_tasks(self, pool):
+        with deadline_scope(60_000.0) as deadline:
+            deadline.exhaust()
+            with pytest.raises(DeadlineExceeded):
+                pool.run_tasks([lambda: 1, lambda: 2, lambda: 3],
+                               site="executor.morsel")
+
+    def test_no_deadline_means_no_check(self, pool):
+        assert pool.run_tasks([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_saturated_pool_runs_inline_and_records_degradation(self):
+        pool = WorkerPool(workers=1, queue_capacity=0, name="t-sat")
+        try:
+            with degradation_scope() as events:
+                assert pool.run_tasks(
+                    [lambda i=i: i for i in range(4)]) == [0, 1, 2, 3]
+            assert [(e.site, e.action, e.reason) for e in events] == [
+                ("executor", "parallel_to_serial", "pool_saturated")]
+            stats = pool_stats()
+            assert stats["saturations"] == 1.0
+            assert stats["inline_runs"] == 4.0
+            assert stats["worker_runs"] == 0.0
+        finally:
+            pool.shutdown()
+
+    def test_participate_false_runs_everything_on_workers(self, pool):
+        names = pool.run_tasks(
+            [threading.current_thread for _ in range(6)],
+            participate=False)
+        assert all(t.name.startswith("test-pool-") for t in names)
+
+    def test_participation_keeps_nesting_deadlock_free(self):
+        """Group tasks scattering morsels onto the same tiny pool must
+        make progress (the submitter steals unclaimed work)."""
+        pool = WorkerPool(workers=2, queue_capacity=2, name="t-nest")
+        try:
+            def outer(base):
+                return sum(pool.run_tasks(
+                    [lambda j=j: base * 10 + j for j in range(4)]))
+
+            results = pool.run_tasks(
+                [lambda i=i: outer(i) for i in range(6)])
+            assert results == [i * 40 + 6 for i in range(6)]
+        finally:
+            pool.shutdown()
+
+    def test_scatter_depth_is_capped(self, pool):
+        def innermost():
+            # Depth 2 -> 3 exceeds the cap: must run inline.
+            return pool.run_tasks([lambda: 1, lambda: 2])
+
+        def inner():
+            return pool.run_tasks([innermost, innermost])
+
+        assert pool.run_tasks([inner, inner]) == [[[1, 2], [1, 2]]] * 2
+        assert pool_stats()["depth_clips"] >= 4.0
+
+    def test_shutdown_pool_still_answers_inline(self, pool):
+        pool.run_tasks([lambda: 1, lambda: 2])  # start the workers
+        pool.shutdown()
+        assert pool.run_tasks([lambda: 3, lambda: 4]) == [3, 4]
+
+
+class TestProcessWidePool:
+    def test_configure_and_reset(self):
+        try:
+            pool = configure_pool(3)
+            assert pool.workers == 3
+            assert get_pool() is pool
+        finally:
+            reset_pool()
+        assert get_pool() is not pool
+
+    def test_configure_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            configure_pool(0)
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("MUVE_WORKERS", "5")
+        assert default_workers() == 5
+        monkeypatch.setenv("MUVE_WORKERS", "zero")
+        with pytest.raises(ReproError, match="integer"):
+            default_workers()
+        monkeypatch.setenv("MUVE_WORKERS", "-2")
+        with pytest.raises(ReproError, match="positive"):
+            default_workers()
+        monkeypatch.delenv("MUVE_WORKERS")
+        assert default_workers() >= 1
+
+
+class TestObservability:
+    def test_pool_stats_shape(self, pool):
+        pool.run_tasks([lambda: 1, lambda: 2])
+        stats = pool_stats()
+        for key in ("scatters", "tasks", "inline_runs", "worker_runs",
+                    "rejected", "saturations", "cancelled", "depth_clips",
+                    "workers", "queue_depth", "started", "enabled"):
+            assert isinstance(stats[key], float), key
+        assert stats["scatters"] == 1.0
+        assert stats["tasks"] == 2.0
+        assert stats["inline_runs"] + stats["worker_runs"] == 2.0
+
+    def test_registered_gauges_track_the_counters(self, pool):
+        registry = MetricsRegistry()
+        register_parallel_metrics(registry)
+        pool.run_tasks([lambda: 1, lambda: 2, lambda: 3])
+        gauges = {name: value for name, _, value in registry.iter_gauges()}
+        assert gauges["pool_scatters"] == 1.0
+        assert gauges["pool_tasks"] == 3.0
+
+
+class TestMorselHelpers:
+    def test_fixed_bounds(self, monkeypatch):
+        monkeypatch.setattr(_kernels, "MORSEL_ROWS", 100)
+        assert morsel_bounds(250) == [(0, 100), (100, 200), (200, 250)]
+        assert morsel_bounds(100) == [(0, 100)]
+        assert morsel_bounds(0) == []
+
+    def test_parallel_gather_matches_fancy_indexing(self, monkeypatch,
+                                                    pool):
+        monkeypatch.setattr(_kernels, "MORSEL_ROWS", 64)
+        rng = np.random.default_rng(11)
+        array = rng.normal(size=1000)
+        runner = lambda thunks: pool.run_tasks(thunks)  # noqa: E731
+        mask = rng.random(1000) < 0.3
+        assert np.array_equal(parallel_gather(array, mask, runner),
+                              array[mask])
+        positions = np.flatnonzero(mask)
+        assert np.array_equal(parallel_gather(array, positions, runner),
+                              array[positions])
+        # Below the threshold the gather is a plain fancy index.
+        small = array[:60]
+        assert np.array_equal(
+            parallel_gather(small, mask[:60], runner), small[mask[:60]])
+
+    def test_parallel_gather_without_runner(self):
+        array = np.arange(10.0)
+        mask = array > 4
+        assert np.array_equal(parallel_gather(array, mask, None),
+                              array[mask])
+
+
+class TestWarmDatabase:
+    def test_builds_every_structure(self, emp_db):
+        # emp: 4 columns (2 numeric) -> 1 statistics + 4 inverted
+        # indexes + 2 sorted projections.
+        assert warm_database(emp_db, ["emp"]) == 7
+        indexes = emp_db.table("emp").indexes()
+        assert len(indexes._inverted) == 4
+        assert len(indexes._projections) == 2
+
+    def test_serial_fallback_when_disabled(self, emp_db):
+        par.set_parallel_enabled(False)
+        try:
+            assert warm_database(emp_db) == 7
+        finally:
+            par.set_parallel_enabled(True)
