@@ -1,7 +1,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: check fast concurrency bench bench-serve bench-index \
-	bench-parallel bench-phonetics bench-quality sentinel profile chaos
+	bench-parallel bench-phonetics bench-quality sentinel profile chaos \
+	lint lockdep
 
 # The gating suite: the full test tree (tier 1), then the concurrency
 # and caching suites plus the index differential suite (indexed ==
@@ -16,6 +17,37 @@ check:
 # regeneration suite (marked `slow`).
 fast:
 	$(PYTEST) -q -p no:randomly -m "not slow"
+
+# The typed core: modules mypy checks under the strict per-module
+# settings in pyproject.toml ([[tool.mypy.overrides]]).
+TYPED_CORE := src/repro/caching src/repro/resilience \
+	src/repro/observability/metrics.py src/repro/execution/parallel.py \
+	src/repro/sqldb/index.py src/repro/flags.py
+
+# Static analysis: the repo-specific muvelint rules (stdlib-only,
+# always runs) and the README flag-table drift gate, then ruff and
+# the typed-core mypy gate when installed (pip install -e ".[lint]";
+# both are skipped with a notice on machines without them — CI
+# installs them, so skipping locally never hides a failure for long).
+lint:
+	PYTHONPATH=src python -m tools.muvelint
+	PYTHONPATH=src python scripts/gen_flags_doc.py --check
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "lint: ruff not installed — skipped (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy $(TYPED_CORE); \
+	else \
+		echo "lint: mypy not installed — skipped (pip install -e '.[lint]')"; \
+	fi
+
+# The gating suite once more with the lockdep runtime checker
+# recording the lock acquisition-order graph (repro.testing.lockdep);
+# any cycle or lock-held-across-pool-wait fails the session.
+lockdep:
+	MUVE_LOCKDEP=1 $(MAKE) check
 
 # Just the concurrent-serving surface: shared-pipeline hammering,
 # cache semantics, parallel HTTP requests.

@@ -52,9 +52,11 @@ def main() -> None:
             (c.probability for c in response.candidates
              if c.query == meant), 0.0)
         highlighted = response.multiplot.highlights(meant)
+        shown = response.multiplot.shows(meant)
+        status = ('HIGHLIGHTED' if highlighted
+                  else 'shown' if shown else 'missing')
         print(f"turn {turn}: Bronx interpretation rank={rank} "
-              f"p={probability:.3f} "
-              f"{'HIGHLIGHTED' if highlighted else 'shown' if response.multiplot.shows(meant) else 'missing'}")
+              f"p={probability:.3f} {status}")
         # The user clicks the Bronx bar every time.
         if response.multiplot.shows(meant):
             session.confirm(meant)

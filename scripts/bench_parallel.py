@@ -36,13 +36,14 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_serving import build_requests, measure  # noqa: E402
+from bench_serving import build_requests, measure
 
-from repro.execution.parallel import (  # noqa: E402
+from repro.execution.parallel import (
     configure_pool,
     reset_pool,
 )
-from repro.sqldb.index import set_indexes_enabled  # noqa: E402
+from repro.flags import env_int, env_str
+from repro.sqldb.index import set_indexes_enabled
 
 
 def measure_parallel_scaling(rows_list, workers_list, requests: int,
@@ -98,14 +99,14 @@ def merge_into_report(path: str, section: dict) -> None:
 
 
 def main() -> int:
-    rows_list = [int(t) for t in os.environ.get(
-        "MUVE_PARALLEL_ROW_SWEEP", "200000,1000000").split(",") if t]
-    workers_list = [int(t) for t in os.environ.get(
-        "MUVE_PARALLEL_WORKER_SWEEP", "1,2,4,8").split(",") if t]
-    requests = int(os.environ.get("MUVE_PARALLEL_REQUESTS", "6"))
-    candidates = int(os.environ.get("MUVE_PARALLEL_CANDIDATES", "50"))
-    rounds = int(os.environ.get("MUVE_PARALLEL_ROUNDS", "3"))
-    output = os.environ.get("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
+    row_sweep = env_str("MUVE_PARALLEL_ROW_SWEEP", "200000,1000000")
+    rows_list = [int(t) for t in row_sweep.split(",") if t]
+    worker_sweep = env_str("MUVE_PARALLEL_WORKER_SWEEP", "1,2,4,8")
+    workers_list = [int(t) for t in worker_sweep.split(",") if t]
+    requests = env_int("MUVE_PARALLEL_REQUESTS", 6)
+    candidates = env_int("MUVE_PARALLEL_CANDIDATES", 50)
+    rounds = env_int("MUVE_PARALLEL_ROUNDS", 3)
+    output = env_str("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
 
     sweep = measure_parallel_scaling(rows_list, workers_list, requests,
                                      candidates, rounds)

@@ -23,12 +23,12 @@ Environment knobs::
 from __future__ import annotations
 
 import json
-import os
 import random
 import statistics
 import sys
 import time
 
+from repro.flags import env_int, env_raw, env_str
 from repro.phonetics.index import PhoneticIndex
 
 _SYLLABLES = [
@@ -135,12 +135,11 @@ def bench_scale(size: int, probes: int, rounds: int,
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    probes = int(os.environ.get("MUVE_BENCH_PROBES", "20"))
-    rounds = int(os.environ.get("MUVE_BENCH_ROUNDS", "3"))
-    exhaustive_probes = int(
-        os.environ.get("MUVE_BENCH_EXHAUSTIVE_PROBES", "5"))
-    output = os.environ.get("MUVE_BENCH_OUTPUT", "BENCH_phonetics.json")
-    full = "--full" in argv or os.environ.get("MUVE_BENCH_FULL") == "1"
+    probes = env_int("MUVE_BENCH_PROBES", 20)
+    rounds = env_int("MUVE_BENCH_ROUNDS", 3)
+    exhaustive_probes = env_int("MUVE_BENCH_EXHAUSTIVE_PROBES", 5)
+    output = env_str("MUVE_BENCH_OUTPUT", "BENCH_phonetics.json")
+    full = "--full" in argv or env_raw("MUVE_BENCH_FULL") == "1"
 
     scales = [10_000, 100_000] + ([1_000_000] if full else [])
     report: dict = {"scales": {}}

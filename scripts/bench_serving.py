@@ -52,6 +52,7 @@ from repro.datasets.generators import DATASET_GENERATORS
 from repro.datasets.workload import WorkloadGenerator
 from repro.execution.batch import plan_scan_counts
 from repro.execution.merging import plan_execution
+from repro.flags import env_int, env_str
 from repro.nlq.candidates import CandidateGenerator
 from repro.sqldb.database import Database
 from repro.sqldb.index import set_indexes_enabled
@@ -262,21 +263,19 @@ def measure_candidate_generation(vocabulary_size: int, requests: int,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--rows", default=os.environ.get("MUVE_BENCH_ROW_SWEEP",
-                                         "20000,200000,1000000"),
+        "--rows", default=env_str("MUVE_BENCH_ROW_SWEEP", "20000,200000,1000000"),
         help="comma-separated table sizes for the row_scaling sweep "
              "(grouped-equality workload, indexed vs MUVE_INDEXES=0)")
     args = parser.parse_args(argv)
     sweep = [int(token) for token in str(args.rows).split(",") if token]
 
-    requests = int(os.environ.get("MUVE_BENCH_REQUESTS", "30"))
-    rows = int(os.environ.get("MUVE_BENCH_ROWS", "20000"))
-    candidates = int(os.environ.get("MUVE_BENCH_CANDIDATES", "50"))
-    rounds = int(os.environ.get("MUVE_BENCH_ROUNDS", "5"))
-    vocabulary = int(os.environ.get("MUVE_BENCH_VOCAB", "50000"))
-    scaling_requests = int(os.environ.get("MUVE_BENCH_SCALING_REQUESTS",
-                                          "8"))
-    output = os.environ.get("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
+    requests = env_int("MUVE_BENCH_REQUESTS", 30)
+    rows = env_int("MUVE_BENCH_ROWS", 20000)
+    candidates = env_int("MUVE_BENCH_CANDIDATES", 50)
+    rounds = env_int("MUVE_BENCH_ROUNDS", 5)
+    vocabulary = env_int("MUVE_BENCH_VOCAB", 50000)
+    scaling_requests = env_int("MUVE_BENCH_SCALING_REQUESTS", 8)
+    output = env_str("MUVE_BENCH_OUTPUT", "BENCH_serving.json")
 
     database, plans = build_requests(rows, requests, candidates)
     legacy_scans = []

@@ -32,19 +32,20 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_serving import build_requests, measure  # noqa: E402
+from bench_serving import build_requests, measure
 
-from repro.execution.batch import plan_scan_counts  # noqa: E402
+from repro.execution.batch import plan_scan_counts
+from repro.flags import env_float, env_int
 
 ROUNDS = 3
 
 
 def main() -> int:
-    tolerance = float(os.environ.get("MUVE_BATCH_TOLERANCE", "0.02"))
-    scan_factor = float(os.environ.get("MUVE_BATCH_SCAN_FACTOR", "1.5"))
-    requests = int(os.environ.get("MUVE_BATCH_REQUESTS", "30"))
-    rows = int(os.environ.get("MUVE_BATCH_ROWS", "20000"))
-    candidates = int(os.environ.get("MUVE_BATCH_CANDIDATES", "50"))
+    tolerance = env_float("MUVE_BATCH_TOLERANCE", 0.02)
+    scan_factor = env_float("MUVE_BATCH_SCAN_FACTOR", 1.5)
+    requests = env_int("MUVE_BATCH_REQUESTS", 30)
+    rows = env_int("MUVE_BATCH_ROWS", 20000)
+    candidates = env_int("MUVE_BATCH_CANDIDATES", 50)
 
     database, plans = build_requests(rows, requests, candidates)
     scans = [plan_scan_counts(plan, database) for plan in plans]

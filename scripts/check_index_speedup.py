@@ -26,16 +26,18 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_serving import measure_row_scaling  # noqa: E402
+from bench_serving import measure_row_scaling
+
+from repro.flags import env_float, env_int
 
 ROUNDS = 3
 
 
 def main() -> int:
-    rows = int(os.environ.get("MUVE_INDEX_ROWS", "1000000"))
-    factor = float(os.environ.get("MUVE_INDEX_SPEEDUP_FACTOR", "5"))
-    requests = int(os.environ.get("MUVE_INDEX_REQUESTS", "8"))
-    candidates = int(os.environ.get("MUVE_INDEX_CANDIDATES", "50"))
+    rows = env_int("MUVE_INDEX_ROWS", 1000000)
+    factor = env_float("MUVE_INDEX_SPEEDUP_FACTOR", 5)
+    requests = env_int("MUVE_INDEX_REQUESTS", 8)
+    candidates = env_int("MUVE_INDEX_CANDIDATES", 50)
 
     entry = measure_row_scaling([rows], requests, candidates, ROUNDS)[0]
     indexed = entry["indexed"]

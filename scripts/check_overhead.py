@@ -27,7 +27,6 @@ Environment knobs::
 
 from __future__ import annotations
 
-import os
 import sys
 import time
 
@@ -36,6 +35,7 @@ from repro.core.planner import VisualizationPlanner
 from repro.datasets.generators import DATASET_GENERATORS
 from repro.datasets.workload import WorkloadGenerator
 from repro.experiments.robustness import _speak
+from repro.flags import env_float, env_int
 from repro.muve import Muve
 from repro.observability import (
     get_registry,
@@ -92,9 +92,9 @@ def best_of(rounds: int, rows: int, count: int,
 
 
 def main() -> int:
-    threshold = float(os.environ.get("MUVE_OVERHEAD_THRESHOLD", "0.05"))
-    count = int(os.environ.get("MUVE_PROFILE_REQUESTS", "50"))
-    rows = int(os.environ.get("MUVE_PROFILE_ROWS", "5000"))
+    threshold = env_float("MUVE_OVERHEAD_THRESHOLD", 0.05)
+    count = env_int("MUVE_PROFILE_REQUESTS", 50)
+    rows = env_int("MUVE_PROFILE_ROWS", 5000)
     previous = tracing_enabled()
     try:
         set_tracing_enabled(True)

@@ -39,24 +39,25 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_serving import build_requests, measure  # noqa: E402
+from bench_serving import build_requests, measure
 
-from repro.execution.parallel import (  # noqa: E402
+from repro.execution.parallel import (
     configure_pool,
     reset_pool,
 )
-from repro.sqldb.index import set_indexes_enabled  # noqa: E402
+from repro.flags import env_float, env_int
+from repro.sqldb.index import set_indexes_enabled
 
 ROUNDS = 3
 
 
 def main() -> int:
-    rows = int(os.environ.get("MUVE_PARALLEL_ROWS", "1000000"))
-    workers = int(os.environ.get("MUVE_PARALLEL_GATE_WORKERS", "4"))
-    factor = float(os.environ.get("MUVE_PARALLEL_SPEEDUP_FACTOR", "2"))
-    min_cpus = int(os.environ.get("MUVE_PARALLEL_MIN_CPUS", "4"))
-    requests = int(os.environ.get("MUVE_PARALLEL_REQUESTS", "6"))
-    candidates = int(os.environ.get("MUVE_PARALLEL_CANDIDATES", "50"))
+    rows = env_int("MUVE_PARALLEL_ROWS", 1000000)
+    workers = env_int("MUVE_PARALLEL_GATE_WORKERS", 4)
+    factor = env_float("MUVE_PARALLEL_SPEEDUP_FACTOR", 2)
+    min_cpus = env_int("MUVE_PARALLEL_MIN_CPUS", 4)
+    requests = env_int("MUVE_PARALLEL_REQUESTS", 6)
+    candidates = env_int("MUVE_PARALLEL_CANDIDATES", 50)
     cpus = os.cpu_count() or 1
 
     print(f"figure-7 workload: {requests} requests x {candidates} "

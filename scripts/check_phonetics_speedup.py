@@ -24,17 +24,19 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_phonetics import bench_scale  # noqa: E402
+from bench_phonetics import bench_scale
+
+from repro.flags import env_float, env_int
 
 ROUNDS = 3
 EXHAUSTIVE_PROBES = 4
 
 
 def main() -> int:
-    factor = float(os.environ.get("MUVE_PHONETIC_SPEEDUP_FACTOR", "5"))
-    p50_budget = float(os.environ.get("MUVE_PHONETIC_P50_MS", "10"))
-    terms = int(os.environ.get("MUVE_PHONETIC_TERMS", "100000"))
-    probes = int(os.environ.get("MUVE_PHONETIC_PROBES", "20"))
+    factor = env_float("MUVE_PHONETIC_SPEEDUP_FACTOR", 5)
+    p50_budget = env_float("MUVE_PHONETIC_P50_MS", 10)
+    terms = env_int("MUVE_PHONETIC_TERMS", 100000)
+    probes = env_int("MUVE_PHONETIC_PROBES", 20)
 
     entry = bench_scale(terms, probes, ROUNDS, EXHAUSTIVE_PROBES)
     pruned = entry["pruned"]

@@ -26,7 +26,6 @@ from __future__ import annotations
 import concurrent.futures
 import http.client
 import json
-import os
 import sys
 import time
 
@@ -34,6 +33,7 @@ from repro.core.model import ScreenGeometry
 from repro.core.planner import VisualizationPlanner
 from repro.datasets.generators import DATASET_GENERATORS
 from repro.demo import MuveDemoServer
+from repro.flags import env_float, env_int
 from repro.muve import Muve
 from repro.sqldb.database import Database
 from repro.testing.faults import inject_faults
@@ -75,9 +75,9 @@ def one_request(server: MuveDemoServer, deadline_ms: float,
 
 
 def main() -> int:
-    clients = int(os.environ.get("MUVE_SHED_CLIENTS", "16"))
-    max_inflight = int(os.environ.get("MUVE_SHED_INFLIGHT", "4"))
-    deadline_ms = float(os.environ.get("MUVE_SHED_DEADLINE_MS", "250"))
+    clients = env_int("MUVE_SHED_CLIENTS", 16)
+    max_inflight = env_int("MUVE_SHED_INFLIGHT", 4)
+    deadline_ms = env_float("MUVE_SHED_DEADLINE_MS", 250)
     bound_ms = 2 * deadline_ms + SCHEDULING_SLACK_MS
 
     server = build_server(max_inflight)

@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 
 from repro.core.model import ScreenGeometry
@@ -44,6 +43,7 @@ from repro.core.planner import VisualizationPlanner
 from repro.datasets.generators import DATASET_GENERATORS
 from repro.datasets.workload import WorkloadGenerator
 from repro.experiments.robustness import _speak
+from repro.flags import env_int, env_str
 from repro.muve import Muve
 from repro.observability import get_workload_analytics
 from repro.observability.metrics import MetricsRegistry
@@ -57,10 +57,6 @@ from repro.observability.report import (
 from repro.observability.slo import SloEngine
 from repro.sqldb.database import Database
 from repro.users.simulator import SimulatedUser
-
-
-def _env_int(name: str, default: int) -> int:
-    return int(os.environ.get(name, str(default)))
 
 
 def build_muve(rows: int, registry: MetricsRegistry, slo: SloEngine,
@@ -154,7 +150,7 @@ def _inflate_latency(report: dict, fraction: float) -> dict:
 
 
 def _bands() -> tuple[tuple[str, Band], ...]:
-    raw = os.environ.get("MUVE_SENTINEL_LATENCY_REL", "").strip()
+    raw = env_str("MUVE_SENTINEL_LATENCY_REL", "").strip()
     if not raw:
         return DEFAULT_BANDS
     rel = float(raw)
@@ -184,9 +180,9 @@ def main(argv: list[str] | None = None) -> int:
     if not args.snapshot and not args.check:
         parser.error("one of --snapshot or --check is required")
 
-    rows = _env_int("MUVE_PROFILE_ROWS", 4000)
-    count = _env_int("MUVE_PROFILE_REQUESTS", 40)
-    rounds = _env_int("MUVE_SENTINEL_ROUNDS", 3)
+    rows = env_int("MUVE_PROFILE_ROWS", 4000)
+    count = env_int("MUVE_PROFILE_REQUESTS", 40)
+    rounds = env_int("MUVE_SENTINEL_ROUNDS", 3)
 
     if args.check and args.current:
         with open(args.current, encoding="utf-8") as handle:

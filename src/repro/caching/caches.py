@@ -16,19 +16,20 @@ and :meth:`PlanCache.clear` — :class:`~repro.muve.Muve` exposes
 from __future__ import annotations
 
 from dataclasses import astuple
-from typing import TYPE_CHECKING, Callable, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 from repro.caching.lru import CacheStats, LruCache
 from repro.caching.sql import normalize_sql
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards for type hints
+    from repro.core.ilp import ProcessingGroup
     from repro.core.problem import MultiplotSelectionProblem
     from repro.observability import MetricsRegistry
     from repro.sqldb.database import QueryResult
 
 
 def register_cache_metrics(registry: "MetricsRegistry", cache_name: str,
-                           cache) -> None:
+                           cache: "QueryResultCache | PlanCache") -> None:
     """Expose a cache's hit/miss/eviction counters as live gauges.
 
     The gauges pull from ``cache.stats`` at read time, so the registry
@@ -100,7 +101,9 @@ class PlanCache:
 
     @staticmethod
     def problem_key(problem: "MultiplotSelectionProblem",
-                    processing_groups=None) -> Hashable:
+                    processing_groups:
+                    "Sequence[ProcessingGroup] | None" = None,
+                    ) -> Hashable:
         """A hashable identity of a planning problem instance."""
         candidates = tuple(
             (candidate.query.to_sql(), round(candidate.probability, 12))
@@ -117,11 +120,12 @@ class PlanCache:
                 problem.processing_budget,
                 groups_key)
 
-    def get_or_plan(self, key: Hashable, plan: Callable[[], object]):
+    def get_or_plan(self, key: Hashable,
+                    plan: Callable[[], object]) -> object:
         """The cached planner result for *key*, planning once on a miss."""
         return self._cache.get_or_compute(key, plan)
 
-    def get(self, key: Hashable):
+    def get(self, key: Hashable) -> object | None:
         """The cached result for *key*, or ``None`` — no computation.
 
         Used by the planner when a request runs under a deadline or an

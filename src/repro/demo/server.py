@@ -409,7 +409,7 @@ def _make_handler(server: MuveDemoServer):
                                       "error_type": type(exc).__name__})
             except BrokenPipeError:  # pragma: no cover - client gone
                 self._status = self._status or 499
-            except Exception as exc:  # noqa: BLE001 - last-resort handler
+            except Exception as exc:
                 server.metrics.counter(
                     "errors", where="http",
                     type=type(exc).__name__).inc()
@@ -502,10 +502,10 @@ def _make_handler(server: MuveDemoServer):
                                            deadline_ms=deadline_ms)
             self._send_json(200, result)
 
-        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        def do_GET(self) -> None:
             self._handle("GET")
 
-        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        def do_POST(self) -> None:
             self._handle("POST")
 
     return Handler

@@ -57,7 +57,6 @@ per request — the difference is the ``scans_saved`` metric.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from typing import TYPE_CHECKING
@@ -65,6 +64,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import NullAggregateError
+from repro.flags import env_switch
 from repro.observability import get_registry, trace_span
 from repro.resilience import current_deadline
 from repro.execution.parallel import (
@@ -113,8 +113,7 @@ __all__ = [
 # Enable flag (escape hatch)
 # ---------------------------------------------------------------------------
 
-_enabled = os.environ.get("MUVE_BATCH_EXEC", "on").strip().lower() not in (
-    "off", "0", "false", "no")
+_enabled = env_switch("MUVE_BATCH_EXEC")
 
 
 def batch_enabled() -> bool:

@@ -64,11 +64,13 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from repro.errors import ReproError
+from repro.flags import env_raw, env_switch
 from repro.observability import get_registry, trace_span
 from repro.resilience import current_deadline, record_degradation
 from repro.sqldb import executor as _kernels
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.observability import MetricsRegistry
     from repro.sqldb.database import Database
 
 __all__ = [
@@ -92,8 +94,7 @@ __all__ = [
 # Enable flag (escape hatch)
 # ---------------------------------------------------------------------------
 
-_enabled = os.environ.get("MUVE_PARALLEL", "on").strip().lower() not in (
-    "off", "0", "false", "no")
+_enabled = env_switch("MUVE_PARALLEL")
 
 
 def parallel_enabled() -> bool:
@@ -109,7 +110,7 @@ def set_parallel_enabled(enabled: bool) -> None:
 
 def default_workers() -> int:
     """Worker count from ``MUVE_WORKERS``, default ``min(8, cpu_count)``."""
-    raw = os.environ.get("MUVE_WORKERS", "").strip()
+    raw = (env_raw("MUVE_WORKERS") or "").strip()
     if raw:
         try:
             value = int(raw)
@@ -199,7 +200,7 @@ def pool_stats() -> dict[str, float]:
     return stats
 
 
-def register_parallel_metrics(registry) -> None:
+def register_parallel_metrics(registry: "MetricsRegistry") -> None:
     """Expose the pool counters as callback gauges on *registry*."""
     for key in ("scatters", "tasks", "inline_runs", "worker_runs",
                 "rejected", "saturations", "cancelled", "depth_clips",
@@ -261,7 +262,7 @@ class _Task:
                 self.error = _Cancelled()
             else:
                 self.result = self.context.run(self._invoke)
-        except BaseException as exc:  # noqa: BLE001 - reported to caller
+        except BaseException as exc:
             self.error = exc
             self.cancel.set()
         finally:

@@ -251,9 +251,10 @@ class ApproximateProcessing(ProcessingStrategy):
             if cached is not None:
                 return cached
             start = time.perf_counter()
+            percent = 100.0 * probe_rows / max(table.num_rows, 1)
             database.execute(
                 f"SELECT COUNT(*) FROM {table.schema.name} "
-                f"TABLESAMPLE BERNOULLI ({100.0 * probe_rows / max(table.num_rows, 1):.4f})")
+                f"TABLESAMPLE BERNOULLI ({percent:.4f})")
             elapsed = max(time.perf_counter() - start, 1e-6)
             throughput = probe_rows / elapsed
             self._throughput_cache[key] = throughput

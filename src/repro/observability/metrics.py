@@ -237,6 +237,20 @@ class Histogram:
                 return min(max(value, observed_min), observed_max)
         return observed_max
 
+    def cumulative_buckets(self) -> dict[str, int]:
+        """Cumulative per-bucket counts keyed by upper bound
+        (Prometheus ``le`` semantics, ``+Inf`` last)."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for bound, count in zip(self._bounds, counts):
+            cumulative += count
+            buckets[f"{bound:g}"] = cumulative
+        buckets["+Inf"] = total
+        return buckets
+
     def snapshot(self) -> dict[str, object]:
         with self._lock:
             counts = list(self._counts)
@@ -380,15 +394,14 @@ class MetricsRegistry:
         for name, labels, histogram in self.iter_histograms():
             prom = _prom_name(name)
             type_line(prom, "histogram")
-            snap = histogram.snapshot()
-            for le, cumulative in snap["buckets"].items():
+            for le, cumulative in histogram.cumulative_buckets().items():
                 lines.append(f"{prom}_bucket"
                              f"{_prom_labels(labels, ('le', le))} "
                              f"{cumulative}")
             lines.append(f"{prom}_sum{_prom_labels(labels)} "
-                         f"{snap['sum']:g}")
+                         f"{histogram.sum:g}")
             lines.append(f"{prom}_count{_prom_labels(labels)} "
-                         f"{snap['count']}")
+                         f"{histogram.count}")
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:

@@ -41,11 +41,12 @@ arithmetic on a preallocated ring), reporting is O(ring size).
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
+
+from repro.flags import env_raw
 
 __all__ = [
     "DEFAULT_WINDOWS_SECONDS",
@@ -67,7 +68,7 @@ _BUCKET_SECONDS = 15.0
 
 def default_latency_slo_ms() -> float:
     """The request-latency threshold (``MUVE_SLO_LATENCY_MS``)."""
-    raw = os.environ.get("MUVE_SLO_LATENCY_MS", "").strip()
+    raw = (env_raw("MUVE_SLO_LATENCY_MS") or "").strip()
     try:
         value = float(raw) if raw else 500.0
     except ValueError:
@@ -82,7 +83,7 @@ def default_latency_slo_ms() -> float:
 
 def default_coverage_floor() -> float:
     """The truth-coverage threshold (``MUVE_SLO_COVERAGE``)."""
-    raw = os.environ.get("MUVE_SLO_COVERAGE", "").strip()
+    raw = (env_raw("MUVE_SLO_COVERAGE") or "").strip()
     try:
         value = float(raw) if raw else 0.9
     except ValueError:

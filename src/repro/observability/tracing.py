@@ -36,12 +36,13 @@ from __future__ import annotations
 import contextvars
 import itertools
 import json
-import os
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterator
+
+from repro.flags import env_raw, env_switch
 
 __all__ = [
     "DEFAULT_TRACE_LOG_CAPACITY",
@@ -60,8 +61,7 @@ __all__ = [
 
 
 def _env_enabled() -> bool:
-    value = os.environ.get("MUVE_TRACING", "on").strip().lower()
-    return value not in ("off", "0", "false", "no")
+    return env_switch("MUVE_TRACING")
 
 
 _enabled = _env_enabled()
@@ -211,7 +211,7 @@ def trace_log_capacity_from_env() -> int:
     — a silently ignored misconfiguration would leave an operator
     convinced they resized the buffer.
     """
-    raw = os.environ.get("MUVE_TRACE_LOG_SIZE", "").strip()
+    raw = (env_raw("MUVE_TRACE_LOG_SIZE") or "").strip()
     if not raw:
         return DEFAULT_TRACE_LOG_CAPACITY
     try:

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import os
 import threading
 import time
 from dataclasses import dataclass
@@ -42,6 +41,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.flags import env_switch
 from repro.observability import trace_span
 from repro.phonetics.distance import jaro_winkler
 from repro.phonetics.metaphone import metaphone_codes
@@ -83,8 +83,7 @@ _PHASE2_CHUNK = 1024
 # Pruning flag (escape hatch)
 # ---------------------------------------------------------------------------
 
-_pruning = os.environ.get("MUVE_PHONETIC_PRUNING", "on").strip().lower() \
-    not in ("off", "0", "false", "no")
+_pruning = env_switch("MUVE_PHONETIC_PRUNING")
 
 
 def pruning_enabled() -> bool:

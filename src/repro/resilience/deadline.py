@@ -29,12 +29,12 @@ from __future__ import annotations
 
 import contextvars
 import math
-import os
 import time
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import DeadlineExceeded, ReproError
+from repro.flags import env_float
 
 __all__ = [
     "Deadline",
@@ -135,12 +135,5 @@ def default_deadline_ms() -> float | None:
     Read per call (not cached at import) so test fixtures and the CLI
     can adjust the environment before constructing a pipeline.
     """
-    raw = os.environ.get("MUVE_DEADLINE_MS", "").strip()
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ReproError(
-            f"MUVE_DEADLINE_MS must be a number, got {raw!r}") from None
+    value = env_float("MUVE_DEADLINE_MS", 0.0)
     return value if value > 0 else None

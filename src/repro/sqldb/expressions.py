@@ -391,9 +391,9 @@ class AggregateCall:
                 "has no value (SQL NULL)")
         if array.dtype == object:
             if self.func == AggregateFunction.MIN:
-                return min(array)  # type: ignore[return-value]
+                return min(array)
             if self.func == AggregateFunction.MAX:
-                return max(array)  # type: ignore[return-value]
+                return max(array)
             raise TypeMismatchError(
                 f"{self.func.value.upper()} not supported on text")
         if self.func == AggregateFunction.SUM:

@@ -43,13 +43,13 @@ counters surface as ``index_*`` gauges (``/api/metrics``) and the
 
 from __future__ import annotations
 
-import os
 import threading
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
 from repro.errors import CatalogError
+from repro.flags import env_switch
 from repro.observability import trace_span
 from repro.sqldb.expressions import (
     And,
@@ -65,6 +65,7 @@ from repro.sqldb.schema import TableSchema
 from repro.sqldb.types import DataType
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.observability import MetricsRegistry
     from repro.sqldb.table import Table
 
 __all__ = [
@@ -89,8 +90,7 @@ __all__ = [
 # Enable flag (escape hatch)
 # ---------------------------------------------------------------------------
 
-_enabled = os.environ.get("MUVE_INDEXES", "on").strip().lower() not in (
-    "off", "0", "false", "no")
+_enabled = env_switch("MUVE_INDEXES")
 
 
 def indexes_enabled() -> bool:
@@ -183,7 +183,7 @@ def reset_index_stats() -> None:
     _STATS.reset()
 
 
-def register_index_metrics(registry) -> None:
+def register_index_metrics(registry: "MetricsRegistry") -> None:
     """Expose the index counters as callback gauges on *registry*."""
     for key in ("builds", "probes", "statements", "fallbacks",
                 "rows_selected", "rows_avoided"):
@@ -541,8 +541,10 @@ def resolve_leaf(expr: BooleanExpr, table: "Table") -> np.ndarray | None:
     return None
 
 
-def resolve_selection(expr: BooleanExpr, table: "Table",
-                      leaf_cache=None) -> np.ndarray | None:
+def resolve_selection(
+        expr: BooleanExpr, table: "Table",
+        leaf_cache: "Callable[[BooleanExpr, Table], np.ndarray | None] | None" = None,
+) -> np.ndarray | None:
     """Resolve a predicate tree to a selection through the table's
     secondary indexes, or None when any leaf lacks an index path.
 

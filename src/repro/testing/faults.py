@@ -49,7 +49,6 @@ An inactive harness costs one global ``None`` check per probe — the
 
 from __future__ import annotations
 
-import os
 import random
 import threading
 import time
@@ -58,7 +57,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro import errors as _errors
-from repro.errors import DeadlineExceeded, ReproError, TransientError
+from repro.errors import ReproError, TransientError
+from repro.flags import env_int, env_str
 from repro.resilience.deadline import current_deadline
 
 __all__ = [
@@ -302,10 +302,10 @@ _active_lock = threading.Lock()
 
 
 def _load_from_env() -> FaultPlan | None:
-    spec = os.environ.get("MUVE_FAULTS", "").strip()
+    spec = env_str("MUVE_FAULTS").strip()
     if not spec:
         return None
-    seed = int(os.environ.get("MUVE_FAULT_SEED", "0") or "0")
+    seed = env_int("MUVE_FAULT_SEED", 0)
     plan = FaultPlan.parse(spec, seed=seed)
     return plan if plan.rules else None
 

@@ -9,7 +9,6 @@ served after a vocabulary change).
 
 import threading
 
-import pytest
 
 from repro.caching.phonetic import (
     PhoneticProbeCache,

@@ -15,7 +15,6 @@ from __future__ import annotations
 import threading
 
 import numpy as np
-import pytest
 
 from repro.caching.selection import SelectionCache
 from repro.datasets import make_nyc311_table
@@ -38,7 +37,7 @@ def _run_threads(workers, duration=None):
         def run():
             try:
                 fn(stop)
-            except BaseException as exc:  # noqa: BLE001 - reported below
+            except BaseException as exc:
                 errors.append(exc)
                 stop.set()
         return run

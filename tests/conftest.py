@@ -4,6 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+# Lockdep patches the threading lock factories, so it runs before any
+# test creates pipeline objects; locks made at module-import time stay
+# untracked (the interesting ones — pool, cache, session locks — are
+# created per-instance at runtime and are covered).
+from repro.testing import lockdep as _lockdep
+
+_LOCKDEP_ENABLED = _lockdep.enabled_from_env()
+if _LOCKDEP_ENABLED:
+    _lockdep.install()
+
 from repro.core.model import ScreenGeometry
 from repro.core.problem import MultiplotSelectionProblem
 from repro.datasets import make_nyc311_table
@@ -20,6 +30,20 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "tests/experiments/" in item.nodeid.replace("\\", "/"):
             item.add_marker(pytest.mark.slow)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _lockdep_gate():
+    """Fail the run if lockdep recorded any lock-order violation.
+
+    Violations are recorded, not raised at the fault site, so a latent
+    inversion surfaces as one clear session-end failure instead of a
+    cascade of poisoned tests.
+    """
+    yield
+    if _LOCKDEP_ENABLED:
+        summary = _lockdep.report()
+        assert not summary, summary
 
 
 @pytest.fixture()

@@ -18,7 +18,6 @@ from repro.core.cost_model import UserCostModel
 from repro.core.ilp import IlpSolver
 from repro.core.model import Bar, Multiplot, Plot, ScreenGeometry
 from repro.core.problem import MultiplotSelectionProblem
-from repro.nlq.templates import templates_of
 from tests.core.helpers import candidate
 
 

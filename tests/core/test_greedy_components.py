@@ -4,7 +4,7 @@ maximization."""
 import pytest
 
 from repro.core.greedy.coloring import add_colors, color_plot
-from repro.core.greedy.plot_candidates import UncoloredPlot, plot_candidates
+from repro.core.greedy.plot_candidates import plot_candidates
 from repro.core.greedy.submodular import (
     maximize_cardinality,
     maximize_knapsack,

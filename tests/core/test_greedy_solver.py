@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.greedy import GreedySolver
-from repro.core.greedy.pick_plots import build_multiplot, pick_plots
+from repro.core.greedy.pick_plots import pick_plots
 from repro.core.greedy.plot_candidates import plot_candidates
 from repro.core.greedy.coloring import add_colors
 from repro.core.greedy.polish import polish

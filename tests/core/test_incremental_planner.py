@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.ilp import IlpSolver, incremental_solve
+from repro.core.ilp import incremental_solve
 from repro.core.model import ScreenGeometry
 from repro.core.planner import VisualizationPlanner
 from repro.core.problem import MultiplotSelectionProblem

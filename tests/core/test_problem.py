@@ -6,8 +6,6 @@ from repro.core.model import ScreenGeometry
 from repro.core.problem import MultiplotSelectionProblem
 from repro.errors import PlanningError
 from tests.core.helpers import (
-    TEMPLATE,
-    TEMPLATE_B,
     candidate,
     multiplot,
     plot,

@@ -199,7 +199,7 @@ def test_parallel_gather_differential(seed, density):
     n = int(rng.integers(1, 6 * _SMALL_MORSEL))
     array = rng.normal(size=n)
     mask = rng.random(n) < density
-    runner = lambda thunks: get_pool().run_tasks(thunks)  # noqa: E731
+    runner = lambda thunks: get_pool().run_tasks(thunks)
     assert np.array_equal(parallel_gather(array, mask, runner),
                           array[mask])
     positions = np.flatnonzero(mask)

@@ -232,7 +232,7 @@ class TestMorselHelpers:
         monkeypatch.setattr(_kernels, "MORSEL_ROWS", 64)
         rng = np.random.default_rng(11)
         array = rng.normal(size=1000)
-        runner = lambda thunks: pool.run_tasks(thunks)  # noqa: E731
+        runner = lambda thunks: pool.run_tasks(thunks)
         mask = rng.random(1000) < 0.3
         assert np.array_equal(parallel_gather(array, mask, runner),
                               array[mask])

@@ -20,7 +20,7 @@ pytestmark = pytest.mark.slow
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
                                 "scripts"))
-from bench_phonetics import sample_probes, synthetic_vocabulary  # noqa: E402
+from bench_phonetics import sample_probes, synthetic_vocabulary
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,41 @@
+"""CLI entry point: ``python -m tools.muvelint [--root DIR]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.muvelint.engine import DEFAULT_ROOTS, run_lint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="muvelint",
+        description="Repo-specific static analysis for MUVE.")
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root (default: current directory)")
+    parser.add_argument(
+        "--paths", nargs="*", default=list(DEFAULT_ROOTS),
+        help="directories to scan, relative to --root")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line (violations still print)")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(args.root).resolve()
+    result = run_lint(repo_root, roots=args.paths)
+    for violation in result.violations:
+        print(violation.render())
+    if not args.quiet:
+        status = "ok" if result.ok else "FAIL"
+        print(f"muvelint: {status} — {result.files_checked} files, "
+              f"{len(result.violations)} violation(s), "
+              f"{len(result.suppressed)} allowlisted",
+              file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

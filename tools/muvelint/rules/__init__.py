@@ -1,0 +1,73 @@
+"""muvelint rules and the small AST helpers they share."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted_name",
+    "iter_scopes",
+    "scope_qualname",
+    "terminal_name",
+]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute chain (``c`` of
+    ``a.b.c``), else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[
+        tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, function)`` for every function in *tree*,
+    including methods and nested functions (``Outer.inner`` style)."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[
+            tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                yield qual, child
+                yield from walk(child, qual)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                yield from walk(child, qual)
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")
+
+
+def scope_qualname(tree: ast.Module, target: ast.AST) -> str:
+    """Qualname of the innermost function containing *target* (or
+    ``<module>``).  Linear scan — fine at lint scale."""
+    best = "<module>"
+    best_size = None
+    for qual, func in iter_scopes(tree):
+        span = getattr(func, "end_lineno", func.lineno) - func.lineno
+        if (func.lineno <= target.lineno
+                <= getattr(func, "end_lineno", func.lineno)):
+            if best_size is None or span < best_size:
+                best, best_size = qual, span
+    return best

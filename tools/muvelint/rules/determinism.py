@@ -1,0 +1,89 @@
+"""ML003 — determinism discipline on the reproducibility-critical path.
+
+The experiment harness promises bit-identical reruns; the fault harness
+promises seed-deterministic fault sequences.  Both collapse if code in
+``repro.core``, ``repro.execution``, ``repro.nlq`` or the fault harness
+reads a wall clock or an unseeded RNG.  Forbidden here:
+
+* module-level ``random.<fn>(...)`` (global, unseeded RNG) and
+  ``random.Random()`` with no seed;
+* ``numpy.random.<fn>`` legacy global state, and ``default_rng()``
+  without a seed;
+* wall-clock reads: ``time.time``, ``time.localtime``, ``time.ctime``,
+  ``datetime.now/utcnow/today``;
+* ambient entropy: ``uuid.uuid4``, ``os.urandom``, ``secrets.*``.
+
+``time.monotonic``/``time.perf_counter`` (duration measurement, never
+persisted into results) and seeded ``random.Random(seed)`` are the
+sanctioned alternatives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.muvelint.engine import ParsedModule, Violation
+from tools.muvelint.rules import dotted_name, scope_qualname
+
+__all__ = ["check_determinism"]
+
+#: Files/directories (repo-relative prefixes) the rule applies to.
+SCOPE_PREFIXES = (
+    "src/repro/core/",
+    "src/repro/execution/",
+    "src/repro/nlq/",
+    "src/repro/testing/faults.py",
+)
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.localtime", "time.ctime", "time.gmtime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_ENTROPY = frozenset({"uuid.uuid4", "os.urandom"})
+
+
+def _in_scope(module: ParsedModule) -> bool:
+    return any(module.relpath.startswith(prefix)
+               for prefix in SCOPE_PREFIXES)
+
+
+def check_determinism(module: ParsedModule) -> Iterator[Violation]:
+    if not _in_scope(module):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        problem: str | None = None
+        if name in _WALL_CLOCK:
+            problem = f"wall-clock read {name!r}"
+        elif name in _ENTROPY or name.startswith("secrets."):
+            problem = f"ambient entropy {name!r}"
+        elif name == "random.Random":
+            if not node.args and not node.keywords:
+                problem = "unseeded random.Random()"
+        elif name.startswith("random."):
+            problem = f"global unseeded RNG {name!r}"
+        elif name in ("numpy.random.default_rng",
+                      "np.random.default_rng"):
+            if not node.args and not node.keywords:
+                problem = "unseeded numpy default_rng()"
+        elif (name.startswith("numpy.random.")
+                or name.startswith("np.random.")):
+            problem = f"numpy global RNG {name!r}"
+        if problem is None:
+            continue
+        qual = scope_qualname(module.tree, node)
+        yield Violation(
+            rule="ML003",
+            path=module.relpath,
+            line=node.lineno,
+            message=f"{problem} on the deterministic path",
+            key=f"ML003 {module.relpath}::{qual}::{name}",
+        )

@@ -1,0 +1,155 @@
+"""ML006 — the ``MUVE_*`` flag registry is the only door to the env.
+
+``repro.flags`` declares every supported flag once, with kind, default
+and description; the README table is generated from it.  That only
+works if nothing reads around it, so across ``src``, ``scripts`` and
+``tools`` (the registry module itself excluded):
+
+* no read-shaped access to ``os.environ`` / ``os.getenv`` at all —
+  ``.get``, subscript loads, ``in`` membership; writes and ``del``
+  remain legal (benchmarks configure subprocess/feature state by
+  setting flags);
+* every ``env_raw/env_str/env_switch/env_int/env_float`` call names
+  its flag as a string literal (a computed name defeats static
+  drift-checking — this is what forced ``obs_report``'s old dynamic
+  helper to be rewritten) and the literal is declared in the registry;
+* inside the registry, every ``_flag(...)`` declaration itself uses a
+  literal name.
+
+The registry is parsed statically from ``src/repro/flags.py`` so the
+lint never imports the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.muvelint.engine import ParsedModule, Violation
+from tools.muvelint.rules import dotted_name, scope_qualname
+
+__all__ = ["check_env_flags", "declared_flags"]
+
+REGISTRY_PATH = "src/repro/flags.py"
+
+_HELPERS = frozenset({
+    "env_raw", "env_str", "env_switch", "env_int", "env_float",
+})
+
+
+def declared_flags(registry: ast.Module) -> dict[str, int]:
+    """Flag name -> declaration line, from ``_flag("NAME", ...)``
+    calls with a literal first argument."""
+    flags: dict[str, int] = {}
+    for node in ast.walk(registry):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "_flag"):
+            continue
+        if (node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            flags[node.args[0].value] = node.lineno
+    return flags
+
+
+def _environ_read_violations(module: ParsedModule,
+                             ) -> Iterator[Violation]:
+    tree = module.tree
+    for node in ast.walk(tree):
+        where: ast.AST | None = None
+        what = ""
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name == "os.getenv":
+                where, what = node, "os.getenv(...)"
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and dotted_name(node.func.value) == "os.environ"):
+                where, what = node, "os.environ.get(...)"
+        elif (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and dotted_name(node.value) == "os.environ"):
+            where, what = node, "os.environ[...] read"
+        elif (isinstance(node, ast.Compare)
+                and any(isinstance(op, (ast.In, ast.NotIn))
+                        for op in node.ops)
+                and any(dotted_name(c) == "os.environ"
+                        for c in node.comparators)):
+            where, what = node, "membership test on os.environ"
+        if where is None:
+            continue
+        qual = scope_qualname(tree, where)
+        yield Violation(
+            rule="ML006",
+            path=module.relpath,
+            line=where.lineno,
+            message=(f"{what} bypasses the flag registry — go "
+                     f"through repro.flags"),
+            key=f"ML006 {module.relpath}::{qual}::environ",
+        )
+
+
+def _helper_call_violations(module: ParsedModule,
+                            declared: dict[str, int],
+                            ) -> Iterator[Violation]:
+    tree = module.tree
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        short = name.rpartition(".")[2]
+        if short not in _HELPERS:
+            continue
+        qual = scope_qualname(tree, node)
+        if not node.args or not (
+                isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            yield Violation(
+                rule="ML006",
+                path=module.relpath,
+                line=node.lineno,
+                message=(f"{short}() flag name must be a string "
+                         f"literal"),
+                key=f"ML006 {module.relpath}::{qual}::{short}",
+            )
+            continue
+        flag = node.args[0].value
+        if flag not in declared:
+            yield Violation(
+                rule="ML006",
+                path=module.relpath,
+                line=node.lineno,
+                message=(f"flag {flag!r} is not declared in "
+                         f"{REGISTRY_PATH}"),
+                key=f"ML006 {module.relpath}::{qual}::{flag}",
+            )
+
+
+def check_env_flags(modules: list[ParsedModule],
+                    ) -> Iterator[Violation]:
+    registry = next(
+        (m for m in modules if m.relpath == REGISTRY_PATH), None)
+    declared = declared_flags(registry.tree) if registry else {}
+    if registry is not None:
+        for node in ast.walk(registry.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "_flag"
+                    and not (node.args
+                             and isinstance(node.args[0], ast.Constant)
+                             and isinstance(node.args[0].value, str))):
+                yield Violation(
+                    rule="ML006",
+                    path=registry.relpath,
+                    line=node.lineno,
+                    message="_flag() name must be a string literal",
+                    key=f"ML006 {registry.relpath}::_flag-literal",
+                )
+    for module in modules:
+        if module.relpath == REGISTRY_PATH:
+            continue
+        yield from _environ_read_violations(module)
+        yield from _helper_call_violations(module, declared)

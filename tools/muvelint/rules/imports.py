@@ -1,0 +1,162 @@
+"""ML005 — no import cycles among ``repro`` modules.
+
+Builds the top-level import graph over every module under
+``src/repro`` and reports each strongly connected component larger
+than one node.  Excluded, because they do not execute at import time:
+
+* imports under ``if TYPE_CHECKING:`` blocks,
+* imports inside functions/methods (deferred, cycle-safe by design —
+  the engine/rules split in this very package relies on that).
+
+``from repro.x import y`` edges to ``repro.x``; when ``repro.x.y`` is
+itself a module, it edges there too (importing a submodule executes
+it).  A cycle is reported once per member module so the allowlist key
+stays stable under membership-preserving edits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.muvelint.engine import ParsedModule, Violation
+
+__all__ = ["check_import_cycles"]
+
+
+def _is_type_checking(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _top_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, (ast.If, ast.Try)):
+            if _is_type_checking(node):
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(node, attr, []) or [])
+            for handler in getattr(node, "handlers", []):
+                stack.extend(handler.body)
+
+
+def _edges(module: ParsedModule, known: set[str]) -> Iterator[str]:
+    for node in _top_level_imports(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                while name:
+                    if name in known:
+                        yield name
+                        break
+                    name = name.rpartition(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against package
+                base = (module.module_name or "").split(".")
+                if module.path.name != "__init__.py":
+                    base = base[:-1]
+                base = base[:len(base) - node.level + 1]
+                target = ".".join(base + ([node.module]
+                                          if node.module else []))
+            else:
+                target = node.module or ""
+            # ``from pkg import name``: when every imported name is
+            # itself a submodule, the dependency is on those modules,
+            # not on ``pkg.__init__`` — counting the package would make
+            # the conventional "init re-exports the world" layout look
+            # like one giant cycle.
+            all_submodules = True
+            for alias in node.names:
+                sub = f"{target}.{alias.name}"
+                if sub in known:
+                    yield sub
+                else:
+                    all_submodules = False
+            if target in known and not all_submodules:
+                yield target
+
+
+def check_import_cycles(modules: list[ParsedModule],
+                        ) -> Iterator[Violation]:
+    repro = [m for m in modules
+             if m.module_name and m.module_name.startswith("repro")]
+    known = {m.module_name for m in repro if m.module_name}
+    graph: dict[str, set[str]] = {}
+    lines: dict[str, int] = {}
+    for module in repro:
+        name = module.module_name
+        assert name is not None
+        graph[name] = {e for e in _edges(module, known) if e != name}
+        lines[name] = 1
+
+    # Tarjan's strongly connected components, iteratively.
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for name in sorted(graph):
+        if name not in index:
+            strongconnect(name)
+
+    path_of = {m.module_name: m.relpath for m in repro}
+    for component in sccs:
+        if len(component) < 2:
+            continue
+        cycle = " -> ".join(sorted(component))
+        for member in sorted(component):
+            yield Violation(
+                rule="ML005",
+                path=path_of.get(member, member),
+                line=lines.get(member, 1),
+                message=f"import cycle: {cycle}",
+                key=f"ML005 {member}::cycle",
+            )
